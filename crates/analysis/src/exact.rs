@@ -1,0 +1,183 @@
+//! Exact Markov-chain analysis of CAPPED(1, λ) for small `n`.
+//!
+//! For unit capacity the system state reduces to the pool size alone
+//! (every bin starts every round empty — Section III's key simplification),
+//! and the pool is a Markov chain on ℕ:
+//!
+//! - from pool `m`, the round throws `ν = m + λn` balls;
+//! - the number of *occupied* bins `K` after ν uniform throws determines
+//!   the acceptances (each occupied bin accepts exactly one ball at
+//!   `c = 1`), so the next pool is `m' = ν − K`.
+//!
+//! The occupancy distribution `P(K = k)` follows a textbook DP (each throw
+//! hits an occupied bin w.p. `k/n`), so the full transition matrix is
+//! computable exactly. Truncating the chain at a generous pool bound and
+//! power-iterating yields the exact stationary pool distribution — which
+//! the simulator must match. This gives a third, fully rigorous
+//! validation layer next to the mean-field model and the executable
+//! specification (exact for *finite* `n`, no `n → ∞` limit involved).
+
+/// Distribution of the number of occupied (non-empty) bins after throwing
+/// `balls` balls independently and uniformly at random into `bins` bins.
+///
+/// Returns `p` with `p[k] = P(K = k)`, `k ∈ [0, min(balls, bins)]`.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+pub fn occupancy_distribution(bins: usize, balls: usize) -> Vec<f64> {
+    assert!(bins > 0, "need at least one bin");
+    let kmax = balls.min(bins);
+    let mut p = vec![0.0; kmax + 1];
+    p[0] = 1.0;
+    let n = bins as f64;
+    for _ in 0..balls {
+        let mut next = vec![0.0; kmax + 1];
+        for (k, &prob) in p.iter().enumerate() {
+            if prob == 0.0 {
+                continue;
+            }
+            // The throw hits one of the k occupied bins w.p. k/n…
+            next[k] += prob * (k as f64 / n);
+            // …or a fresh bin otherwise.
+            if k < kmax {
+                next[k + 1] += prob * ((n - k as f64) / n);
+            }
+        }
+        p = next;
+    }
+    p
+}
+
+/// Exact stationary pool-size distribution of CAPPED(1, λ) with `n` bins
+/// and `batch = λn` arrivals per round, computed on the chain truncated at
+/// pool size `truncate` (mass above the truncation is folded onto the
+/// boundary state; choose `truncate` well above `n·ln(1/(1−λ))`).
+///
+/// Returns `π` with `π[m] = P(pool = m)` at stationarity.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `batch > bins` (unstable) or
+/// `truncate < batch`.
+pub fn stationary_pool_distribution(bins: usize, batch: usize, truncate: usize) -> Vec<f64> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(batch <= bins, "batch must not exceed n (lambda <= 1)");
+    assert!(truncate >= batch, "truncation below the arrival batch");
+
+    let states = truncate + 1;
+    // Pre-compute transition rows: row[m][m'] — stored dense (small n).
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(states);
+    for m in 0..states {
+        let nu = m + batch;
+        let occ = occupancy_distribution(bins, nu);
+        let mut row = vec![0.0; states];
+        for (k, &prob) in occ.iter().enumerate() {
+            let next = nu - k;
+            let idx = next.min(truncate);
+            row[idx] += prob;
+        }
+        rows.push(row);
+    }
+
+    // Power iteration from the empty state (the paper's initial state).
+    let mut pi = vec![0.0; states];
+    pi[0] = 1.0;
+    for _ in 0..100_000 {
+        let mut next = vec![0.0; states];
+        for (m, &mass) in pi.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            for (mp, &p) in rows[m].iter().enumerate() {
+                if p > 0.0 {
+                    next[mp] += mass * p;
+                }
+            }
+        }
+        let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        pi = next;
+        if delta < 1e-13 {
+            break;
+        }
+    }
+    pi
+}
+
+/// Mean of a distribution given as a probability vector over 0, 1, 2, ….
+pub fn distribution_mean(pi: &[f64]) -> f64 {
+    pi.iter().enumerate().map(|(m, &p)| m as f64 * p).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_basics() {
+        // 0 balls: everything empty.
+        assert_eq!(occupancy_distribution(3, 0), vec![1.0]);
+        // 1 ball: exactly one bin occupied.
+        let p = occupancy_distribution(3, 1);
+        assert!((p[1] - 1.0).abs() < 1e-15);
+        // 2 balls into 2 bins: collision w.p. 1/2.
+        let p = occupancy_distribution(2, 2);
+        assert!((p[1] - 0.5).abs() < 1e-15);
+        assert!((p[2] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn occupancy_sums_to_one_and_matches_mean() {
+        for (n, b) in [(4usize, 6usize), (10, 10), (7, 20)] {
+            let p = occupancy_distribution(n, b);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            // E[K] = n(1 − (1 − 1/n)^b).
+            let mean: f64 = p.iter().enumerate().map(|(k, &q)| k as f64 * q).sum();
+            let expected = n as f64 * (1.0 - (1.0 - 1.0 / n as f64).powi(b as i32));
+            assert!((mean - expected).abs() < 1e-10, "n={n}, b={b}");
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_is_proper() {
+        let pi = stationary_pool_distribution(4, 2, 60);
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p >= -1e-15));
+        // Negligible mass at the truncation boundary.
+        assert!(pi[60] < 1e-9, "truncation too tight: {}", pi[60]);
+    }
+
+    #[test]
+    fn zero_arrivals_stay_empty() {
+        let pi = stationary_pool_distribution(4, 0, 10);
+        assert!((pi[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_mean_grows_with_lambda() {
+        let light = distribution_mean(&stationary_pool_distribution(8, 2, 100));
+        let heavy = distribution_mean(&stationary_pool_distribution(8, 6, 200));
+        assert!(heavy > light);
+    }
+
+    #[test]
+    fn small_n_mean_is_near_mean_field() {
+        // n = 16, λ = 0.5: mean-field predicts (ln 2 − 0.5)·n ≈ 3.09.
+        // The exact finite-n mean is slightly *below* it: a bin's miss
+        // probability (1 − 1/n)^ν is smaller than the Poissonized
+        // e^{−ν/n}, so finite systems accept a bit more per round. The
+        // two must agree within ~15 % at this size.
+        let n = 16;
+        let pi = stationary_pool_distribution(n, 8, 400);
+        let mean = distribution_mean(&pi);
+        let mean_field = (2.0f64.ln() - 0.5) * n as f64;
+        let rel = (mean - mean_field).abs() / mean_field;
+        assert!(rel < 0.15, "exact {mean} vs mean-field {mean_field}");
+        assert!(
+            mean < mean_field,
+            "finite-n acceptance advantage should put exact ({mean}) below mean-field ({mean_field})"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! The Section-V empirical fit curves — the dashed lines of Figures 4
+//! and 5.
+//!
+//! The paper's experiments indicate that dropping the analysis' unoptimized
+//! constants describes the measured system accurately:
+//!
+//! - **pool size** ≈ `n/c·ln(1/(1−λ)) + n` (Figure 4's dashed line is the
+//!   normalized version `ln(1/(1−λ))/c + 1`);
+//! - **waiting time** ≈ `ln(1/(1−λ))/c + log log n + c` (Figure 5's dashed
+//!   line).
+//!
+//! These are the reference curves EXPERIMENTS.md compares measured values
+//! against.
+
+use crate::math::{ln_inv_gap, log2_log2};
+
+/// Normalized pool-size fit `ln(1/(1−λ))/c + 1` (Figure 4's dashed line).
+///
+/// # Panics
+///
+/// Panics if `λ ∉ [0, 1)` or `c = 0`.
+pub fn normalized_pool_fit(c: u32, lambda: f64) -> f64 {
+    assert!(c >= 1, "capacity must be at least 1");
+    ln_inv_gap(lambda) / c as f64 + 1.0
+}
+
+/// Absolute pool-size fit `n·(ln(1/(1−λ))/c + 1)`.
+///
+/// # Panics
+///
+/// Panics if `λ ∉ [0, 1)` or `c = 0`.
+pub fn pool_size_fit(n: usize, c: u32, lambda: f64) -> f64 {
+    n as f64 * normalized_pool_fit(c, lambda)
+}
+
+/// Waiting-time fit `ln(1/(1−λ))/c + log log n + c` (Figure 5's dashed
+/// line).
+///
+/// # Panics
+///
+/// Panics if `λ ∉ [0, 1)` or `c = 0`.
+pub fn waiting_time_fit(n: usize, c: u32, lambda: f64) -> f64 {
+    assert!(c >= 1, "capacity must be at least 1");
+    ln_inv_gap(lambda) / c as f64 + log2_log2(n) + c as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_pool_fit_values() {
+        // λ = 0.75, c = 1: ln 4 + 1 ≈ 2.386.
+        assert!((normalized_pool_fit(1, 0.75) - (4.0f64.ln() + 1.0)).abs() < 1e-12);
+        // c = 2 halves the log term.
+        assert!(
+            (normalized_pool_fit(2, 0.75) - (4.0f64.ln() / 2.0 + 1.0)).abs() < 1e-12
+        );
+        // λ = 0 floors at 1 (the +n additive term).
+        assert_eq!(normalized_pool_fit(3, 0.0), 1.0);
+    }
+
+    #[test]
+    fn pool_fit_scales_linearly_in_n() {
+        let per_bin = normalized_pool_fit(2, 0.75);
+        assert!((pool_size_fit(1000, 2, 0.75) - 1000.0 * per_bin).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waiting_fit_reproduces_figure5_sweet_spot() {
+        // For λ = 1 − 2⁻¹⁰ (ln term ≈ 6.93) the fit ln/c + loglog n + c over
+        // c ∈ [1..5] at n = 2^15 is minimized at c ≈ 2–3, matching the
+        // paper's observed minimum.
+        let lambda = 1.0 - 1.0 / 1024.0;
+        let n = 1 << 15;
+        let w: Vec<f64> = (1..=5).map(|c| waiting_time_fit(n, c, lambda)).collect();
+        let min_idx = w
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let min_c = min_idx + 1;
+        assert!((2..=3).contains(&min_c), "minimum at c = {min_c}: {w:?}");
+    }
+
+    #[test]
+    fn waiting_fit_is_monotone_increasing_in_c_for_small_lambda() {
+        // λ = 0.5: ln 2 ≈ 0.69 < 1, so the +c term dominates immediately and
+        // c = 1 is optimal.
+        let n = 1 << 15;
+        let w: Vec<f64> = (1..=5).map(|c| waiting_time_fit(n, c, 0.5)).collect();
+        for pair in w.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    fn fits_are_below_theorem_bounds() {
+        use crate::bounds;
+        let n = 1 << 15;
+        for lambda in [0.5, 0.75, 1.0 - 1.0 / 1024.0] {
+            for c in 1..=5 {
+                assert!(pool_size_fit(n, c, lambda) < bounds::theorem2_pool_bound(n, c, lambda));
+                assert!(
+                    waiting_time_fit(n, c, lambda) < bounds::theorem2_waiting_bound(n, c, lambda)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Theory companion for *"Infinite Balanced Allocation via Finite
+//! Capacities"* (ICDCS 2021).
+//!
+//! Pure, dependency-free numeric implementations of every closed-form
+//! expression the paper states, so experiments can compare measured
+//! behavior against theory:
+//!
+//! - [`math`] — numerically careful building blocks
+//!   (`ln(1/(1−λ))`, `log₂ log₂ n`, …).
+//! - [`bounds`] — the high-probability bounds of **Theorem 1** (unit
+//!   capacity) and **Theorem 2** (general capacity) on pool size and
+//!   waiting time.
+//! - [`fits`] — the **Section V** empirical fit curves (the dashed lines of
+//!   Figures 4 and 5), which drop the analysis' unoptimized constants.
+//! - [`meanfield`] — an exact `n → ∞` fixed-point model of CAPPED(c, λ)
+//!   (the differential-equation method of the related work), predicting
+//!   the stationary pool, the load distribution and — via Little's law —
+//!   the mean waiting time, independently of the simulator.
+//! - [`sweetspot`] — the sweet-spot capacity `c* = Θ(√ln(1/(1−λ)))`
+//!   suggested by the theorems, and its exact integer minimizer under the
+//!   empirical waiting-time fit.
+//! - [`tail`] — the tail bounds of Appendix A (Lemmas 8–11): the `2^{−R}`
+//!   Chernoff variant, the multiplicative Chernoff bound, the empty-bins
+//!   concentration bound and exact binomial tails.
+//! - [`verify`] — measured-vs-theory comparison records used by the
+//!   integration tests and by EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! use iba_analysis::{bounds, fits, sweetspot};
+//!
+//! let n = 1 << 15;
+//! let heavy = 1.0 - 2.0f64.powi(-20); // λ = 1 − 2⁻²⁰
+//! // Theorem 2's pool bound scales like (4/c)·ln(1/(1−λ))·n + O(c·n), so
+//! // for heavy traffic a larger capacity lowers the bound:
+//! let bound_c1 = bounds::theorem2_pool_bound(n, 1, heavy);
+//! let bound_c3 = bounds::theorem2_pool_bound(n, 3, heavy);
+//! assert!(bound_c3 < bound_c1);
+//! // The Section-V fit predicts the measured pool much more tightly:
+//! assert!(fits::pool_size_fit(n, 3, heavy) < bound_c3);
+//! // And the sweet spot for λ = 1 − 2⁻¹⁰ sits at c ≈ √ln(1024) ≈ 2.6:
+//! let c_star = sweetspot::optimal_capacity(1.0 - 1.0 / 1024.0, n);
+//! assert!((2..=4).contains(&c_star));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod exact;
+pub mod fits;
+pub mod math;
+pub mod meanfield;
+pub mod sweetspot;
+pub mod tail;
+pub mod verify;

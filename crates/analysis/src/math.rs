@@ -1,0 +1,137 @@
+//! Numeric building blocks shared by the bound and fit formulas.
+
+/// `ln(1/(1−λ))`, the load parameter appearing in every bound of the paper.
+///
+/// Computed as `−ln_1p(−λ)` for numerical stability near `λ = 0` and near
+/// `λ = 1`.
+///
+/// # Panics
+///
+/// Panics if `λ ∉ [0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use iba_analysis::math::ln_inv_gap;
+/// assert_eq!(ln_inv_gap(0.0), 0.0);
+/// assert!((ln_inv_gap(0.75) - 4.0f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_inv_gap(lambda: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&lambda),
+        "lambda must be in [0, 1), got {lambda}"
+    );
+    -(-lambda).ln_1p()
+}
+
+/// `log₂ log₂ n`, the additive term in the waiting-time bounds (the paper
+/// writes `log log n`; base 2 matches the related-work convention of
+/// GREEDY\[2\]'s `log log n / log d` with `d = 2`).
+///
+/// Defined as 0 for `n ≤ 2` (where the iterated logarithm is non-positive
+/// or undefined but the bound's additive term is absorbed by the `O(1)`).
+pub fn log2_log2(n: usize) -> f64 {
+    if n <= 2 {
+        return 0.0;
+    }
+    let l = (n as f64).log2();
+    if l <= 1.0 {
+        0.0
+    } else {
+        l.log2()
+    }
+}
+
+/// Natural-log version, `ln ln n` (used by the THRESHOLD\[1\] round bound).
+/// Defined as 0 for `n ≤ 3`.
+pub fn ln_ln(n: usize) -> f64 {
+    if n <= 3 {
+        return 0.0;
+    }
+    (n as f64).ln().ln().max(0.0)
+}
+
+/// The per-round probability that a given bin receives none of `m` balls
+/// thrown independently and uniformly at random into `n` bins:
+/// `(1 − 1/n)^m`.
+///
+/// # Panics
+///
+/// Panics if `n = 0`.
+pub fn miss_probability(n: usize, m: u64) -> f64 {
+    assert!(n > 0, "need at least one bin");
+    if n == 1 {
+        return if m == 0 { 1.0 } else { 0.0 };
+    }
+    ((m as f64) * (-1.0 / n as f64).ln_1p()).exp()
+}
+
+/// Expected number of empty bins after throwing `m` balls into `n` bins,
+/// `n·(1 − 1/n)^m` (the mean used by Lemma 10).
+pub fn expected_empty_bins(n: usize, m: u64) -> f64 {
+    n as f64 * miss_probability(n, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_inv_gap_known_values() {
+        assert_eq!(ln_inv_gap(0.0), 0.0);
+        assert!((ln_inv_gap(0.5) - 2.0f64.ln()).abs() < 1e-12);
+        assert!((ln_inv_gap(0.75) - 4.0f64.ln()).abs() < 1e-12);
+        // λ = 1 − 2⁻¹⁰: ln 1024 = 10 ln 2.
+        let lambda = 1.0 - 1.0 / 1024.0;
+        assert!((ln_inv_gap(lambda) - 10.0 * 2.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_inv_gap_is_monotone() {
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let v = ln_inv_gap(i as f64 / 100.0);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in [0, 1)")]
+    fn ln_inv_gap_rejects_one() {
+        ln_inv_gap(1.0);
+    }
+
+    #[test]
+    fn log2_log2_values() {
+        assert_eq!(log2_log2(1), 0.0);
+        assert_eq!(log2_log2(2), 0.0);
+        assert!((log2_log2(4) - 1.0).abs() < 1e-12); // log2(log2 4) = log2 2
+        assert!((log2_log2(1 << 15) - 15f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_ln_values() {
+        assert_eq!(ln_ln(2), 0.0);
+        assert!((ln_ln(1 << 12) - (12.0 * 2.0f64.ln()).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_probability_basics() {
+        assert_eq!(miss_probability(10, 0), 1.0);
+        assert!((miss_probability(2, 1) - 0.5).abs() < 1e-12);
+        // Large m drives the probability to ~e^{-m/n}.
+        let p = miss_probability(1000, 1000);
+        assert!((p - (-1.0f64).exp()).abs() < 1e-3, "{p}");
+        // Single bin always receives every ball.
+        assert_eq!(miss_probability(1, 5), 0.0);
+        assert_eq!(miss_probability(1, 0), 1.0);
+    }
+
+    #[test]
+    fn expected_empty_bins_scales() {
+        let e = expected_empty_bins(1000, 1000);
+        assert!((e - 1000.0 * (-1.0f64).exp()).abs() < 2.0, "{e}");
+        assert_eq!(expected_empty_bins(10, 0), 10.0);
+    }
+}

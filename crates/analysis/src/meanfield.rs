@@ -1,0 +1,421 @@
+//! Mean-field (differential-equation) model of CAPPED(c, λ).
+//!
+//! Related work analyzed infinite parallel allocation processes with
+//! differential-equation methods (Berenbrink, Czumaj, Friedetzky,
+//! Vvedenskaya, SPAA 2000; Mitzenmacher, TPDS 2001). This module applies
+//! the same technique to CAPPED(c, λ): in the `n → ∞` limit, the requests
+//! a bin receives in a round are Poisson(`μ`) with `μ = m/n + λ`, bins
+//! decouple, and the system state reduces to
+//!
+//! - the normalized pool size `x = m/n`, and
+//! - the start-of-round load distribution `p_ℓ` over `ℓ ∈ [0, c−1]`
+//!   (after the deletion stage no bin holds more than `c − 1` balls).
+//!
+//! One round maps `(x, p)` to `(x', p')` exactly (Poisson arithmetic, no
+//! sampling); iterating to the fixed point yields the stationary regime.
+//! The mean waiting time follows from **Little's law**: the mean number of
+//! balls in the system (pool + buffers) divided by the arrival rate `λn`.
+//!
+//! The model is deliberately independent of the simulator — it shares no
+//! code with `iba-core` — so agreement between the two (verified in the
+//! integration tests) cross-validates both.
+//!
+//! For `c = 1` the fixed point is the closed form
+//! `x* = ln(1/(1−λ)) − λ`: the Poisson acceptance `1 − e^{−(x+λ)}` must
+//! equal the arrival rate `λ`.
+
+/// Stationary solution of the mean-field model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanFieldSolution {
+    /// Normalized stationary pool size `x* = m/n`.
+    pub pool_per_bin: f64,
+    /// Start-of-round load distribution: `load_distribution[ℓ]` is the
+    /// fraction of bins holding `ℓ` balls, `ℓ ∈ [0, c−1]`.
+    pub load_distribution: Vec<f64>,
+    /// Mean number of buffered balls per bin at the start of a round.
+    pub buffered_per_bin: f64,
+    /// Throughput per bin per round (must equal `λ` at stationarity).
+    pub throughput: f64,
+    /// Mean time from generation to deletion (rounds), via Little's law.
+    /// `None` when `λ = 0` (no arrivals — waiting time undefined).
+    pub mean_wait: Option<f64>,
+    /// Number of fixed-point iterations used.
+    pub iterations: u32,
+    /// Whether the iteration converged to the requested tolerance.
+    pub converged: bool,
+}
+
+/// Solves the mean-field model of CAPPED(c, λ) by fixed-point iteration.
+///
+/// # Panics
+///
+/// Panics if `c = 0` or `λ ∉ [0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use iba_analysis::meanfield::solve;
+/// let sol = solve(1, 0.75);
+/// // Closed form for c = 1: x* = ln(1/(1−λ)) − λ ≈ 0.636.
+/// assert!((sol.pool_per_bin - (4.0f64.ln() - 0.75)).abs() < 1e-6);
+/// ```
+pub fn solve(c: u32, lambda: f64) -> MeanFieldSolution {
+    solve_mixed(&[(c, 1.0)], lambda)
+}
+
+/// Solution of the heterogeneous-capacity mean-field model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedSolution {
+    /// Normalized stationary pool size `x* = m/n`.
+    pub pool_per_bin: f64,
+    /// Per-class start-of-round load distributions, in class order.
+    pub class_load_distributions: Vec<Vec<f64>>,
+    /// Mean buffered balls per bin across classes.
+    pub buffered_per_bin: f64,
+    /// Throughput per bin per round.
+    pub throughput: f64,
+    /// Mean waiting time via Little's law (`None` for `λ = 0`).
+    pub mean_wait: Option<f64>,
+    /// Fixed-point iterations used.
+    pub iterations: u32,
+    /// Whether the iteration converged.
+    pub converged: bool,
+}
+
+/// Solves the mean-field model for a **capacity mixture**: `classes[k]` is
+/// `(capacity, fraction of bins)` — the heterogeneous-server extension.
+/// Fractions must sum to 1.
+///
+/// # Panics
+///
+/// Panics if `classes` is empty, any capacity is 0, any fraction is
+/// negative, the fractions do not sum to 1 (±10⁻⁹), or `λ ∉ [0, 1)`.
+pub fn solve_mixed_classes(classes: &[(u32, f64)], lambda: f64) -> MixedSolution {
+    assert!(!classes.is_empty(), "need at least one capacity class");
+    assert!(
+        classes.iter().all(|&(c, f)| c >= 1 && f >= 0.0),
+        "capacities must be >= 1 and fractions non-negative"
+    );
+    let total: f64 = classes.iter().map(|&(_, f)| f).sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "class fractions must sum to 1, got {total}"
+    );
+    assert!(
+        (0.0..1.0).contains(&lambda),
+        "mean-field model requires lambda in [0, 1)"
+    );
+    const TOL: f64 = 1e-12;
+    const MAX_ITER: u32 = 2_000_000;
+
+    let mut x = 0.0f64;
+    let mut dists: Vec<Vec<f64>> = classes
+        .iter()
+        .map(|&(c, _)| {
+            let mut p = vec![0.0; c as usize];
+            p[0] = 1.0;
+            p
+        })
+        .collect();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut throughput = 0.0;
+    while iterations < MAX_ITER {
+        iterations += 1;
+        let mut accepted_total = 0.0;
+        let mut served_total = 0.0;
+        let mut delta = 0.0;
+        let mut next_dists = Vec::with_capacity(dists.len());
+        for (&(c, fraction), p) in classes.iter().zip(&dists) {
+            let (_, p_next, accepted, served) = round_map(x, p, c as usize, lambda);
+            accepted_total += fraction * accepted;
+            served_total += fraction * served;
+            delta += p
+                .iter()
+                .zip(&p_next)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
+            next_dists.push(p_next);
+        }
+        let x_next = (x + lambda - accepted_total).max(0.0);
+        delta += (x_next - x).abs();
+        x = x_next;
+        dists = next_dists;
+        throughput = served_total;
+        if delta < TOL {
+            converged = true;
+            break;
+        }
+    }
+
+    let buffered_per_bin: f64 = classes
+        .iter()
+        .zip(&dists)
+        .map(|(&(_, fraction), p)| {
+            fraction
+                * p.iter()
+                    .enumerate()
+                    .map(|(l, &q)| l as f64 * q)
+                    .sum::<f64>()
+        })
+        .sum();
+    let mean_wait = if lambda > 0.0 {
+        Some((x + buffered_per_bin) / lambda)
+    } else {
+        None
+    };
+
+    MixedSolution {
+        pool_per_bin: x,
+        class_load_distributions: dists,
+        buffered_per_bin,
+        throughput,
+        mean_wait,
+        iterations,
+        converged,
+    }
+}
+
+/// Uniform-capacity front-end over [`solve_mixed_classes`], returning the
+/// single-class [`MeanFieldSolution`].
+fn solve_mixed(classes: &[(u32, f64)], lambda: f64) -> MeanFieldSolution {
+    let mixed = solve_mixed_classes(classes, lambda);
+    MeanFieldSolution {
+        pool_per_bin: mixed.pool_per_bin,
+        load_distribution: mixed.class_load_distributions.into_iter().next().unwrap(),
+        buffered_per_bin: mixed.buffered_per_bin,
+        throughput: mixed.throughput,
+        mean_wait: mixed.mean_wait,
+        iterations: mixed.iterations,
+        converged: mixed.converged,
+    }
+}
+
+/// One exact round of the mean-field dynamics. Returns
+/// `(x', p', accepted per bin, served per bin)`.
+fn round_map(x: f64, p: &[f64], c: usize, lambda: f64) -> (f64, Vec<f64>, f64, f64) {
+    let mu = x + lambda; // Poisson request rate per bin
+    let pmf = poisson_pmf(mu, c + 1); // pmf[k] for k in 0..=c
+    // tail[k] = P(R >= k)
+    let mut tail = vec![0.0; c + 2];
+    tail[c + 1] = 0.0;
+    // P(R >= k) = 1 - sum_{j<k} pmf[j]
+    let mut cum = 0.0;
+    for k in 0..=c {
+        tail[k] = 1.0 - cum;
+        cum += pmf[k];
+    }
+    tail[c + 1] = 1.0 - cum;
+
+    let mut p_next = vec![0.0; c];
+    let mut accepted = 0.0;
+    let mut served = 0.0;
+    for (load, &q) in p.iter().enumerate() {
+        if q == 0.0 {
+            continue;
+        }
+        let free = c - load;
+        // Accepted balls a = min(free, R); load after acceptance is
+        // load + a; then one deletion if load + a >= 1.
+        // E[a] = sum_{k<free} k*pmf[k] + free*P(R >= free).
+        let mut e_a = free as f64 * tail[free];
+        for (k, &pk) in pmf.iter().enumerate().take(free) {
+            e_a += k as f64 * pk;
+        }
+        accepted += q * e_a;
+
+        if load == 0 {
+            // a = 0 (prob pmf[0]): stays empty, no deletion.
+            p_next[0] += q * pmf[0];
+            // a = k in 1..free: load' = k - 1, one deletion.
+            for k in 1..free {
+                p_next[k - 1] += q * pmf[k];
+            }
+            // a = free (= c): load' = c - 1.
+            p_next[free - 1] += q * tail[free];
+            served += q * (1.0 - pmf[0]);
+        } else {
+            // load >= 1: always serves one.
+            for k in 0..free {
+                p_next[load + k - 1] += q * pmf[k];
+            }
+            p_next[load + free - 1] += q * tail[free];
+            served += q;
+        }
+    }
+    let x_next = (x + lambda - accepted).max(0.0);
+    (x_next, p_next, accepted, served)
+}
+
+/// Poisson pmf values `P(R = k)` for `k ∈ [0, len)`, computed iteratively.
+fn poisson_pmf(mu: f64, len: usize) -> Vec<f64> {
+    let mut pmf = vec![0.0; len];
+    if len == 0 {
+        return pmf;
+    }
+    pmf[0] = (-mu).exp();
+    for k in 1..len {
+        pmf[k] = pmf[k - 1] * mu / k as f64;
+    }
+    pmf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::ln_inv_gap;
+
+    #[test]
+    fn unit_capacity_matches_closed_form() {
+        for lambda in [0.1, 0.5, 0.75, 0.9, 1.0 - 1.0 / 1024.0] {
+            let sol = solve(1, lambda);
+            assert!(sol.converged, "lambda = {lambda}");
+            let expected = ln_inv_gap(lambda) - lambda;
+            assert!(
+                (sol.pool_per_bin - expected).abs() < 1e-8,
+                "lambda = {lambda}: {} vs {expected}",
+                sol.pool_per_bin
+            );
+            // c = 1: bins are always empty at the start of a round.
+            assert!((sol.load_distribution[0] - 1.0).abs() < 1e-9);
+            assert!(sol.buffered_per_bin.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lambda_zero_is_empty_system() {
+        let sol = solve(3, 0.0);
+        assert!(sol.converged);
+        assert_eq!(sol.pool_per_bin, 0.0);
+        assert_eq!(sol.mean_wait, None);
+        assert!((sol.load_distribution[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_equals_lambda_at_stationarity() {
+        for (c, lambda) in [(1u32, 0.75), (2, 0.75), (3, 0.9375), (4, 0.5)] {
+            let sol = solve(c, lambda);
+            assert!(sol.converged);
+            assert!(
+                (sol.throughput - lambda).abs() < 1e-6,
+                "c={c}, lambda={lambda}: throughput {}",
+                sol.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn pool_decreases_with_capacity() {
+        let lambda = 1.0 - 1.0 / 1024.0;
+        let mut prev = f64::INFINITY;
+        for c in 1..=5 {
+            let sol = solve(c, lambda);
+            assert!(sol.pool_per_bin < prev, "c = {c}");
+            prev = sol.pool_per_bin;
+        }
+    }
+
+    #[test]
+    fn load_distribution_is_a_distribution() {
+        for (c, lambda) in [(2u32, 0.75), (5, 0.9375)] {
+            let sol = solve(c, lambda);
+            let total: f64 = sol.load_distribution.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "c={c}: sums to {total}");
+            assert!(sol.load_distribution.iter().all(|&q| q >= 0.0));
+            assert_eq!(sol.load_distribution.len(), c as usize);
+        }
+    }
+
+    #[test]
+    fn mean_wait_has_interior_minimum_in_c_for_heavy_lambda() {
+        // The sweet-spot phenomenon appears in the mean-field model too.
+        let lambda = 1.0 - 1.0 / 1024.0;
+        let waits: Vec<f64> = (1..=6)
+            .map(|c| solve(c, lambda).mean_wait.unwrap())
+            .collect();
+        let min_idx = waits
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(min_idx >= 1, "minimum at c = {}: {waits:?}", min_idx + 1);
+        assert!(min_idx <= 4, "minimum at c = {}: {waits:?}", min_idx + 1);
+    }
+
+    #[test]
+    fn mean_wait_exceeds_one_at_positive_load() {
+        // Every ball spends at least the round in which it is served.
+        let sol = solve(2, 0.75);
+        assert!(sol.mean_wait.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn pool_stays_below_section5_envelope() {
+        use crate::fits::normalized_pool_fit;
+        for (c, lambda) in [(1u32, 0.75), (2, 0.75), (3, 0.9375), (2, 1.0 - 1.0 / 1024.0)] {
+            let sol = solve(c, lambda);
+            // Envelope counts the pool only; the fit has a +1 headroom.
+            assert!(
+                sol.pool_per_bin < normalized_pool_fit(c, lambda),
+                "c={c}, lambda={lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_single_class_equals_uniform() {
+        for (c, lambda) in [(1u32, 0.75), (3, 0.9375)] {
+            let uniform = solve(c, lambda);
+            let mixed = solve_mixed_classes(&[(c, 1.0)], lambda);
+            assert!((uniform.pool_per_bin - mixed.pool_per_bin).abs() < 1e-12);
+            assert!((uniform.buffered_per_bin - mixed.buffered_per_bin).abs() < 1e-12);
+            assert_eq!(uniform.mean_wait, mixed.mean_wait);
+        }
+    }
+
+    #[test]
+    fn mixture_pool_sits_between_pure_systems() {
+        let lambda = 0.9375;
+        let pure1 = solve(1, lambda).pool_per_bin;
+        let pure3 = solve(3, lambda).pool_per_bin;
+        let mix = solve_mixed_classes(&[(1, 0.5), (3, 0.5)], lambda).pool_per_bin;
+        assert!(mix < pure1, "mixture {mix} vs pure c=1 {pure1}");
+        assert!(mix > pure3, "mixture {mix} vs pure c=3 {pure3}");
+    }
+
+    #[test]
+    fn mixture_throughput_equals_lambda() {
+        let sol = solve_mixed_classes(&[(1, 0.25), (2, 0.5), (4, 0.25)], 0.75);
+        assert!(sol.converged);
+        assert!((sol.throughput - 0.75).abs() < 1e-6);
+        assert_eq!(sol.class_load_distributions.len(), 3);
+        for (dist, cap) in sol.class_load_distributions.iter().zip([1usize, 2, 4]) {
+            assert_eq!(dist.len(), cap);
+            let total: f64 = dist.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn mixture_rejects_bad_fractions() {
+        solve_mixed_classes(&[(1, 0.5), (2, 0.4)], 0.5);
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        let pmf = poisson_pmf(3.0, 60);
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Mode near mu.
+        assert!(pmf[3] > pmf[10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities must be")]
+    fn zero_capacity_panics() {
+        solve(0, 0.5);
+    }
+}

@@ -1,0 +1,110 @@
+//! The sweet-spot capacity `c* = Θ(√ln(1/(1−λ)))`.
+//!
+//! Theorem 2's waiting-time bound trades a `≈ L/c` allocation delay
+//! (`L = ln(1/(1−λ))`) against an `O(c)` buffer-drain delay; balancing the
+//! two gives `c* = Θ(√L)`, the "sweet spot" the paper highlights in the
+//! abstract and investigates empirically in Section V (observing minima at
+//! `c ∈ {2, 3}` for its λ values).
+
+use crate::fits::waiting_time_fit;
+use crate::math::ln_inv_gap;
+
+/// The continuous sweet spot `√ln(1/(1−λ))` from balancing `L/c` against
+/// `c` in the waiting-time fit.
+///
+/// # Panics
+///
+/// Panics if `λ ∉ [0, 1)`.
+pub fn continuous_sweet_spot(lambda: f64) -> f64 {
+    ln_inv_gap(lambda).sqrt()
+}
+
+/// The integer capacity `c ≥ 1` minimizing the Section-V waiting-time fit
+/// `ln(1/(1−λ))/c + log log n + c` (ties toward the smaller capacity).
+///
+/// # Panics
+///
+/// Panics if `λ ∉ [0, 1)`.
+pub fn optimal_capacity(lambda: f64, n: usize) -> u32 {
+    // The continuous optimum is √L; the integer optimum is one of its
+    // neighbors. Search a safe window around it.
+    let c_star = continuous_sweet_spot(lambda);
+    let hi = (c_star.ceil() as u32 + 2).max(3);
+    (1..=hi)
+        .min_by(|&a, &b| {
+            waiting_time_fit(n, a, lambda)
+                .partial_cmp(&waiting_time_fit(n, b, lambda))
+                .unwrap()
+        })
+        .unwrap()
+}
+
+/// The integer capacity minimizing an arbitrary measured waiting-time
+/// profile: `profile[i]` is the waiting time measured for capacity `i + 1`.
+/// Returns the 1-based capacity (ties toward the smaller capacity).
+///
+/// # Panics
+///
+/// Panics if `profile` is empty or contains a NaN.
+pub fn argmin_capacity(profile: &[f64]) -> u32 {
+    assert!(!profile.is_empty(), "profile must not be empty");
+    let idx = profile
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.partial_cmp(b.1)
+                .expect("waiting-time profile must not contain NaN")
+        })
+        .unwrap()
+        .0;
+    idx as u32 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_sweet_spot_values() {
+        assert_eq!(continuous_sweet_spot(0.0), 0.0);
+        // λ = 1 − 2⁻¹⁰: √(10 ln 2) ≈ 2.63.
+        let c = continuous_sweet_spot(1.0 - 1.0 / 1024.0);
+        assert!((c - (10.0 * 2.0f64.ln()).sqrt()).abs() < 1e-9);
+        assert!((2.5..2.8).contains(&c));
+    }
+
+    #[test]
+    fn optimal_capacity_matches_paper_observations() {
+        let n = 1 << 15;
+        // Paper: minima around c = 2 and c = 3 for the λ values of Fig. 5.
+        assert_eq!(optimal_capacity(1.0 - 1.0 / 4.0, n), 1); // L = ln4 ≈ 1.39
+        let c10 = optimal_capacity(1.0 - 1.0 / 1024.0, n); // L ≈ 6.93
+        assert!((2..=3).contains(&c10), "{c10}");
+        let c13 = optimal_capacity(1.0 - 1.0 / 8192.0, n); // L ≈ 9.01
+        assert!((2..=4).contains(&c13), "{c13}");
+    }
+
+    #[test]
+    fn optimal_capacity_grows_with_lambda() {
+        let n = 1 << 15;
+        // For λ = 1 − 2⁻³⁰, L ≈ 20.8 and c* ≈ 4.6.
+        let extreme = 1.0 - 2.0f64.powi(-30);
+        let c = optimal_capacity(extreme, n);
+        assert!(c >= 4, "{c}");
+        assert!(c as f64 <= continuous_sweet_spot(extreme) + 2.0);
+    }
+
+    #[test]
+    fn argmin_capacity_basics() {
+        assert_eq!(argmin_capacity(&[5.0]), 1);
+        assert_eq!(argmin_capacity(&[5.0, 3.0, 4.0]), 2);
+        // Ties resolve toward the smaller capacity.
+        assert_eq!(argmin_capacity(&[3.0, 3.0, 4.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn argmin_empty_panics() {
+        argmin_capacity(&[]);
+    }
+}

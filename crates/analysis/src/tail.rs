@@ -1,0 +1,219 @@
+//! Tail bounds from Appendix A (Lemmas 8–11).
+//!
+//! These are the probabilistic tools the proofs use; the test suite also
+//! uses them to sanity-check the simulator (e.g. the measured number of
+//! empty bins respects Lemma 10's concentration).
+
+/// Lemma 8 (Chernoff, `2^{−R}` form): for independent Bernoulli variables
+/// with sum `X`, `Pr[X ≥ R] ≤ 2^{−R}` whenever `R ≥ 2e·E[X]`.
+///
+/// Returns the bound `2^{−R}`, or `None` if the precondition
+/// `R ≥ 2e·mean` does not hold (the lemma is silent there).
+///
+/// # Examples
+///
+/// ```
+/// use iba_analysis::tail::chernoff_2r;
+/// assert!(chernoff_2r(60.0, 10.0).unwrap() < 1e-18);
+/// assert_eq!(chernoff_2r(5.0, 10.0), None); // precondition violated
+/// ```
+pub fn chernoff_2r(r: f64, mean: f64) -> Option<f64> {
+    if r >= 2.0 * std::f64::consts::E * mean {
+        Some(2.0f64.powf(-r))
+    } else {
+        None
+    }
+}
+
+/// Lemma 9 (multiplicative Chernoff): `Pr[X ≥ (1+δ)·μ] ≤ e^{−δ²μ/(2+δ)}`
+/// for independent Bernoulli sums with mean `μ` and any `δ > 0`.
+///
+/// # Panics
+///
+/// Panics if `δ ≤ 0` or `μ < 0`.
+pub fn chernoff_mult(delta: f64, mu: f64) -> f64 {
+    assert!(delta > 0.0, "delta must be positive");
+    assert!(mu >= 0.0, "mean must be non-negative");
+    (-(delta * delta * mu) / (2.0 + delta)).exp()
+}
+
+/// Lemma 10 (empty-bins concentration, Motwani–Raghavan Thm 4.18): when
+/// allocating `m` balls into `n` bins and `Z` counts empty bins,
+/// `Pr[|Z − E[Z]| ≥ t] ≤ 2·exp(−t²·(n − 1/2)/(n² − E[Z]²))`.
+///
+/// Returns that bound (clamped to 1).
+///
+/// # Panics
+///
+/// Panics if `n = 0` or `t < 0`.
+pub fn empty_bins_tail(n: usize, m: u64, t: f64) -> f64 {
+    assert!(n > 0, "need at least one bin");
+    assert!(t >= 0.0, "deviation must be non-negative");
+    let n_f = n as f64;
+    let ez = crate::math::expected_empty_bins(n, m);
+    let denom = n_f * n_f - ez * ez;
+    if denom <= 0.0 {
+        // n = 1 and m = 0: Z is deterministic; any positive deviation has
+        // probability 0.
+        return if t > 0.0 { 0.0 } else { 1.0 };
+    }
+    (2.0 * (-(t * t) * (n_f - 0.5) / denom).exp()).min(1.0)
+}
+
+/// Exact binomial tail `Pr[B(n, p) ≥ k]`, computed in log space for
+/// numerical stability. This is the majorizing distribution of Lemma 11.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn binomial_tail_at_least(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    let ln_p = p.ln();
+    let ln_q = (-p).ln_1p(); // ln(1 − p), stable for small p
+    let mut total = 0.0f64;
+    for i in k..=n {
+        let ln_term = ln_choose(n, i) + i as f64 * ln_p + (n - i) as f64 * ln_q;
+        total += ln_term.exp();
+    }
+    total.min(1.0)
+}
+
+/// `ln C(n, k)` via the log-gamma function (Stirling-series
+/// implementation, accurate to ~1e-10 for the arguments used here).
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(n!)` via Stirling's series for large `n`, exact summation below 32.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 32 {
+        let mut acc = 0.0;
+        for i in 2..=n {
+            acc += (i as f64).ln();
+        }
+        return acc;
+    }
+    let x = n as f64 + 1.0; // ln Γ(x) with x = n + 1
+    let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+    (x - 0.5) * x.ln() - x + 0.5 * ln_2pi + 1.0 / (12.0 * x) - 1.0 / (360.0 * x.powi(3))
+        + 1.0 / (1260.0 * x.powi(5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chernoff_2r_respects_precondition() {
+        assert!(chernoff_2r(2.0 * std::f64::consts::E * 5.0, 5.0).is_some());
+        assert!(chernoff_2r(2.0 * std::f64::consts::E * 5.0 - 0.01, 5.0).is_none());
+        assert!((chernoff_2r(10.0, 0.1).unwrap() - 2.0f64.powi(-10)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chernoff_mult_matches_formula() {
+        // δ = 1, μ = 10: e^{-10/3}.
+        let b = chernoff_mult(1.0, 10.0);
+        assert!((b - (-10.0 / 3.0f64).exp()).abs() < 1e-12);
+        // Larger μ gives smaller bound.
+        assert!(chernoff_mult(0.5, 100.0) < chernoff_mult(0.5, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn chernoff_mult_rejects_zero_delta() {
+        chernoff_mult(0.0, 1.0);
+    }
+
+    #[test]
+    fn empty_bins_tail_shapes() {
+        // Zero deviation: trivial bound 1 (clamped).
+        assert_eq!(empty_bins_tail(100, 100, 0.0), 1.0);
+        // Large deviation: tiny bound.
+        assert!(empty_bins_tail(1000, 1000, 300.0) < 1e-10);
+        // Monotone decreasing in t.
+        let a = empty_bins_tail(1000, 1000, 50.0);
+        let b = empty_bins_tail(1000, 1000, 100.0);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn ln_factorial_known_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120.0f64.ln()).abs() < 1e-12);
+        // Continuity across the Stirling switchover at 32.
+        let below = ln_factorial(31) + 32.0f64.ln();
+        let above = ln_factorial(32);
+        assert!((below - above).abs() < 1e-8);
+        // 100! begins with ln value ≈ 363.739...
+        assert!((ln_factorial(100) - 363.73937555556347).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ln_choose_known_values() {
+        assert!((ln_choose(5, 2) - 10.0f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(10, 5) - 252.0f64.ln()).abs() < 1e-10);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert_eq!(ln_choose(7, 0), 0.0);
+    }
+
+    #[test]
+    fn binomial_tail_exact_small_cases() {
+        // B(2, 0.5): P[X >= 1] = 3/4, P[X >= 2] = 1/4.
+        assert!((binomial_tail_at_least(2, 0.5, 1) - 0.75).abs() < 1e-12);
+        assert!((binomial_tail_at_least(2, 0.5, 2) - 0.25).abs() < 1e-12);
+        assert_eq!(binomial_tail_at_least(2, 0.5, 0), 1.0);
+        assert_eq!(binomial_tail_at_least(2, 0.5, 3), 0.0);
+    }
+
+    #[test]
+    fn binomial_tail_edge_probabilities() {
+        assert_eq!(binomial_tail_at_least(10, 0.0, 1), 0.0);
+        assert_eq!(binomial_tail_at_least(10, 1.0, 10), 1.0);
+    }
+
+    #[test]
+    fn binomial_tail_is_monotone_in_k() {
+        let mut prev = 1.1;
+        for k in 0..=50 {
+            let t = binomial_tail_at_least(50, 0.3, k);
+            assert!(t <= prev + 1e-12, "k = {k}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn binomial_tail_large_n_stays_finite() {
+        // n = 10 000, p = 0.1, k = mean + 5σ: tail must be small but > 0.
+        let t = binomial_tail_at_least(10_000, 0.1, 1_150);
+        assert!(t > 0.0 && t < 1e-5, "{t}");
+    }
+
+    #[test]
+    fn lemma8_dominates_exact_binomial_tail() {
+        // The Chernoff bound must upper-bound the exact tail where valid.
+        let n = 1000u64;
+        let p = 0.01;
+        let mean = n as f64 * p; // 10
+        let r = 60.0; // >= 2e·10 ≈ 54.4
+        let bound = chernoff_2r(r, mean).unwrap();
+        let exact = binomial_tail_at_least(n, p, 60);
+        assert!(exact <= bound, "exact {exact} > bound {bound}");
+    }
+}

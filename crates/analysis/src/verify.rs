@@ -1,0 +1,161 @@
+//! Measured-vs-theory comparison records.
+//!
+//! The figure harness and the integration tests both need to answer "does
+//! the measurement respect the theory?" in a uniform way. A
+//! [`TheoryCheck`] packages one measured quantity together with the
+//! theorem bound and the Section-V fit it should be compared against, and
+//! renders the comparison for EXPERIMENTS.md.
+
+use std::fmt;
+
+use crate::bounds;
+use crate::fits;
+
+/// One measured quantity compared against its theorem bound and its
+/// Section-V empirical fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TheoryCheck {
+    /// What was measured (e.g. `"pool size"`).
+    pub quantity: &'static str,
+    /// The measured value.
+    pub measured: f64,
+    /// The w.h.p. theorem bound (Theorem 1 or 2).
+    pub bound: f64,
+    /// The Section-V empirical fit.
+    pub fit: f64,
+}
+
+impl TheoryCheck {
+    /// Whether the measurement respects the theorem bound.
+    pub fn within_bound(&self) -> bool {
+        self.measured <= self.bound
+    }
+
+    /// Ratio of measured value to the empirical fit (≈ 1 when the fit
+    /// describes the system; the paper reports agreement within small
+    /// constants).
+    pub fn fit_ratio(&self) -> f64 {
+        if self.fit == 0.0 {
+            if self.measured == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.measured / self.fit
+        }
+    }
+
+    /// Whether the measurement agrees with the fit within a multiplicative
+    /// `slack` (e.g. `slack = 1.5` accepts up to 50 % above the fit; values
+    /// below the fit always pass, since the fit is an upper envelope).
+    pub fn matches_fit(&self, slack: f64) -> bool {
+        self.fit_ratio() <= slack
+    }
+}
+
+impl fmt::Display for TheoryCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: measured {:.3} | fit {:.3} (ratio {:.2}) | bound {:.3} ({})",
+            self.quantity,
+            self.measured,
+            self.fit,
+            self.fit_ratio(),
+            self.bound,
+            if self.within_bound() { "OK" } else { "VIOLATED" }
+        )
+    }
+}
+
+/// Builds the pool-size check for a CAPPED(c, λ) measurement.
+///
+/// # Panics
+///
+/// Panics if `λ ∉ [0, 1)` or `c = 0`.
+pub fn pool_check(n: usize, c: u32, lambda: f64, measured: f64) -> TheoryCheck {
+    TheoryCheck {
+        quantity: "pool size",
+        measured,
+        bound: bounds::theorem2_pool_bound(n, c, lambda),
+        fit: fits::pool_size_fit(n, c, lambda),
+    }
+}
+
+/// Builds the waiting-time check for a CAPPED(c, λ) measurement.
+///
+/// # Panics
+///
+/// Panics if `λ ∉ [0, 1)` or `c = 0`.
+pub fn waiting_check(n: usize, c: u32, lambda: f64, measured: f64) -> TheoryCheck {
+    TheoryCheck {
+        quantity: "waiting time",
+        measured,
+        bound: bounds::theorem2_waiting_bound(n, c, lambda),
+        fit: fits::waiting_time_fit(n, c, lambda),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_bound_and_ratio() {
+        let check = TheoryCheck {
+            quantity: "pool size",
+            measured: 80.0,
+            bound: 100.0,
+            fit: 40.0,
+        };
+        assert!(check.within_bound());
+        assert_eq!(check.fit_ratio(), 2.0);
+        assert!(!check.matches_fit(1.5));
+        assert!(check.matches_fit(2.0));
+    }
+
+    #[test]
+    fn violated_bound_renders_loudly() {
+        let check = TheoryCheck {
+            quantity: "waiting time",
+            measured: 200.0,
+            bound: 100.0,
+            fit: 50.0,
+        };
+        assert!(!check.within_bound());
+        assert!(check.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn zero_fit_edge_cases() {
+        let exact = TheoryCheck {
+            quantity: "x",
+            measured: 0.0,
+            bound: 1.0,
+            fit: 0.0,
+        };
+        assert_eq!(exact.fit_ratio(), 1.0);
+        let off = TheoryCheck {
+            quantity: "x",
+            measured: 1.0,
+            bound: 1.0,
+            fit: 0.0,
+        };
+        assert_eq!(off.fit_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn constructors_wire_the_right_formulas() {
+        let n = 1 << 12;
+        let c = 2;
+        let lambda = 0.75;
+        let p = pool_check(n, c, lambda, 1000.0);
+        assert_eq!(p.bound, bounds::theorem2_pool_bound(n, c, lambda));
+        assert_eq!(p.fit, fits::pool_size_fit(n, c, lambda));
+        let w = waiting_check(n, c, lambda, 5.0);
+        assert_eq!(w.bound, bounds::theorem2_waiting_bound(n, c, lambda));
+        assert_eq!(w.fit, fits::waiting_time_fit(n, c, lambda));
+        assert!(w.within_bound());
+    }
+}

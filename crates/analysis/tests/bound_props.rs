@@ -1,0 +1,112 @@
+//! Property-based tests of the theory companion: structural facts every
+//! bound/fit must satisfy across the whole parameter domain.
+
+use proptest::prelude::*;
+
+use iba_analysis::{bounds, fits, math, meanfield, sweetspot, tail};
+
+fn lambda_strategy() -> impl Strategy<Value = f64> {
+    // λ ∈ [0, 1 − 2⁻²⁰], log-uniform near 1 to exercise heavy traffic.
+    prop_oneof![
+        0.0f64..0.99,
+        (1u32..20).prop_map(|i| 1.0 - 2.0f64.powi(-(i as i32))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bounds_are_positive_and_monotone_in_lambda(
+        n in 4usize..(1 << 20),
+        c in 1u32..10,
+        lambda in lambda_strategy(),
+    ) {
+        let pool = bounds::theorem2_pool_bound(n, c, lambda);
+        let wait = bounds::theorem2_waiting_bound(n, c, lambda);
+        prop_assert!(pool > 0.0 && pool.is_finite());
+        prop_assert!(wait > 0.0 && wait.is_finite());
+        // Increasing λ strictly increases both bounds.
+        if lambda < 0.99 {
+            let heavier = lambda + 0.005;
+            prop_assert!(bounds::theorem2_pool_bound(n, c, heavier) > pool);
+            prop_assert!(bounds::theorem2_waiting_bound(n, c, heavier) > wait);
+        }
+    }
+
+    #[test]
+    fn fits_stay_below_bounds(
+        n in 4usize..(1 << 20),
+        c in 1u32..10,
+        lambda in lambda_strategy(),
+    ) {
+        prop_assert!(fits::pool_size_fit(n, c, lambda) <= bounds::theorem2_pool_bound(n, c, lambda));
+        prop_assert!(
+            fits::waiting_time_fit(n, c, lambda) <= bounds::theorem2_waiting_bound(n, c, lambda)
+        );
+    }
+
+    #[test]
+    fn sweet_spot_is_near_continuous_optimum(lambda in lambda_strategy()) {
+        let c_star = sweetspot::continuous_sweet_spot(lambda);
+        let c_int = sweetspot::optimal_capacity(lambda, 1 << 15);
+        // The integer optimum differs from √L by at most ~1.6 because the
+        // fit f(c) = L/c + c is flat near its minimum.
+        prop_assert!(f64::from(c_int) >= (c_star - 1.7).max(1.0));
+        prop_assert!(f64::from(c_int) <= c_star + 1.7);
+    }
+
+    #[test]
+    fn mean_field_pool_below_envelope(
+        c in 1u32..6,
+        lambda in 0.01f64..0.999,
+    ) {
+        let sol = meanfield::solve(c, lambda);
+        prop_assert!(sol.converged);
+        prop_assert!(sol.pool_per_bin >= 0.0);
+        prop_assert!(sol.pool_per_bin < fits::normalized_pool_fit(c, lambda));
+        // Throughput equals λ at the fixed point.
+        prop_assert!((sol.throughput - lambda).abs() < 1e-5);
+    }
+
+    #[test]
+    fn chernoff_bounds_dominate_exact_binomial(
+        n in 10u64..2000,
+        p in 0.001f64..0.2,
+        slack in 1.0f64..4.0,
+    ) {
+        let mean = n as f64 * p;
+        let r = (2.0 * std::f64::consts::E * mean * slack).ceil();
+        if r <= n as f64 {
+            let bound = tail::chernoff_2r(r, mean).expect("precondition satisfied");
+            let exact = tail::binomial_tail_at_least(n, p, r as u64);
+            prop_assert!(exact <= bound + 1e-12, "exact {exact} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn binomial_tail_is_a_probability(
+        n in 0u64..500,
+        p in 0.0f64..=1.0,
+        k in 0u64..600,
+    ) {
+        let t = tail::binomial_tail_at_least(n, p, k);
+        prop_assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn miss_probability_matches_expected_empty_bins(
+        n in 1usize..10_000,
+        m in 0u64..100_000,
+    ) {
+        let p = math::miss_probability(n, m);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let e = math::expected_empty_bins(n, m);
+        prop_assert!((e - n as f64 * p).abs() < 1e-9 * n as f64);
+    }
+
+    #[test]
+    fn ln_inv_gap_inverse_relationship(lambda in 0.0f64..0.9999) {
+        // e^{-ln_inv_gap(λ)} == 1 − λ.
+        let l = math::ln_inv_gap(lambda);
+        prop_assert!(((-l).exp() - (1.0 - lambda)).abs() < 1e-12);
+    }
+}

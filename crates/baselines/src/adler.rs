@@ -1,0 +1,304 @@
+//! The infinite parallel job-allocation process of Adler, Berenbrink and
+//! Schröder (ESA 1998).
+//!
+//! The earliest of the infinite parallel processes the paper discusses:
+//! each round, `m < n/(3de)` balls arrive; every ball places a **copy** of
+//! itself into the FIFO queues of `d` random bins. After each round, every
+//! non-empty bin serves the first ball of its queue, and the served ball's
+//! surviving copies are removed from the other queues. The expected
+//! waiting time is O(1) and the maximum waiting time is
+//! `log log n / log d + O(1)` w.h.p. — but only under the restrictive
+//! arrival bound `m < n/(3de)`, "the major drawback of this process"
+//! (paper, Section I-A). CAPPED removes that restriction.
+//!
+//! The copy-deletion step makes this the most coordination-heavy baseline:
+//! implementing it faithfully shows exactly what CAPPED's "one random
+//! choice, bounded buffer" design saves.
+
+use iba_sim::error::ConfigError;
+use iba_sim::process::{AllocationProcess, RoundReport};
+use iba_sim::rng::SimRng;
+
+use std::collections::VecDeque;
+
+/// A ball copy: (ball id, arrival round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Copy {
+    ball: u64,
+    label: u64,
+}
+
+/// The Adler–Berenbrink–Schröder d-copy process.
+///
+/// # Examples
+///
+/// ```
+/// use iba_baselines::adler::AdlerProcess;
+/// use iba_sim::{AllocationProcess, SimRng};
+///
+/// # fn main() -> Result<(), iba_sim::error::ConfigError> {
+/// // m = 16 balls per round into n = 1024 bins with d = 2 copies:
+/// // well within the m < n/(3de) stability region (m < 62).
+/// let mut p = AdlerProcess::new(1024, 2, 16)?;
+/// let mut rng = SimRng::seed_from(1);
+/// let report = p.step(&mut rng);
+/// assert_eq!(report.generated, 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdlerProcess {
+    bins: usize,
+    copies: u32,
+    batch: u64,
+    queues: Vec<VecDeque<Copy>>,
+    /// Balls currently in the system (not yet served), with arrival round.
+    alive: std::collections::HashMap<u64, u64>,
+    next_ball: u64,
+    round: u64,
+    total_generated: u64,
+    total_served: u64,
+}
+
+impl AdlerProcess {
+    /// Creates the process with `m = batch` arrivals per round and `d`
+    /// copies per ball.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `n = 0` or `d = 0`.
+    pub fn new(bins: usize, copies: u32, batch: u64) -> Result<Self, ConfigError> {
+        if bins == 0 {
+            return Err(ConfigError::ZeroBins);
+        }
+        if copies == 0 {
+            return Err(ConfigError::OutOfDomain {
+                name: "copies",
+                domain: "d >= 1",
+            });
+        }
+        Ok(AdlerProcess {
+            bins,
+            copies,
+            batch,
+            queues: (0..bins).map(|_| VecDeque::new()).collect(),
+            alive: std::collections::HashMap::new(),
+            next_ball: 0,
+            round: 0,
+            total_generated: 0,
+            total_served: 0,
+        })
+    }
+
+    /// Whether the configuration satisfies the `m < n/(3de)` stability
+    /// condition of the original analysis.
+    pub fn within_stability_region(&self) -> bool {
+        (self.batch as f64)
+            < self.bins as f64 / (3.0 * self.copies as f64 * std::f64::consts::E)
+    }
+
+    /// Number of balls currently in the system.
+    pub fn balls_in_system(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Ball-conservation invariant.
+    pub fn conserves_balls(&self) -> bool {
+        self.total_generated == self.total_served + self.alive.len() as u64
+    }
+
+    /// The arrival batch size `m`.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+}
+
+impl AllocationProcess for AdlerProcess {
+    fn bins(&self) -> usize {
+        self.bins
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn pool_size(&self) -> usize {
+        0 // every ball is queued (as d copies) on arrival
+    }
+
+    fn step(&mut self, rng: &mut SimRng) -> RoundReport {
+        self.round += 1;
+        let round = self.round;
+
+        // Arrivals: every ball enqueues d copies in d random bins
+        // (distinct bins in the original; sampling with replacement and
+        // deduplicating per ball keeps the distribution near-identical for
+        // d ≪ n and is what the follow-up analyses assume).
+        for _ in 0..self.batch {
+            let ball = self.next_ball;
+            self.next_ball += 1;
+            self.alive.insert(ball, round);
+            self.total_generated += 1;
+            let mut first = usize::MAX;
+            for _ in 0..self.copies {
+                let bin = rng.uniform_bin(self.bins);
+                if bin == first {
+                    continue; // collapsed duplicate choice
+                }
+                if first == usize::MAX {
+                    first = bin;
+                }
+                self.queues[bin].push_back(Copy { ball, label: round });
+            }
+        }
+
+        // Service: every non-empty bin pops copies until it finds one
+        // whose ball is still alive, and serves it. (Copies of previously
+        // served balls are removed lazily here rather than eagerly at
+        // service time — observationally identical and O(1) amortized.)
+        let mut waiting_times = Vec::new();
+        let mut failed_deletions = 0u64;
+        for q in &mut self.queues {
+            let mut served = false;
+            while let Some(copy) = q.front().copied() {
+                if let Some(&label) = self.alive.get(&copy.ball) {
+                    // Serve this ball: remove from alive; its remaining
+                    // copies become stale and are skipped lazily.
+                    self.alive.remove(&copy.ball);
+                    q.pop_front();
+                    waiting_times.push(round - label);
+                    self.total_served += 1;
+                    served = true;
+                    break;
+                }
+                q.pop_front(); // stale copy of an already-served ball
+            }
+            if !served {
+                failed_deletions += 1;
+            }
+        }
+
+        // System statistics (count balls, not copies).
+        let buffered = self.alive.len() as u64;
+        let max_load = self
+            .queues
+            .iter()
+            .map(|q| {
+                q.iter()
+                    .filter(|c| self.alive.contains_key(&c.ball))
+                    .count() as u64
+            })
+            .max()
+            .unwrap_or(0);
+
+        RoundReport {
+            round,
+            generated: self.batch,
+            thrown: self.batch,
+            accepted: self.batch,
+            deleted: waiting_times.len() as u64,
+            failed_deletions,
+            pool_size: 0,
+            buffered,
+            max_load,
+            waiting_times,
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "adler(n={}, d={}, m={})",
+            self.bins, self.copies, self.batch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(AdlerProcess::new(0, 2, 1).is_err());
+        assert!(AdlerProcess::new(10, 0, 1).is_err());
+        assert!(AdlerProcess::new(10, 2, 1).is_ok());
+    }
+
+    #[test]
+    fn stability_region_check() {
+        // n/(3de) with n=1024, d=2: 1024/16.31 ≈ 62.8.
+        let stable = AdlerProcess::new(1024, 2, 62).unwrap();
+        assert!(stable.within_stability_region());
+        let unstable = AdlerProcess::new(1024, 2, 63).unwrap();
+        assert!(!unstable.within_stability_region());
+    }
+
+    #[test]
+    fn conserves_balls_over_many_rounds() {
+        let mut p = AdlerProcess::new(256, 2, 8).unwrap();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..300 {
+            let r = p.step(&mut rng);
+            assert!(p.conserves_balls());
+            assert!(r.deleted <= 256);
+        }
+    }
+
+    #[test]
+    fn stable_configuration_has_bounded_backlog() {
+        let n = 1024;
+        let mut p = AdlerProcess::new(n, 2, 32).unwrap(); // well within region
+        assert!(p.within_stability_region());
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..500 {
+            p.step(&mut rng);
+        }
+        // Expected constant waiting time => backlog stays O(m).
+        assert!(
+            p.balls_in_system() < 5 * 32,
+            "backlog {} too large",
+            p.balls_in_system()
+        );
+    }
+
+    #[test]
+    fn waiting_times_are_small_in_stability_region() {
+        let mut p = AdlerProcess::new(1024, 2, 32).unwrap();
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..200 {
+            p.step(&mut rng);
+        }
+        let mut max_wait = 0;
+        for _ in 0..300 {
+            let r = p.step(&mut rng);
+            max_wait = max_wait.max(r.max_waiting_time().unwrap_or(0));
+        }
+        // log log n / log d + O(1) ≈ 3.3 + O(1) for n = 1024, d = 2.
+        assert!(max_wait <= 10, "max wait {max_wait}");
+    }
+
+    #[test]
+    fn served_ball_copies_are_skipped() {
+        // d = 2 copies of one ball into bins 0 and 1 would double-serve
+        // the ball if stale copies were not skipped.
+        let mut p = AdlerProcess::new(4, 2, 1).unwrap();
+        let mut rng = SimRng::seed_from(4);
+        let mut total_served = 0u64;
+        for _ in 0..50 {
+            let r = p.step(&mut rng);
+            total_served += r.deleted;
+        }
+        assert!(total_served <= p.total_generated);
+        assert!(p.conserves_balls());
+    }
+
+    #[test]
+    fn zero_batch_is_idle() {
+        let mut p = AdlerProcess::new(8, 2, 0).unwrap();
+        let mut rng = SimRng::seed_from(5);
+        let r = p.step(&mut rng);
+        assert_eq!(r.deleted, 0);
+        assert_eq!(r.failed_deletions, 8);
+        assert_eq!(p.balls_in_system(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Baseline balls-into-bins processes the paper compares against.
+//!
+//! Three families of baselines appear in the paper's related-work and
+//! comparison discussion; all are implemented here from their original
+//! descriptions so the benchmark harness can reproduce the comparison
+//! claims of Sections I-B and V:
+//!
+//! - [`greedy_batch`] — the **batched parallel GREEDY\[d\]** process with
+//!   "leaky bins" of Berenbrink, Friedetzky, Kling, Mallmann-Trenn, Nagel,
+//!   Wastell (PODC 2016 / Algorithmica 2018): `λn` balls per round, each
+//!   committing to the least-loaded of `d` sampled bins *as measured at the
+//!   beginning of the round*, unbounded queues, one deletion per non-empty
+//!   bin per round. For constant λ its waiting time is Θ(log n) (d = 1 and
+//!   d = 2) — the quantity CAPPED improves to `log log n + O(1)`.
+//! - [`threshold`] — the **static parallel THRESHOLD\[T\]** protocol of
+//!   Adler, Chakrabarti, Mitzenmacher, Rasmussen: `m` balls retry
+//!   collision-style, every bin accepting at most `T` balls per round;
+//!   THRESHOLD\[1\] finishes in `ln ln n + O(1)` rounds w.h.p.
+//! - [`sequential`] — the **classical sequential** allocations: GREEDY\[d\]
+//!   of Azar, Broder, Karlin, Upfal (max load `log log n / log d + O(1)`
+//!   for d ≥ 2) and the 1-choice benchmark (`Θ(log n / log log n)` for
+//!   m = n).
+//! - [`adler`] — the **infinite parallel d-copy process** of Adler,
+//!   Berenbrink, Schröder (ESA 1998): constant expected waiting time but
+//!   only under the restrictive arrival bound `m < n/(3de)` — the
+//!   limitation CAPPED removes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adler;
+pub mod greedy_batch;
+pub mod sequential;
+pub mod threshold;
+
+pub use adler::AdlerProcess;
+pub use greedy_batch::GreedyBatchProcess;
+pub use threshold::ThresholdProcess;

@@ -1,0 +1,242 @@
+//! Classical sequential static allocations (Azar et al.; Raab & Steger).
+//!
+//! These are not round-based processes but one-shot allocations of `m`
+//! balls, used as reference points: GREEDY\[d\] achieves max load
+//! `m/n + log log n / log d + O(1)` for `d ≥ 2`, while the 1-choice
+//! allocation suffers `Θ(log n / log log n)` for `m = n` (Raab & Steger) —
+//! the gap known as the *power of two choices*, which the paper's parallel
+//! setting partially forfeits and CAPPED recovers by other means.
+
+use iba_sim::error::ConfigError;
+use iba_sim::rng::SimRng;
+use iba_sim::stats::Histogram;
+
+/// Result of a sequential static allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequentialAllocation {
+    loads: Vec<u32>,
+    balls: u64,
+    choices: u32,
+}
+
+impl SequentialAllocation {
+    /// Final loads of all bins.
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Maximum bin load.
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of empty bins.
+    pub fn empty_bins(&self) -> usize {
+        self.loads.iter().filter(|&&l| l == 0).count()
+    }
+
+    /// Histogram of bin loads.
+    pub fn load_histogram(&self) -> Histogram {
+        self.loads.iter().map(|&l| l as u64).collect()
+    }
+
+    /// Number of balls allocated.
+    pub fn balls(&self) -> u64 {
+        self.balls
+    }
+
+    /// Number of choices per ball.
+    pub fn choices(&self) -> u32 {
+        self.choices
+    }
+}
+
+/// Allocates `m` balls into `n` bins sequentially with Azar et al.'s
+/// GREEDY\[d\]: each ball samples `d` bins independently and uniformly at
+/// random and commits to the least loaded (ties toward the first sample).
+///
+/// `d = 1` is the classical single-choice allocation.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if `n = 0` or `d = 0`.
+///
+/// # Examples
+///
+/// ```
+/// use iba_baselines::sequential::greedy_d;
+/// use iba_sim::SimRng;
+///
+/// # fn main() -> Result<(), iba_sim::error::ConfigError> {
+/// let mut rng = SimRng::seed_from(9);
+/// let alloc = greedy_d(1024, 1024, 2, &mut rng)?;
+/// // Power of two choices: max load log log n / log 2 + O(1) — tiny.
+/// assert!(alloc.max_load() <= 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn greedy_d(
+    balls: u64,
+    bins: usize,
+    choices: u32,
+    rng: &mut SimRng,
+) -> Result<SequentialAllocation, ConfigError> {
+    if bins == 0 {
+        return Err(ConfigError::ZeroBins);
+    }
+    if choices == 0 {
+        return Err(ConfigError::OutOfDomain {
+            name: "choices",
+            domain: "d >= 1",
+        });
+    }
+    let mut loads = vec![0u32; bins];
+    for _ in 0..balls {
+        let mut best = rng.uniform_bin(bins);
+        for _ in 1..choices {
+            let candidate = rng.uniform_bin(bins);
+            if loads[candidate] < loads[best] {
+                best = candidate;
+            }
+        }
+        loads[best] += 1;
+    }
+    Ok(SequentialAllocation {
+        loads,
+        balls,
+        choices,
+    })
+}
+
+/// The classical one-choice allocation (`greedy_d` with `d = 1`).
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if `n = 0`.
+pub fn one_choice(
+    balls: u64,
+    bins: usize,
+    rng: &mut SimRng,
+) -> Result<SequentialAllocation, ConfigError> {
+    greedy_d(balls, bins, 1, rng)
+}
+
+/// The Raab–Steger prediction for the one-choice maximum load with
+/// `m = n` balls: `(1 − o(1))·ln n / ln ln n`. Returned as the leading
+/// term, for shape checks against [`one_choice`].
+pub fn raab_steger_max_load(n: usize) -> f64 {
+    let ln_n = (n as f64).ln();
+    ln_n / ln_n.ln()
+}
+
+/// The Azar et al. prediction for the sequential GREEDY\[d\] maximum load
+/// with `m = n` balls and `d ≥ 2`: `ln ln n / ln d` (leading term).
+///
+/// # Panics
+///
+/// Panics if `d < 2` (the formula does not apply to the 1-choice case).
+pub fn azar_max_load(n: usize, d: u32) -> f64 {
+    assert!(d >= 2, "the Azar bound applies to d >= 2");
+    (n as f64).ln().ln() / (d as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let mut rng = SimRng::seed_from(0);
+        assert!(greedy_d(10, 0, 1, &mut rng).is_err());
+        assert!(greedy_d(10, 10, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn conservation() {
+        let mut rng = SimRng::seed_from(1);
+        let alloc = greedy_d(5_000, 64, 2, &mut rng).unwrap();
+        let total: u64 = alloc.loads().iter().map(|&l| l as u64).sum();
+        assert_eq!(total, 5_000);
+        assert_eq!(alloc.balls(), 5_000);
+        assert_eq!(alloc.choices(), 2);
+    }
+
+    #[test]
+    fn zero_balls() {
+        let mut rng = SimRng::seed_from(2);
+        let alloc = one_choice(0, 16, &mut rng).unwrap();
+        assert_eq!(alloc.max_load(), 0);
+        assert_eq!(alloc.empty_bins(), 16);
+    }
+
+    #[test]
+    fn two_choices_beat_one_choice() {
+        let n = 1 << 12;
+        let mut rng = SimRng::seed_from(3);
+        let one = one_choice(n as u64, n, &mut rng).unwrap();
+        let two = greedy_d(n as u64, n, 2, &mut rng).unwrap();
+        assert!(
+            two.max_load() < one.max_load(),
+            "d=2 max {} should undercut d=1 max {}",
+            two.max_load(),
+            one.max_load()
+        );
+    }
+
+    #[test]
+    fn one_choice_matches_raab_steger_shape() {
+        // m = n = 2^14: prediction ln n / ln ln n ≈ 4.3; actual max load is
+        // (1 ± o(1)) times that. Accept a generous band.
+        let n = 1 << 14;
+        let mut rng = SimRng::seed_from(4);
+        let alloc = one_choice(n as u64, n, &mut rng).unwrap();
+        let predicted = raab_steger_max_load(n);
+        let actual = alloc.max_load() as f64;
+        assert!(
+            actual > 0.7 * predicted && actual < 3.0 * predicted,
+            "actual {actual} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn greedy_two_matches_azar_shape() {
+        let n = 1 << 14;
+        let mut rng = SimRng::seed_from(5);
+        let alloc = greedy_d(n as u64, n, 2, &mut rng).unwrap();
+        let predicted = azar_max_load(n, 2); // ≈ 3.2
+        let actual = alloc.max_load() as f64;
+        assert!(
+            actual <= predicted + 3.0,
+            "actual {actual} vs predicted {predicted} + O(1)"
+        );
+        assert!(actual >= 2.0, "max load implausibly small: {actual}");
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2")]
+    fn azar_bound_rejects_d1() {
+        azar_max_load(100, 1);
+    }
+
+    #[test]
+    fn empty_bins_fraction_matches_poisson() {
+        // m = n: fraction of empty bins → 1/e.
+        let n = 1 << 14;
+        let mut rng = SimRng::seed_from(6);
+        let alloc = one_choice(n as u64, n, &mut rng).unwrap();
+        let frac = alloc.empty_bins() as f64 / n as f64;
+        assert!(
+            (frac - (-1.0f64).exp()).abs() < 0.02,
+            "empty fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn histogram_is_consistent() {
+        let mut rng = SimRng::seed_from(7);
+        let alloc = greedy_d(100, 32, 2, &mut rng).unwrap();
+        let h = alloc.load_histogram();
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.max().unwrap() as u32, alloc.max_load());
+    }
+}

@@ -1,0 +1,257 @@
+//! The static parallel THRESHOLD\[T\] protocol (Adler, Chakrabarti,
+//! Mitzenmacher, Rasmussen).
+//!
+//! A collision-style protocol for allocating a *fixed* set of `m` balls:
+//! in every round, each still-unallocated ball picks one bin independently
+//! and uniformly at random, and every bin accepts at most `T` of its
+//! requests this round (the rest are rejected and retry). The protocol
+//! terminates when every ball is allocated.
+//!
+//! Adler et al. prove that THRESHOLD\[1\] with `m = n` terminates after at
+//! most `ln ln n + O(1)` rounds w.h.p., which also bounds the maximum load
+//! by `ln ln n + O(1)` (a bin gains at most `T` balls per round). The paper
+//! under reproduction cites this as the closest static relative of
+//! CAPPED's buffer-acceptance rule.
+
+use iba_sim::error::ConfigError;
+use iba_sim::process::{AllocationProcess, RoundReport};
+use iba_sim::rng::SimRng;
+use iba_sim::stats::Histogram;
+
+/// The THRESHOLD\[T\] static parallel allocation protocol.
+///
+/// Unlike the infinite processes, this one *terminates*:
+/// [`is_finished`](AllocationProcess::is_finished) becomes `true` once all
+/// balls are allocated, and [`iba_sim::Simulation::run_to_completion`]
+/// drives it to that point.
+///
+/// # Examples
+///
+/// ```
+/// use iba_baselines::ThresholdProcess;
+/// use iba_sim::{Simulation, SimRng};
+///
+/// # fn main() -> Result<(), iba_sim::error::ConfigError> {
+/// let p = ThresholdProcess::new(1024, 1024, 1)?; // m = n, T = 1
+/// let mut sim = Simulation::new(p, SimRng::seed_from(2));
+/// let rounds = sim.run_to_completion(100).expect("terminates quickly");
+/// // THRESHOLD[1] finishes in ln ln n + O(1) rounds w.h.p. — far below
+/// // the 100-round budget.
+/// assert!(rounds < 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThresholdProcess {
+    bins: usize,
+    threshold: u32,
+    unallocated: u64,
+    loads: Vec<u32>,
+    accepted_this_round: Vec<u32>,
+    round: u64,
+    initial_balls: u64,
+}
+
+impl ThresholdProcess {
+    /// Creates a THRESHOLD\[T\] instance with `m` balls, `n` bins and
+    /// per-round acceptance threshold `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `n = 0` or `T = 0`.
+    pub fn new(balls: u64, bins: usize, threshold: u32) -> Result<Self, ConfigError> {
+        if bins == 0 {
+            return Err(ConfigError::ZeroBins);
+        }
+        if threshold == 0 {
+            return Err(ConfigError::OutOfDomain {
+                name: "threshold",
+                domain: "T >= 1",
+            });
+        }
+        Ok(ThresholdProcess {
+            bins,
+            threshold,
+            unallocated: balls,
+            loads: vec![0; bins],
+            accepted_this_round: vec![0; bins],
+            round: 0,
+            initial_balls: balls,
+        })
+    }
+
+    /// The acceptance threshold `T`.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Number of balls still unallocated.
+    pub fn unallocated(&self) -> u64 {
+        self.unallocated
+    }
+
+    /// Final (or current) loads of all bins.
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Maximum bin load so far.
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Histogram of current bin loads.
+    pub fn load_histogram(&self) -> Histogram {
+        self.loads.iter().map(|&l| l as u64).collect()
+    }
+
+    /// Ball-conservation invariant: allocated + unallocated = m.
+    pub fn conserves_balls(&self) -> bool {
+        let allocated: u64 = self.loads.iter().map(|&l| l as u64).sum();
+        allocated + self.unallocated == self.initial_balls
+    }
+}
+
+impl AllocationProcess for ThresholdProcess {
+    fn bins(&self) -> usize {
+        self.bins
+    }
+
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn pool_size(&self) -> usize {
+        self.unallocated as usize
+    }
+
+    fn step(&mut self, rng: &mut SimRng) -> RoundReport {
+        self.round += 1;
+        let thrown = self.unallocated;
+        self.accepted_this_round.fill(0);
+        let mut accepted = 0u64;
+        let mut still_unallocated = 0u64;
+        for _ in 0..thrown {
+            let bin = rng.uniform_bin(self.bins);
+            if self.accepted_this_round[bin] < self.threshold {
+                self.accepted_this_round[bin] += 1;
+                self.loads[bin] += 1;
+                accepted += 1;
+            } else {
+                still_unallocated += 1;
+            }
+        }
+        self.unallocated = still_unallocated;
+        let max_load = self.max_load() as u64;
+        RoundReport {
+            round: self.round,
+            generated: 0,
+            thrown,
+            accepted,
+            deleted: 0,
+            failed_deletions: 0,
+            pool_size: self.unallocated,
+            buffered: self.initial_balls - self.unallocated,
+            max_load,
+            waiting_times: Vec::new(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "threshold(m={}, n={}, T={})",
+            self.initial_balls, self.bins, self.threshold
+        )
+    }
+
+    fn is_finished(&self) -> bool {
+        self.unallocated == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_sim::Simulation;
+
+    #[test]
+    fn construction_validates() {
+        assert!(ThresholdProcess::new(10, 0, 1).is_err());
+        assert!(ThresholdProcess::new(10, 10, 0).is_err());
+        assert!(ThresholdProcess::new(10, 10, 1).is_ok());
+    }
+
+    #[test]
+    fn terminates_and_conserves() {
+        let p = ThresholdProcess::new(512, 512, 1).unwrap();
+        let mut sim = Simulation::new(p, SimRng::seed_from(1));
+        let rounds = sim.run_to_completion(200).expect("must terminate");
+        assert!(rounds > 0);
+        let p = sim.into_process();
+        assert!(p.is_finished());
+        assert!(p.conserves_balls());
+        assert_eq!(p.unallocated(), 0);
+        let total: u64 = p.loads().iter().map(|&l| l as u64).sum();
+        assert_eq!(total, 512);
+    }
+
+    #[test]
+    fn max_load_bounded_by_rounds_times_threshold() {
+        let p = ThresholdProcess::new(1024, 1024, 1).unwrap();
+        let mut sim = Simulation::new(p, SimRng::seed_from(2));
+        let rounds = sim.run_to_completion(200).unwrap();
+        let p = sim.into_process();
+        assert!(p.max_load() as u64 <= rounds);
+    }
+
+    #[test]
+    fn threshold_one_finishes_in_loglog_rounds() {
+        // ln ln 4096 ≈ 2.1; the O(1) additive constant makes ~6-10 typical.
+        let p = ThresholdProcess::new(4096, 4096, 1).unwrap();
+        let mut sim = Simulation::new(p, SimRng::seed_from(3));
+        let rounds = sim.run_to_completion(64).expect("terminates");
+        assert!(rounds <= 16, "took {rounds} rounds");
+    }
+
+    #[test]
+    fn higher_threshold_terminates_no_slower() {
+        let mut rounds_by_t = Vec::new();
+        for t in [1u32, 2, 4] {
+            let p = ThresholdProcess::new(2048, 2048, t).unwrap();
+            let mut sim = Simulation::new(p, SimRng::seed_from(4));
+            rounds_by_t.push(sim.run_to_completion(128).unwrap());
+        }
+        assert!(rounds_by_t[1] <= rounds_by_t[0]);
+        assert!(rounds_by_t[2] <= rounds_by_t[1]);
+    }
+
+    #[test]
+    fn per_round_acceptance_respects_threshold() {
+        let mut p = ThresholdProcess::new(1000, 4, 2).unwrap();
+        let mut rng = SimRng::seed_from(5);
+        let before = p.loads().to_vec();
+        p.step(&mut rng);
+        for (i, &after) in p.loads().iter().enumerate() {
+            assert!(after - before[i] <= 2, "bin {i} accepted more than T");
+        }
+    }
+
+    #[test]
+    fn zero_balls_is_immediately_finished() {
+        let p = ThresholdProcess::new(0, 8, 1).unwrap();
+        assert!(p.is_finished());
+        let mut sim = Simulation::new(p, SimRng::seed_from(6));
+        assert_eq!(sim.run_to_completion(10), Some(0));
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let mut p = ThresholdProcess::new(100, 8, 1).unwrap();
+        let mut rng = SimRng::seed_from(7);
+        let r = p.step(&mut rng);
+        assert_eq!(r.thrown, 100);
+        assert_eq!(r.accepted + r.pool_size, 100);
+        assert_eq!(r.buffered, r.accepted);
+        assert!(r.max_load <= 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Comparison bench (`CMP`, `DOM` and the ablations): times a coupled
+//! CAPPED/MODCAPPED round and prints the smoke-scale comparison,
+//! dominance, ablation and stabilization tables.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use iba_bench::ablations::{arrival_ablation, choice_ablation, dominance, stabilization};
+use iba_bench::compare::{compare_growth, compare_head_to_head};
+use iba_bench::scale::Scale;
+use iba_core::config::CappedConfig;
+use iba_core::coupling::CoupledRun;
+use iba_sim::rng::SimRng;
+
+fn bench_coupled_round(c_bench: &mut Criterion) {
+    let mut group = c_bench.benchmark_group("coupled_round");
+    for &c in &[1u32, 3] {
+        group.bench_function(BenchmarkId::from_parameter(format!("c{c}")), |b| {
+            let config = CappedConfig::new(1 << 10, c, 0.75).expect("valid");
+            let mut run = CoupledRun::new(config).expect("valid");
+            let mut rng = SimRng::seed_from(5);
+            for _ in 0..50 {
+                run.step(&mut rng);
+            }
+            b.iter(|| run.step(&mut rng));
+        });
+    }
+    group.finish();
+
+    println!("\n{}", compare_head_to_head(Scale::Smoke).render());
+    let (growth, _) = compare_growth(Scale::Smoke);
+    println!("{}", growth.render());
+    println!("{}", dominance(Scale::Smoke).render());
+    println!("{}", choice_ablation(Scale::Smoke).render());
+    println!("{}", arrival_ablation(Scale::Smoke).render());
+    println!("{}", stabilization(Scale::Smoke).render());
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_coupled_round
+}
+criterion_main!(benches);

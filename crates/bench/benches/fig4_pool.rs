@@ -1,0 +1,44 @@
+//! Figure-4 regeneration bench (`F4L` + `F4R`): times one stationary
+//! pool-size data point and prints the full smoke-scale Figure 4 tables so
+//! `cargo bench` leaves a record of the reproduced series.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use iba_bench::figures::{fig4_left, fig4_right};
+use iba_bench::measure::{measure_capped, MeasureConfig};
+use iba_bench::scale::Scale;
+use iba_core::config::CappedConfig;
+
+fn bench_fig4_data_point(c_bench: &mut Criterion) {
+    let mut group = c_bench.benchmark_group("fig4_data_point");
+    let n = Scale::Smoke.bins();
+    for &c in &[1u32, 3] {
+        let lambda = 0.75;
+        group.bench_function(BenchmarkId::from_parameter(format!("c{c}")), |b| {
+            let config = CappedConfig::new(n, c, lambda).expect("valid");
+            let measure = MeasureConfig::for_lambda(lambda, 100, 1);
+            b.iter(|| measure_capped(&config, &measure));
+        });
+    }
+    group.finish();
+
+    // Regenerate and print the full smoke-scale tables once.
+    println!("\n{}", fig4_left(Scale::Smoke).render());
+    println!("{}", fig4_right(Scale::Smoke).render());
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig4_data_point
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure-5 regeneration bench (`F5L` + `F5R`): times one stationary
+//! waiting-time data point and prints the full smoke-scale Figure 5 tables
+//! plus the sweet-spot summary.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use iba_bench::figures::{fig5_left, fig5_right, sweet_spot};
+use iba_bench::measure::{measure_capped, MeasureConfig};
+use iba_bench::scale::Scale;
+use iba_core::config::CappedConfig;
+
+fn bench_fig5_data_point(c_bench: &mut Criterion) {
+    let mut group = c_bench.benchmark_group("fig5_data_point");
+    let n = Scale::Smoke.bins();
+    // The heavy-λ point dominates Figure 5's cost; bench it explicitly.
+    for &(c, i) in &[(1u32, 2u32), (3, 10)] {
+        let lambda = 1.0 - 2.0f64.powi(-(i as i32));
+        group.bench_function(BenchmarkId::from_parameter(format!("c{c}_i{i}")), |b| {
+            let config = CappedConfig::new(n, c, lambda).expect("valid");
+            let measure = MeasureConfig::for_lambda(lambda, 100, 1);
+            b.iter(|| measure_capped(&config, &measure));
+        });
+    }
+    group.finish();
+
+    println!("\n{}", fig5_left(Scale::Smoke).render());
+    println!("{}", fig5_right(Scale::Smoke).render());
+    println!("{}", sweet_spot(Scale::Smoke).render());
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig5_data_point
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Engine micro-throughput: wall-clock cost of one synchronous round for
+//! every process in the workspace, across bin counts, capacities and
+//! injection rates.
+//!
+//! This is the systems-performance view of the simulator (rounds/second);
+//! the figure-regeneration benches cover the scientific outputs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use iba_baselines::greedy_batch::GreedyBatchProcess;
+use iba_core::config::CappedConfig;
+use iba_core::modcapped::ModCappedProcess;
+use iba_core::process::CappedProcess;
+use iba_sim::process::AllocationProcess;
+use iba_sim::rng::SimRng;
+
+/// Steps a process to its stationary regime so the benched rounds are
+/// representative (a cold system throws far fewer balls per round).
+fn warmed_capped(n: usize, c: u32, lambda: f64) -> CappedProcess {
+    let mut p = CappedProcess::new(CappedConfig::new(n, c, lambda).expect("valid"));
+    p.warm_start();
+    let mut rng = SimRng::seed_from(1);
+    for _ in 0..200 {
+        p.step(&mut rng);
+    }
+    p
+}
+
+fn bench_capped_round(c_bench: &mut Criterion) {
+    let mut group = c_bench.benchmark_group("capped_round");
+    for &n in &[1usize << 10, 1 << 12, 1 << 14] {
+        for &(c, lambda) in &[(1u32, 0.75), (3, 0.75), (1, 1.0 - 1.0 / 1024.0)] {
+            let id = BenchmarkId::new(format!("n{n}_c{c}"), format!("lambda{lambda:.4}"));
+            group.bench_function(id, |b| {
+                let mut p = warmed_capped(n, c, lambda);
+                let mut rng = SimRng::seed_from(2);
+                b.iter(|| p.step(&mut rng));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_modcapped_round(c_bench: &mut Criterion) {
+    let mut group = c_bench.benchmark_group("modcapped_round");
+    for &c in &[1u32, 3] {
+        let n = 1 << 12;
+        group.bench_function(BenchmarkId::from_parameter(format!("n{n}_c{c}")), |b| {
+            let mut p = ModCappedProcess::new(n, c, 0.75).expect("valid");
+            let mut rng = SimRng::seed_from(3);
+            for _ in 0..50 {
+                p.step(&mut rng);
+            }
+            b.iter(|| p.step(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_round(c_bench: &mut Criterion) {
+    let mut group = c_bench.benchmark_group("greedy_batch_round");
+    for &d in &[1u32, 2] {
+        let n = 1 << 12;
+        group.bench_function(BenchmarkId::from_parameter(format!("n{n}_d{d}")), |b| {
+            let mut p = GreedyBatchProcess::new(n, d, 0.75).expect("valid");
+            let mut rng = SimRng::seed_from(4);
+            for _ in 0..200 {
+                p.step(&mut rng);
+            }
+            b.iter(|| p.step(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_capped_round, bench_modcapped_round, bench_greedy_round
+}
+criterion_main!(benches);

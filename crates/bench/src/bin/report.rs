@@ -1,0 +1,103 @@
+//! Generates a complete Markdown results report — every experiment's
+//! table in GitHub-Markdown form, with notes — suitable for pasting into
+//! EXPERIMENTS.md or a paper-reproduction writeup.
+//!
+//! ```text
+//! cargo run -p iba-bench --release --bin report -- [--scale quick] [--out report.md]
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+use std::str::FromStr;
+use std::time::Instant;
+
+use iba_bench::figures::ExperimentOutput;
+use iba_bench::scale::Scale;
+use iba_bench::{ablations, compare, figures};
+
+fn all_experiments(scale: Scale) -> Vec<(&'static str, ExperimentOutput)> {
+    vec![
+        ("F4L — Figure 4 (left)", figures::fig4_left(scale)),
+        ("F4R — Figure 4 (right)", figures::fig4_right(scale)),
+        ("F5L — Figure 5 (left)", figures::fig5_left(scale)),
+        ("F5R — Figure 5 (right)", figures::fig5_right(scale)),
+        ("SWEET — sweet-spot capacity", figures::sweet_spot(scale)),
+        ("CMP — head-to-head", compare::compare_head_to_head(scale)),
+        ("CMP — growth laws", compare::compare_growth(scale).0),
+        ("ADLER — stability region", compare::adler_region(scale)),
+        ("DOM — dominance coupling", ablations::dominance(scale)),
+        ("MSTAR — m* sensitivity", ablations::mstar_sensitivity(scale)),
+        ("LEMMA — survivor phases", ablations::lemma_phases(scale)),
+        ("TAIL — waiting-time tail", ablations::wait_tail(scale)),
+        ("LOAD — load distribution", ablations::load_distribution(scale)),
+        ("ABL-d — choices ablation", ablations::choice_ablation(scale)),
+        ("ABL-arr — arrival models", ablations::arrival_ablation(scale)),
+        ("STAB — self-stabilization", ablations::stabilization(scale)),
+        ("CHAOS — fault injection", ablations::chaos(scale)),
+        ("HETERO — capacity mixtures", ablations::hetero(scale)),
+        ("ASYNC — continuous time", ablations::async_comparison(scale)),
+    ]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut out_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--scale" => match iter.next().map(|v| Scale::from_str(v)) {
+                Some(Ok(s)) => scale = s,
+                _ => {
+                    eprintln!("--scale requires paper|quick|smoke");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}\nusage: report [--scale S] [--out FILE]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let mut doc = String::new();
+    doc.push_str(&format!(
+        "# Reproduction report — scale `{scale}` (n = {}, window = {} rounds, {} seeds)\n\n",
+        scale.bins(),
+        scale.window(),
+        scale.seeds()
+    ));
+    for (title, output) in all_experiments(scale) {
+        doc.push_str(&format!("## {title}\n\n"));
+        doc.push_str(&output.table.to_markdown());
+        doc.push('\n');
+        for note in &output.notes {
+            doc.push_str(&format!("> {note}\n"));
+        }
+        doc.push('\n');
+    }
+    doc.push_str(&format!(
+        "_Generated in {:.1}s by the `report` binary._\n",
+        started.elapsed().as_secs_f64()
+    ));
+
+    match out_path {
+        Some(path) => {
+            if let Err(e) = fs::write(&path, &doc) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path} in {:.1}s", started.elapsed().as_secs_f64());
+        }
+        None => print!("{doc}"),
+    }
+    ExitCode::SUCCESS
+}

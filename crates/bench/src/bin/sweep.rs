@@ -1,0 +1,137 @@
+//! Custom parameter sweep: measure CAPPED(c, λ) for an arbitrary grid of
+//! capacities and rates, printing measured values next to the mean-field
+//! prediction, the Section-V envelope and the Theorem-2 bound.
+//!
+//! ```text
+//! cargo run -p iba-bench --release --bin sweep -- \
+//!     --n 8192 --c 1,2,3,4 --lambda 0.75,0.9375 --window 600 --seeds 3
+//! ```
+
+use std::process::ExitCode;
+
+use iba_analysis::{bounds, fits, meanfield, verify};
+use iba_bench::measure::{measure_capped, MeasureConfig};
+use iba_core::config::CappedConfig;
+use iba_sim::output::Table;
+
+#[derive(Debug)]
+struct Args {
+    n: usize,
+    capacities: Vec<u32>,
+    lambdas: Vec<f64>,
+    window: u64,
+    seeds: usize,
+    master_seed: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        n: 1 << 13,
+        capacities: vec![1, 2, 3],
+        lambdas: vec![0.75],
+        window: 600,
+        seeds: 3,
+        master_seed: 0x5eed,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--n" => out.n = value(&mut iter)?.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--c" => {
+                out.capacities = value(&mut iter)?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("bad --c entry: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--lambda" => {
+                out.lambdas = value(&mut iter)?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("bad --lambda entry: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--window" => {
+                out.window = value(&mut iter)?
+                    .parse()
+                    .map_err(|e| format!("bad --window: {e}"))?;
+            }
+            "--seeds" => {
+                out.seeds = value(&mut iter)?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?;
+            }
+            "--seed" => {
+                out.master_seed = value(&mut iter)?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other}\nusage: sweep [--n N] [--c 1,2,3] [--lambda 0.75,0.9] [--window W] [--seeds S] [--seed SEED]"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut table = Table::new(
+        &format!("sweep over n = {}", args.n),
+        &[
+            "lambda",
+            "c",
+            "pool/n",
+            "mf pool/n",
+            "avg wait",
+            "mf wait",
+            "max wait",
+            "wait envelope",
+            "thm2 bound",
+            "bound ok",
+        ],
+    );
+    for &lambda in &args.lambdas {
+        for &c in &args.capacities {
+            let config = match CappedConfig::new(args.n, c, lambda) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("skipping c={c}, lambda={lambda}: {e}");
+                    continue;
+                }
+            };
+            let measure = MeasureConfig::for_lambda(lambda, args.window, args.seeds)
+                .with_master_seed(args.master_seed ^ u64::from(c));
+            let est = measure_capped(&config, &measure);
+            let mf = meanfield::solve(c, lambda);
+            let check = verify::waiting_check(args.n, c, lambda, est.wait_max.mean());
+            table.row(vec![
+                format!("{lambda:.6}").into(),
+                u64::from(c).into(),
+                est.normalized_pool_mean().into(),
+                mf.pool_per_bin.into(),
+                est.wait_mean.mean().into(),
+                mf.mean_wait.unwrap_or(0.0).into(),
+                est.wait_max.mean().into(),
+                fits::waiting_time_fit(args.n, c, lambda).into(),
+                bounds::theorem2_waiting_bound(args.n, c, lambda).into(),
+                if check.within_bound() { "yes" } else { "NO" }.into(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,120 @@
+//! Per-round trace of a single CAPPED(c, λ) run, streamed as CSV to
+//! stdout — for plotting trajectories (transients, recovery, stationarity)
+//! with external tools.
+//!
+//! ```text
+//! cargo run -p iba-bench --release --bin trace -- \
+//!     --n 4096 --c 2 --lambda 0.75 --rounds 2000 [--seed 1] [--overload 8] [--every 10]
+//! ```
+
+use std::process::ExitCode;
+
+use iba_core::config::CappedConfig;
+use iba_core::process::CappedProcess;
+use iba_sim::process::AllocationProcess;
+use iba_sim::rng::SimRng;
+
+#[derive(Debug)]
+struct Args {
+    n: usize,
+    c: u32,
+    lambda: f64,
+    rounds: u64,
+    seed: u64,
+    /// Inject `overload · n` balls before round 1 (0 = none).
+    overload: u64,
+    /// Emit every k-th round.
+    every: u64,
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        n: 1 << 12,
+        c: 2,
+        lambda: 0.75,
+        rounds: 2_000,
+        seed: 1,
+        overload: 0,
+        every: 1,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let v = iter
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag.as_str() {
+            "--n" => out.n = v.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--c" => out.c = v.parse().map_err(|e| format!("bad --c: {e}"))?,
+            "--lambda" => out.lambda = v.parse().map_err(|e| format!("bad --lambda: {e}"))?,
+            "--rounds" => out.rounds = v.parse().map_err(|e| format!("bad --rounds: {e}"))?,
+            "--seed" => out.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--overload" => {
+                out.overload = v.parse().map_err(|e| format!("bad --overload: {e}"))?
+            }
+            "--every" => out.every = v.parse().map_err(|e| format!("bad --every: {e}"))?,
+            other => {
+                return Err(format!(
+                    "unknown flag {other}\nusage: trace [--n N] [--c C] [--lambda L] [--rounds R] [--seed S] [--overload K] [--every E]"
+                ))
+            }
+        }
+    }
+    if out.every == 0 {
+        return Err("--every must be at least 1".into());
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&raw) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match CappedConfig::new(args.n, args.c, args.lambda) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut process = CappedProcess::new(config);
+    if args.overload > 0 {
+        process.inject_pool(args.overload * args.n as u64);
+    }
+    let mut rng = SimRng::seed_from(args.seed);
+
+    println!("round,pool,pool_per_bin,accepted,deleted,failed_deletions,buffered,max_load,mean_wait,max_wait");
+    for _ in 0..args.rounds {
+        let r = process.step(&mut rng);
+        if !r.round.is_multiple_of(args.every) {
+            continue;
+        }
+        let (mean_wait, max_wait) = if r.waiting_times.is_empty() {
+            (0.0, 0)
+        } else {
+            let sum: u64 = r.waiting_times.iter().sum();
+            (
+                sum as f64 / r.waiting_times.len() as f64,
+                *r.waiting_times.iter().max().expect("non-empty"),
+            )
+        };
+        println!(
+            "{},{},{},{},{},{},{},{},{:.4},{}",
+            r.round,
+            r.pool_size,
+            r.pool_size as f64 / args.n as f64,
+            r.accepted,
+            r.deleted,
+            r.failed_deletions,
+            r.buffered,
+            r.max_load,
+            mean_wait,
+            max_wait
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,141 @@
+//! A minimal command-line parser for the figure harness.
+//!
+//! Hand-rolled because `clap` is not in the approved dependency set; the
+//! surface is tiny: one subcommand plus `--scale <preset>`, `--out <dir>`
+//! and `--seed <u64>` flags.
+
+use std::str::FromStr;
+
+use crate::scale::Scale;
+
+/// Parsed command line for the `figures` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The experiment subcommand (e.g. `fig4-left`, `all`).
+    pub command: String,
+    /// Scale preset (default: quick).
+    pub scale: Scale,
+    /// Optional directory to also write CSV files into.
+    pub out_dir: Option<String>,
+    /// Optional master-seed override.
+    pub seed: Option<u64>,
+}
+
+/// All subcommands the `figures` binary understands.
+pub const COMMANDS: &[&str] = &[
+    "fig4-left",
+    "fig4-right",
+    "fig5-left",
+    "fig5-right",
+    "sweet-spot",
+    "compare",
+    "compare-growth",
+    "dominance",
+    "ablation-choices",
+    "ablation-arrivals",
+    "stabilization",
+    "lemma-phases",
+    "chaos",
+    "adler-region",
+    "wait-tail",
+    "load-dist",
+    "hetero",
+    "async",
+    "mstar",
+    "n-invariance",
+    "batch-pileup",
+    "policy",
+    "all",
+];
+
+/// Usage text.
+pub fn usage() -> String {
+    format!(
+        "usage: figures <command> [--scale paper|quick|smoke] [--out <dir>] [--seed <u64>]\n\
+         commands: {}",
+        COMMANDS.join(", ")
+    )
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable error string on unknown commands, unknown
+/// flags, missing flag values or malformed values.
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut iter = args.iter();
+    let command = iter.next().ok_or_else(usage)?.clone();
+    if !COMMANDS.contains(&command.as_str()) {
+        return Err(format!("unknown command '{command}'\n{}", usage()));
+    }
+    let mut cli = Cli {
+        command,
+        scale: Scale::Quick,
+        out_dir: None,
+        seed: None,
+    };
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = iter.next().ok_or("--scale requires a value")?;
+                cli.scale = Scale::from_str(v)?;
+            }
+            "--out" => {
+                let v = iter.next().ok_or("--out requires a value")?;
+                cli.out_dir = Some(v.clone());
+            }
+            "--seed" => {
+                let v = iter.next().ok_or("--seed requires a value")?;
+                cli.seed = Some(v.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?);
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(cli)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_defaults() {
+        let cli = parse(&strings(&["fig4-left"])).unwrap();
+        assert_eq!(cli.command, "fig4-left");
+        assert_eq!(cli.scale, Scale::Quick);
+        assert_eq!(cli.out_dir, None);
+        assert_eq!(cli.seed, None);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let cli = parse(&strings(&[
+            "all", "--scale", "smoke", "--out", "/tmp/x", "--seed", "9",
+        ]))
+        .unwrap();
+        assert_eq!(cli.scale, Scale::Smoke);
+        assert_eq!(cli.out_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(cli.seed, Some(9));
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags() {
+        assert!(parse(&strings(&["fig9"])).is_err());
+        assert!(parse(&strings(&["all", "--wat"])).is_err());
+        assert!(parse(&strings(&["all", "--scale"])).is_err());
+        assert!(parse(&strings(&["all", "--seed", "x"])).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn every_advertised_command_parses() {
+        for cmd in COMMANDS {
+            assert!(parse(&strings(&[cmd])).is_ok(), "{cmd}");
+        }
+    }
+}

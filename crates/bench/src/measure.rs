@@ -1,0 +1,277 @@
+//! The stationary measurement harness.
+//!
+//! Implements the paper's Section-V measurement protocol: start from an
+//! (optionally warm-started) system, burn in until stationarity, then
+//! collect pool-size and waiting-time statistics over a measurement window,
+//! replicated across independent seeds.
+
+use iba_core::config::CappedConfig;
+use iba_core::process::CappedProcess;
+use iba_baselines::greedy_batch::GreedyBatchProcess;
+use iba_sim::burnin::{run_burn_in, BurnIn};
+use iba_sim::engine::{MultiObserver, PoolSeries, RoundStats, Simulation, WaitingTimes};
+use iba_sim::stats::autocorr::effective_sample_size;
+use iba_sim::process::AllocationProcess;
+use iba_sim::runner::{replicate, PointEstimate};
+
+/// How to measure: burn-in policy, window length, replication count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureConfig {
+    /// Burn-in policy (defaults to the adaptive policy scaled to λ).
+    pub burnin: BurnIn,
+    /// Measurement-window length in rounds (the paper uses 1000).
+    pub window: u64,
+    /// Number of independent replications.
+    pub seeds: usize,
+    /// Master seed; per-replication streams are split from it.
+    pub master_seed: u64,
+    /// Whether to warm-start the pool at the predicted stationary size
+    /// (shortens the transient; see DESIGN.md substitutions). Only
+    /// meaningful for CAPPED.
+    pub warm_start: bool,
+}
+
+impl MeasureConfig {
+    /// The default protocol for injection rate `λ`: adaptive burn-in,
+    /// `window` rounds, `seeds` replications, warm start on.
+    pub fn for_lambda(lambda: f64, window: u64, seeds: usize) -> Self {
+        MeasureConfig {
+            burnin: BurnIn::default_adaptive(lambda),
+            window,
+            seeds,
+            master_seed: 0x1ba_5eed,
+            warm_start: true,
+        }
+    }
+
+    /// Returns a copy with a different master seed.
+    pub fn with_master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Returns a copy with warm start disabled (cold start from the empty
+    /// system, exactly the paper's initial condition).
+    pub fn cold(mut self) -> Self {
+        self.warm_start = false;
+        self
+    }
+}
+
+/// Point estimates of the stationary metrics, aggregated over seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationaryEstimate {
+    /// Mean pool size over the window (per-seed means aggregated).
+    pub pool_mean: PointEstimate,
+    /// Maximum pool size over the window (per-seed maxima aggregated).
+    pub pool_max: PointEstimate,
+    /// Mean waiting time of balls deleted in the window.
+    pub wait_mean: PointEstimate,
+    /// Maximum waiting time observed in the window.
+    pub wait_max: PointEstimate,
+    /// Mean number of failed deletion attempts per round.
+    pub failed_deletions_mean: PointEstimate,
+    /// Burn-in rounds actually spent (per-seed values aggregated).
+    pub burnin_rounds: PointEstimate,
+    /// Effective sample size of the window's pool-size series (rounds are
+    /// autocorrelated on the `1/(1−λ)` mixing timescale, so the effective
+    /// number of independent observations is below the window length).
+    pub pool_ess: PointEstimate,
+    /// Average random probes issued per generated ball (the paper's
+    /// Sec. I-B cost metric; 0 when nothing was generated).
+    pub probes_per_ball: PointEstimate,
+    /// Whether every replication's burn-in diagnosed stationarity.
+    pub all_converged: bool,
+    /// Number of bins, for normalization.
+    pub bins: usize,
+}
+
+impl StationaryEstimate {
+    /// Mean pool size divided by `n` — the paper's normalized pool size.
+    pub fn normalized_pool_mean(&self) -> f64 {
+        self.pool_mean.mean() / self.bins as f64
+    }
+}
+
+/// Per-seed raw result (one replication).
+#[derive(Debug, Clone, PartialEq)]
+struct SeedResult {
+    pool_mean: f64,
+    pool_ess: f64,
+    probes_per_ball: f64,
+    pool_max: f64,
+    wait_mean: f64,
+    wait_max: f64,
+    failed_deletions_mean: f64,
+    burnin_rounds: f64,
+    converged: bool,
+}
+
+/// Measures any allocation process built by `factory` (which receives the
+/// replication index and must build an identically configured process).
+///
+/// # Panics
+///
+/// Panics if `config.seeds == 0` or `config.window == 0`.
+pub fn measure_process<P, F>(factory: F, bins: usize, config: &MeasureConfig) -> StationaryEstimate
+where
+    P: AllocationProcess,
+    F: Fn(usize) -> P + Sync,
+{
+    assert!(config.window > 0, "measurement window must be non-empty");
+    let results: Vec<SeedResult> = replicate(config.master_seed, config.seeds, |idx, rng| {
+        let process = factory(idx);
+        let mut sim = Simulation::new(process, rng);
+        let outcome = run_burn_in(&mut sim, &config.burnin);
+        let mut stats = RoundStats::new();
+        let mut waits = WaitingTimes::new();
+        let mut pool_series = PoolSeries::new();
+        let mut multi = MultiObserver::new()
+            .with(&mut stats)
+            .with(&mut waits)
+            .with(&mut pool_series);
+        sim.run_observed(config.window, &mut multi);
+        let ess = effective_sample_size(pool_series.series().values())
+            .unwrap_or(config.window as f64);
+        SeedResult {
+            probes_per_ball: stats.probes_per_ball().unwrap_or(0.0),
+            pool_mean: stats.pool.mean(),
+            pool_ess: ess,
+            pool_max: stats.pool.max().unwrap_or(0.0),
+            wait_mean: waits.mean(),
+            wait_max: waits.max().unwrap_or(0) as f64,
+            failed_deletions_mean: stats.failed_deletions.mean(),
+            burnin_rounds: outcome.rounds as f64,
+            converged: outcome.converged,
+        }
+    });
+
+    let collect = |f: fn(&SeedResult) -> f64| -> PointEstimate {
+        PointEstimate::from_values(&results.iter().map(f).collect::<Vec<_>>())
+    };
+    StationaryEstimate {
+        pool_mean: collect(|r| r.pool_mean),
+        pool_ess: collect(|r| r.pool_ess),
+        probes_per_ball: collect(|r| r.probes_per_ball),
+        pool_max: collect(|r| r.pool_max),
+        wait_mean: collect(|r| r.wait_mean),
+        wait_max: collect(|r| r.wait_max),
+        failed_deletions_mean: collect(|r| r.failed_deletions_mean),
+        burnin_rounds: collect(|r| r.burnin_rounds),
+        all_converged: results.iter().all(|r| r.converged),
+        bins,
+    }
+}
+
+/// Measures a CAPPED(c, λ) configuration under the Section-V protocol.
+pub fn measure_capped(capped: &CappedConfig, config: &MeasureConfig) -> StationaryEstimate {
+    let bins = capped.bins();
+    let warm = config.warm_start;
+    measure_process(
+        |_idx| {
+            let mut p = CappedProcess::new(capped.clone());
+            if warm {
+                p.warm_start();
+            }
+            p
+        },
+        bins,
+        config,
+    )
+}
+
+/// Measures a batched GREEDY\[d\] baseline under the same protocol (no
+/// warm start — its stationary system load has no closed-form prediction).
+pub fn measure_greedy(
+    bins: usize,
+    d: u32,
+    lambda: f64,
+    config: &MeasureConfig,
+) -> StationaryEstimate {
+    measure_process(
+        |_idx| GreedyBatchProcess::new(bins, d, lambda).expect("validated by caller"),
+        bins,
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> MeasureConfig {
+        MeasureConfig {
+            burnin: BurnIn::Fixed { rounds: 300 },
+            window: 200,
+            seeds: 2,
+            master_seed: 42,
+            warm_start: true,
+        }
+    }
+
+    #[test]
+    fn measure_capped_produces_plausible_stationary_values() {
+        let capped = CappedConfig::new(512, 1, 0.75).unwrap();
+        let est = measure_capped(&capped, &small_config());
+        // The mean-field fixed point for c = 1 is ln(1/(1-λ)) − λ ≈ 0.636;
+        // the Section-V curve ln(1/(1-λ)) + 1 ≈ 2.39 is an upper envelope.
+        let norm = est.normalized_pool_mean();
+        assert!(
+            (0.4..1.0).contains(&norm),
+            "normalized pool {norm} far from mean-field 0.636"
+        );
+        assert!(
+            norm < iba_analysis::fits::normalized_pool_fit(1, 0.75),
+            "pool must stay below the Section-V envelope"
+        );
+        // Waiting times: envelope ln4 + loglog 512 + 1 ≈ 5.6. Wide band.
+        let wait = est.wait_mean.mean();
+        assert!((0.2..8.0).contains(&wait), "mean wait {wait}");
+        assert!(est.wait_max.mean() >= est.wait_mean.mean());
+        assert!(est.pool_max.mean() >= est.pool_mean.mean());
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_master_seed() {
+        let capped = CappedConfig::new(128, 2, 0.75).unwrap();
+        let a = measure_capped(&capped, &small_config());
+        let b = measure_capped(&capped, &small_config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_and_cold_starts_agree_in_stationarity() {
+        let capped = CappedConfig::new(256, 1, 0.5).unwrap();
+        let warm = measure_capped(&capped, &small_config());
+        let cold = measure_capped(&capped, &small_config().cold());
+        let rel = (warm.normalized_pool_mean() - cold.normalized_pool_mean()).abs()
+            / warm.normalized_pool_mean().max(1e-9);
+        assert!(rel < 0.2, "warm/cold disagreement {rel}");
+    }
+
+    #[test]
+    fn effective_sample_size_is_positive_and_bounded() {
+        let capped = CappedConfig::new(256, 1, 0.75).unwrap();
+        let est = measure_capped(&capped, &small_config());
+        let ess = est.pool_ess.mean();
+        assert!(ess > 1.0, "ess {ess}");
+        assert!(ess <= 200.0, "ess {ess} exceeds window length");
+    }
+
+    #[test]
+    fn measure_greedy_runs() {
+        let cfg = small_config();
+        let est = measure_greedy(128, 2, 0.5, &cfg);
+        assert_eq!(est.pool_mean.mean(), 0.0); // unbounded queues
+        assert!(est.wait_mean.mean() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_window_panics() {
+        let capped = CappedConfig::new(64, 1, 0.5).unwrap();
+        let mut cfg = small_config();
+        cfg.window = 0;
+        measure_capped(&capped, &cfg);
+    }
+}

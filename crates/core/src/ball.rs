@@ -1,0 +1,106 @@
+//! Balls: the requests flowing through the allocation process.
+
+use std::fmt;
+
+/// A ball (request), identified by its *label*: the round in which it was
+/// generated (Section II of the paper).
+///
+/// The *age* of a ball in round `t` is `t − label`; the *waiting time* of a
+/// ball deleted in round `t` is its age in that round. Balls generated in
+/// the same round are interchangeable ("ties broken arbitrarily"), so the
+/// label is the only state a ball carries.
+///
+/// # Examples
+///
+/// ```
+/// use iba_core::Ball;
+/// let b = Ball::generated_in(10);
+/// assert_eq!(b.label(), 10);
+/// assert_eq!(b.age_at(13), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ball {
+    label: u64,
+}
+
+impl Ball {
+    /// Creates a ball generated in round `label`.
+    pub fn generated_in(label: u64) -> Self {
+        Ball { label }
+    }
+
+    /// The generation round of this ball.
+    pub fn label(&self) -> u64 {
+        self.label
+    }
+
+    /// Age of the ball in round `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `round` precedes the generation round —
+    /// a ball cannot be observed before it exists.
+    pub fn age_at(&self, round: u64) -> u64 {
+        debug_assert!(
+            round >= self.label,
+            "ball labeled {} observed in earlier round {round}",
+            self.label
+        );
+        round.saturating_sub(self.label)
+    }
+
+    /// Whether this ball is at least as old as `other` (older balls have
+    /// smaller labels and are preferred by the acceptance rule).
+    pub fn at_least_as_old_as(&self, other: &Ball) -> bool {
+        self.label <= other.label
+    }
+}
+
+impl fmt::Display for Ball {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ball@{}", self.label)
+    }
+}
+
+impl From<u64> for Ball {
+    fn from(label: u64) -> Self {
+        Ball::generated_in(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_and_age() {
+        let b = Ball::generated_in(5);
+        assert_eq!(b.label(), 5);
+        assert_eq!(b.age_at(5), 0);
+        assert_eq!(b.age_at(9), 4);
+    }
+
+    #[test]
+    fn ordering_is_by_label() {
+        let old = Ball::generated_in(1);
+        let young = Ball::generated_in(2);
+        assert!(old < young);
+        assert!(old.at_least_as_old_as(&young));
+        assert!(old.at_least_as_old_as(&old));
+        assert!(!young.at_least_as_old_as(&old));
+    }
+
+    #[test]
+    fn conversion_and_display() {
+        let b: Ball = 7u64.into();
+        assert_eq!(b.label(), 7);
+        assert_eq!(b.to_string(), "ball@7");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "earlier round")]
+    fn age_before_generation_panics_in_debug() {
+        Ball::generated_in(10).age_at(9);
+    }
+}

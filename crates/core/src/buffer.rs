@@ -1,0 +1,170 @@
+//! Bounded FIFO bin buffers.
+
+use std::collections::VecDeque;
+
+use crate::ball::Ball;
+use crate::config::Capacity;
+
+/// A bin's buffer: a FIFO queue of balls bounded by the capacity `c`.
+///
+/// The buffer enforces two invariants of the model:
+///
+/// 1. the load never exceeds the capacity (acceptance via
+///    [`try_accept`](Self::try_accept) fails on a full buffer), and
+/// 2. service is strictly FIFO — [`serve`](Self::serve) always removes the
+///    ball that was accepted first (Algorithm 1's end-of-round deletion).
+///
+/// # Examples
+///
+/// ```
+/// use iba_core::{Ball, BinBuffer, Capacity};
+/// let mut buf = BinBuffer::new(Capacity::finite(2)?);
+/// assert!(buf.try_accept(Ball::generated_in(1)));
+/// assert!(buf.try_accept(Ball::generated_in(2)));
+/// assert!(!buf.try_accept(Ball::generated_in(3))); // full
+/// assert_eq!(buf.serve(), Some(Ball::generated_in(1))); // FIFO
+/// # Ok::<(), iba_sim::error::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinBuffer {
+    queue: VecDeque<Ball>,
+    capacity: Capacity,
+}
+
+impl BinBuffer {
+    /// Creates an empty buffer with the given capacity.
+    pub fn new(capacity: Capacity) -> Self {
+        let reserve = match capacity {
+            Capacity::Finite(c) => (c.get() as usize).min(64),
+            Capacity::Infinite => 4,
+        };
+        BinBuffer {
+            queue: VecDeque::with_capacity(reserve),
+            capacity,
+        }
+    }
+
+    /// The buffer's capacity.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// Current load (number of stored balls).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        !self.capacity.has_room(self.queue.len())
+    }
+
+    /// Accepts `ball` if there is room, returning whether it was accepted.
+    pub fn try_accept(&mut self, ball: Ball) -> bool {
+        if self.capacity.has_room(self.queue.len()) {
+            self.queue.push_back(ball);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Serves (deletes) the first-accepted ball, if any — Algorithm 1's
+    /// FIFO deletion.
+    pub fn serve(&mut self) -> Option<Ball> {
+        self.queue.pop_front()
+    }
+
+    /// The ball that would be served next, if any.
+    pub fn head(&self) -> Option<&Ball> {
+        self.queue.front()
+    }
+
+    /// Iterates over stored balls in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &Ball> {
+        self.queue.iter()
+    }
+
+    /// Removes every ball (used by chaos/recovery experiments).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite(c: u32) -> BinBuffer {
+        BinBuffer::new(Capacity::finite(c).unwrap())
+    }
+
+    #[test]
+    fn accepts_up_to_capacity() {
+        let mut buf = finite(3);
+        assert!(!buf.is_full());
+        for label in 0..3 {
+            assert!(buf.try_accept(Ball::generated_in(label)));
+        }
+        assert!(buf.is_full());
+        assert!(!buf.try_accept(Ball::generated_in(9)));
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn serve_is_fifo() {
+        let mut buf = finite(3);
+        buf.try_accept(Ball::generated_in(5));
+        buf.try_accept(Ball::generated_in(1));
+        buf.try_accept(Ball::generated_in(3));
+        // FIFO by acceptance order, not by label.
+        assert_eq!(buf.serve(), Some(Ball::generated_in(5)));
+        assert_eq!(buf.serve(), Some(Ball::generated_in(1)));
+        assert_eq!(buf.serve(), Some(Ball::generated_in(3)));
+        assert_eq!(buf.serve(), None);
+    }
+
+    #[test]
+    fn serve_frees_room() {
+        let mut buf = finite(1);
+        assert!(buf.try_accept(Ball::generated_in(1)));
+        assert!(!buf.try_accept(Ball::generated_in(2)));
+        assert_eq!(buf.serve(), Some(Ball::generated_in(1)));
+        assert!(buf.try_accept(Ball::generated_in(2)));
+    }
+
+    #[test]
+    fn head_peeks_without_removing() {
+        let mut buf = finite(2);
+        assert_eq!(buf.head(), None);
+        buf.try_accept(Ball::generated_in(4));
+        assert_eq!(buf.head(), Some(&Ball::generated_in(4)));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn infinite_capacity_never_fills() {
+        let mut buf = BinBuffer::new(Capacity::Infinite);
+        for label in 0..10_000 {
+            assert!(buf.try_accept(Ball::generated_in(label)));
+        }
+        assert!(!buf.is_full());
+        assert_eq!(buf.len(), 10_000);
+    }
+
+    #[test]
+    fn iter_and_clear() {
+        let mut buf = finite(3);
+        buf.try_accept(Ball::generated_in(1));
+        buf.try_accept(Ball::generated_in(2));
+        let labels: Vec<u64> = buf.iter().map(Ball::label).collect();
+        assert_eq!(labels, vec![1, 2]);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,485 @@
+//! Configuration for the CAPPED(c, λ) process.
+
+use std::fmt;
+use std::num::NonZeroU32;
+
+use iba_sim::arrivals::ArrivalModel;
+use iba_sim::error::ConfigError;
+
+/// A bin's buffer capacity: the `c` in CAPPED(c, λ).
+///
+/// The paper requires `c ∈ ℕ` (at least 1); `Capacity::Infinite` models
+/// `c = ∞`, for which CAPPED(∞, λ) coincides with the parallel GREEDY\[1\]
+/// process (Section II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capacity {
+    /// A finite buffer of the given size.
+    Finite(NonZeroU32),
+    /// No capacity limit (CAPPED(∞, λ) ≡ GREEDY\[1\]).
+    Infinite,
+}
+
+impl Capacity {
+    /// Creates a finite capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroCapacity`] if `c == 0`.
+    pub fn finite(c: u32) -> Result<Self, ConfigError> {
+        NonZeroU32::new(c)
+            .map(Capacity::Finite)
+            .ok_or(ConfigError::ZeroCapacity)
+    }
+
+    /// Whether a buffer currently holding `load` balls can accept another.
+    #[inline]
+    pub fn has_room(&self, load: usize) -> bool {
+        match self {
+            Capacity::Finite(c) => load < c.get() as usize,
+            Capacity::Infinite => true,
+        }
+    }
+
+    /// The finite value, if any.
+    pub fn as_finite(&self) -> Option<u32> {
+        match self {
+            Capacity::Finite(c) => Some(c.get()),
+            Capacity::Infinite => None,
+        }
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Capacity::Finite(c) => write!(f, "{c}"),
+            Capacity::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+impl TryFrom<u32> for Capacity {
+    type Error = ConfigError;
+    fn try_from(c: u32) -> Result<Self, Self::Error> {
+        Capacity::finite(c)
+    }
+}
+
+/// Which balls a bin prefers when more request it than it has room for.
+///
+/// The paper's process accepts the **oldest** requests — the ingredient
+/// behind the `log log n + O(1)` waiting-time tail (old balls can never be
+/// starved by younger ones; see Lemmas 3–5). The alternatives exist for
+/// the `POLICY` ablation, which quantifies exactly how much that design
+/// choice buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AcceptancePolicy {
+    /// Accept the oldest requests first (Algorithm 1).
+    #[default]
+    OldestFirst,
+    /// Accept the youngest requests first (adversarial inversion: old
+    /// balls starve, waiting-time tails blow up).
+    YoungestFirst,
+    /// Accept requests in uniformly random priority order (age-blind).
+    Random,
+}
+
+impl fmt::Display for AcceptancePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AcceptancePolicy::OldestFirst => "oldest-first",
+            AcceptancePolicy::YoungestFirst => "youngest-first",
+            AcceptancePolicy::Random => "random",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Full configuration of a CAPPED(c, λ) run.
+///
+/// Construct with [`CappedConfig::new`] (the paper's deterministic-arrival
+/// model) and refine with the builder methods. All constructors validate the
+/// Section-II model constraints.
+///
+/// # Examples
+///
+/// ```
+/// use iba_core::config::{CappedConfig, Capacity};
+///
+/// # fn main() -> Result<(), iba_sim::error::ConfigError> {
+/// let config = CappedConfig::new(1 << 10, 3, 0.75)?
+///     .with_choices(2)?; // d-choice ablation variant
+/// assert_eq!(config.bins(), 1024);
+/// assert_eq!(config.capacity().as_finite(), Some(3));
+/// assert_eq!(config.arrivals().mean(), 768.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CappedConfig {
+    bins: usize,
+    capacity: Capacity,
+    lambda: f64,
+    arrivals: ArrivalModel,
+    choices: u32,
+    /// Optional per-bin capacity override (heterogeneous-server
+    /// extension); when set, `capacity` holds the maximum entry.
+    capacity_profile: Option<Vec<u32>>,
+    policy: AcceptancePolicy,
+}
+
+impl CappedConfig {
+    /// Creates the paper's standard configuration: `n` bins, finite capacity
+    /// `c`, deterministic arrivals of `λn` balls per round, one random
+    /// choice per ball.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `n == 0`, `c == 0`, `λ ∉ [0, 1 − 1/n]`,
+    /// or `λn` is not an integer.
+    pub fn new(bins: usize, capacity: u32, lambda: f64) -> Result<Self, ConfigError> {
+        let arrivals = ArrivalModel::deterministic_rate(bins, lambda)?;
+        Ok(CappedConfig {
+            bins,
+            capacity: Capacity::finite(capacity)?,
+            lambda,
+            arrivals,
+            choices: 1,
+            capacity_profile: None,
+            policy: AcceptancePolicy::OldestFirst,
+        })
+    }
+
+    /// Creates a CAPPED(∞, λ) configuration (equivalent to GREEDY\[1\]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the arrival parameters are invalid.
+    pub fn unbounded(bins: usize, lambda: f64) -> Result<Self, ConfigError> {
+        let arrivals = ArrivalModel::deterministic_rate(bins, lambda)?;
+        Ok(CappedConfig {
+            bins,
+            capacity: Capacity::Infinite,
+            lambda,
+            arrivals,
+            choices: 1,
+            capacity_profile: None,
+            policy: AcceptancePolicy::OldestFirst,
+        })
+    }
+
+    /// Replaces the arrival model (e.g. with the footnote-2 Bernoulli model
+    /// or a Poisson stream) while keeping `λ` for labeling and burn-in
+    /// scaling.
+    pub fn with_arrivals(mut self, arrivals: ArrivalModel) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the number of random bin choices per ball (the `d`-choice
+    /// ablation; the paper's process uses `d = 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfDomain`] if `d == 0`.
+    pub fn with_choices(mut self, d: u32) -> Result<Self, ConfigError> {
+        if d == 0 {
+            return Err(ConfigError::OutOfDomain {
+                name: "choices",
+                domain: "d >= 1",
+            });
+        }
+        self.choices = d;
+        Ok(self)
+    }
+
+    /// Sets the acceptance policy (the `POLICY` ablation; the paper's
+    /// process uses [`AcceptancePolicy::OldestFirst`]).
+    pub fn with_policy(mut self, policy: AcceptancePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The acceptance policy.
+    pub fn policy(&self) -> AcceptancePolicy {
+        self.policy
+    }
+
+    /// Sets a heterogeneous per-bin capacity profile (the non-uniform-bins
+    /// extension): `profile[i]` is bin `i`'s buffer capacity. Overrides
+    /// the uniform capacity; [`capacity`](Self::capacity) then reports the
+    /// profile's maximum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfDomain`] if the profile length differs
+    /// from the number of bins, or [`ConfigError::ZeroCapacity`] if any
+    /// entry is zero.
+    pub fn with_capacity_profile(mut self, profile: Vec<u32>) -> Result<Self, ConfigError> {
+        if profile.len() != self.bins {
+            return Err(ConfigError::OutOfDomain {
+                name: "capacity_profile",
+                domain: "one entry per bin",
+            });
+        }
+        let max = profile.iter().copied().max().ok_or(ConfigError::ZeroBins)?;
+        if profile.contains(&0) {
+            return Err(ConfigError::ZeroCapacity);
+        }
+        self.capacity = Capacity::finite(max)?;
+        self.capacity_profile = Some(profile);
+        Ok(self)
+    }
+
+    /// The per-bin capacity profile, if heterogeneous capacities are
+    /// configured.
+    pub fn capacity_profile(&self) -> Option<&[u32]> {
+        self.capacity_profile.as_deref()
+    }
+
+    /// Capacity of bin `i` (the profile entry, or the uniform capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    pub fn capacity_of(&self, i: usize) -> Capacity {
+        assert!(i < self.bins, "bin index out of range");
+        match &self.capacity_profile {
+            Some(profile) => {
+                Capacity::finite(profile[i]).expect("profile validated at construction")
+            }
+            None => self.capacity,
+        }
+    }
+
+    /// Mean capacity across bins (used by the warm-start predictor).
+    pub fn mean_capacity(&self) -> f64 {
+        match &self.capacity_profile {
+            Some(profile) => {
+                profile.iter().map(|&c| f64::from(c)).sum::<f64>() / profile.len() as f64
+            }
+            None => self
+                .capacity
+                .as_finite()
+                .map(f64::from)
+                .unwrap_or(f64::INFINITY),
+        }
+    }
+
+    /// Number of bins `n`.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Buffer capacity `c`.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// Injection rate `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Arrival model.
+    pub fn arrivals(&self) -> &ArrivalModel {
+        &self.arrivals
+    }
+
+    /// Random choices per ball (1 for the paper's process).
+    pub fn choices(&self) -> u32 {
+        self.choices
+    }
+
+    /// Serializes the configuration into a checkpoint encoder.
+    pub fn encode_into(&self, enc: &mut iba_sim::codec::Encoder) {
+        enc.usize(self.bins);
+        match self.capacity {
+            Capacity::Finite(c) => enc.u32(c.get()),
+            Capacity::Infinite => enc.u32(0),
+        }
+        enc.f64(self.lambda);
+        self.arrivals.encode_into(enc);
+        enc.u32(self.choices);
+        match &self.capacity_profile {
+            Some(profile) => {
+                enc.bool(true);
+                enc.u64_seq(profile.iter().map(|&c| u64::from(c)));
+            }
+            None => enc.bool(false),
+        }
+        enc.u32(match self.policy {
+            AcceptancePolicy::OldestFirst => 0,
+            AcceptancePolicy::YoungestFirst => 1,
+            AcceptancePolicy::Random => 2,
+        });
+    }
+
+    /// Deserializes a configuration from a checkpoint decoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`iba_sim::codec::CodecError`] on truncated or malformed
+    /// input (including profiles that fail validation).
+    pub fn decode_from(
+        dec: &mut iba_sim::codec::Decoder<'_>,
+    ) -> Result<Self, iba_sim::codec::CodecError> {
+        use iba_sim::codec::CodecError;
+        let bins = dec.usize("config bins")?;
+        let raw_capacity = dec.u32("config capacity")?;
+        let capacity = if raw_capacity == 0 {
+            Capacity::Infinite
+        } else {
+            Capacity::finite(raw_capacity).expect("non-zero checked")
+        };
+        let lambda = dec.f64("config lambda")?;
+        let arrivals = ArrivalModel::decode_from(dec)?;
+        let choices = dec.u32("config choices")?;
+        let capacity_profile = if dec.bool("config profile flag")? {
+            let raw = dec.u64_seq("config profile")?;
+            let profile: Vec<u32> = raw.iter().map(|&c| c as u32).collect();
+            if profile.len() != bins || profile.contains(&0) {
+                return Err(CodecError::Invalid {
+                    what: "capacity profile",
+                });
+            }
+            Some(profile)
+        } else {
+            None
+        };
+        let policy = match dec.u32("config policy")? {
+            0 => AcceptancePolicy::OldestFirst,
+            1 => AcceptancePolicy::YoungestFirst,
+            2 => AcceptancePolicy::Random,
+            _ => {
+                return Err(CodecError::Invalid {
+                    what: "acceptance policy",
+                })
+            }
+        };
+        if bins == 0 || choices == 0 || !(0.0..=1.0).contains(&lambda) {
+            return Err(CodecError::Invalid {
+                what: "configuration fields",
+            });
+        }
+        Ok(CappedConfig {
+            bins,
+            capacity,
+            lambda,
+            arrivals,
+            choices,
+            capacity_profile,
+            policy,
+        })
+    }
+
+    /// The pool size the theory predicts for the stationary regime,
+    /// `n·ln(1/(1−λ))/c + n` for finite `c` (the Section-V empirical fit).
+    /// Used by [`CappedProcess::warm_start`](crate::process::CappedProcess::warm_start)
+    /// to skip most of the transient.
+    pub fn predicted_stationary_pool(&self) -> usize {
+        let n = self.bins as f64;
+        let c = self.mean_capacity().min(u32::MAX as f64);
+        let log_term = if self.lambda < 1.0 {
+            (1.0 / (1.0 - self.lambda)).ln()
+        } else {
+            0.0
+        };
+        ((n * log_term) / c + n).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_everything() {
+        assert!(CappedConfig::new(0, 1, 0.5).is_err());
+        assert!(CappedConfig::new(10, 0, 0.5).is_err());
+        assert!(CappedConfig::new(10, 1, 0.33).is_err()); // 3.3 balls per round
+        assert!(CappedConfig::new(10, 1, 0.95).is_err()); // > 1 - 1/n
+        assert!(CappedConfig::new(10, 1, 0.5).is_ok());
+    }
+
+    #[test]
+    fn capacity_room_checks() {
+        let c2 = Capacity::finite(2).unwrap();
+        assert!(c2.has_room(0));
+        assert!(c2.has_room(1));
+        assert!(!c2.has_room(2));
+        assert!(Capacity::Infinite.has_room(usize::MAX - 1));
+        assert_eq!(c2.as_finite(), Some(2));
+        assert_eq!(Capacity::Infinite.as_finite(), None);
+    }
+
+    #[test]
+    fn capacity_conversions_and_display() {
+        assert!(Capacity::try_from(0u32).is_err());
+        let c = Capacity::try_from(5u32).unwrap();
+        assert_eq!(c.to_string(), "5");
+        assert_eq!(Capacity::Infinite.to_string(), "∞");
+    }
+
+    #[test]
+    fn unbounded_is_infinite() {
+        let cfg = CappedConfig::unbounded(8, 0.5).unwrap();
+        assert_eq!(cfg.capacity(), Capacity::Infinite);
+    }
+
+    #[test]
+    fn choices_validation() {
+        let cfg = CappedConfig::new(8, 1, 0.5).unwrap();
+        assert!(cfg.clone().with_choices(0).is_err());
+        assert_eq!(cfg.with_choices(2).unwrap().choices(), 2);
+    }
+
+    #[test]
+    fn predicted_pool_matches_fit() {
+        // n = 1024, c = 1, λ = 0.75: n·ln(4) + n ≈ 1024·1.386 + 1024 ≈ 2444.
+        let cfg = CappedConfig::new(1024, 1, 0.75).unwrap();
+        let p = cfg.predicted_stationary_pool();
+        assert!((2400..2500).contains(&p), "{p}");
+        // Larger capacity predicts a smaller pool.
+        let cfg3 = CappedConfig::new(1024, 3, 0.75).unwrap();
+        assert!(cfg3.predicted_stationary_pool() < p);
+    }
+
+    #[test]
+    fn capacity_profile_validation_and_accessors() {
+        let base = CappedConfig::new(4, 2, 0.5).unwrap();
+        // Wrong length rejected.
+        assert!(base.clone().with_capacity_profile(vec![1, 2]).is_err());
+        // Zero entry rejected.
+        assert!(base.clone().with_capacity_profile(vec![1, 0, 2, 3]).is_err());
+        // Valid profile: capacity() is the max, per-bin values preserved.
+        let cfg = base.with_capacity_profile(vec![1, 3, 1, 3]).unwrap();
+        assert_eq!(cfg.capacity().as_finite(), Some(3));
+        assert_eq!(cfg.capacity_of(0).as_finite(), Some(1));
+        assert_eq!(cfg.capacity_of(1).as_finite(), Some(3));
+        assert_eq!(cfg.mean_capacity(), 2.0);
+        assert_eq!(cfg.capacity_profile(), Some(&[1u32, 3, 1, 3][..]));
+    }
+
+    #[test]
+    fn uniform_config_has_no_profile() {
+        let cfg = CappedConfig::new(4, 2, 0.5).unwrap();
+        assert_eq!(cfg.capacity_profile(), None);
+        assert_eq!(cfg.capacity_of(3).as_finite(), Some(2));
+        assert_eq!(cfg.mean_capacity(), 2.0);
+        assert_eq!(
+            CappedConfig::unbounded(4, 0.5).unwrap().mean_capacity(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn with_arrivals_overrides_model() {
+        use iba_sim::arrivals::ArrivalModel;
+        let cfg = CappedConfig::new(100, 1, 0.5)
+            .unwrap()
+            .with_arrivals(ArrivalModel::poisson_rate(100, 0.5).unwrap());
+        assert!(matches!(cfg.arrivals(), ArrivalModel::Poisson { .. }));
+        assert_eq!(cfg.lambda(), 0.5);
+    }
+}

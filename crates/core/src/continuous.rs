@@ -1,0 +1,344 @@
+//! Continuous-time (asynchronous) CAPPED: the retrial-queue analog.
+//!
+//! The paper's model is round-synchronous: arrivals, allocation and
+//! service happen in lockstep. Real request systems are asynchronous. The
+//! natural continuous-time analog replaces each synchronous ingredient by
+//! its memoryless counterpart:
+//!
+//! | synchronous (paper) | continuous (this module) |
+//! |---|---|
+//! | `λn` arrivals per round | Poisson arrival process of rate `λn` |
+//! | one deletion per non-empty bin per round | exponential service, rate 1 per busy server |
+//! | rejected balls retry next round | rejected balls join a retrial *orbit* and retry after Exp(1) |
+//!
+//! This is a network of `n` M/M/1/c queues with uniform random routing
+//! and a shared retrial orbit — the classic *retrial queue* shape. The
+//! `continuous` experiment in `iba-bench` shows the paper's qualitative
+//! conclusions (stationary orbit ≈ pool, sweet-spot capacity) survive the
+//! removal of the synchrony assumption.
+
+use iba_sim::events::{sample_exponential, EventQueue};
+use iba_sim::rng::SimRng;
+use iba_sim::stats::{Histogram, Summary};
+
+/// Configuration of the continuous-time system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuousConfig {
+    /// Number of servers `n`.
+    pub servers: usize,
+    /// Buffer capacity `c` per server (including the job in service).
+    pub capacity: u32,
+    /// Normalized arrival rate λ (arrivals come at rate `λ·n`).
+    pub lambda: f64,
+    /// Service rate per busy server (the paper's analog is 1).
+    pub service_rate: f64,
+    /// Retry rate per orbiting ball (the paper's analog is 1).
+    pub retry_rate: f64,
+}
+
+impl ContinuousConfig {
+    /// The paper-analog configuration: service rate 1, retry rate 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n = 0`, `c = 0`, or `λ` is not in `[0, 1)`.
+    pub fn paper_analog(servers: usize, capacity: u32, lambda: f64) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(capacity > 0, "capacity must be positive");
+        assert!((0.0..1.0).contains(&lambda), "lambda must be in [0, 1)");
+        ContinuousConfig {
+            servers,
+            capacity,
+            lambda,
+            service_rate: 1.0,
+            retry_rate: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// A fresh external arrival.
+    Arrival,
+    /// An orbiting ball retries (carries its original arrival time).
+    Retry { arrived_at: f64 },
+    /// The server finishes its current job.
+    ServiceCompletion { server: usize },
+}
+
+/// Metrics collected over an observation window of the continuous system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousStats {
+    /// Sojourn times (arrival to service completion) of completed jobs.
+    pub sojourns: Summary,
+    /// Histogram of sojourn times rounded down to integers (for quantiles).
+    pub sojourn_histogram: Histogram,
+    /// Time-averaged orbit size (the continuous analog of the pool).
+    pub mean_orbit: f64,
+    /// Time-averaged number of jobs in the whole system.
+    pub mean_in_system: f64,
+    /// Jobs completed in the window.
+    pub completed: u64,
+    /// Observation window length (time units).
+    pub window: f64,
+}
+
+impl ContinuousStats {
+    /// Little's-law cross-check: `mean_in_system / throughput` must equal
+    /// the mean sojourn time. Returns the relative discrepancy.
+    pub fn littles_law_gap(&self) -> f64 {
+        if self.completed == 0 || self.window == 0.0 {
+            return 0.0;
+        }
+        let throughput = self.completed as f64 / self.window;
+        let predicted = self.mean_in_system / throughput;
+        let measured = self.sojourns.mean();
+        (predicted - measured).abs() / measured.max(1e-9)
+    }
+}
+
+/// The continuous-time CAPPED system.
+///
+/// # Examples
+///
+/// ```
+/// use iba_core::continuous::{ContinuousCapped, ContinuousConfig};
+/// use iba_sim::SimRng;
+///
+/// let config = ContinuousConfig::paper_analog(256, 2, 0.75);
+/// let mut system = ContinuousCapped::new(config);
+/// let mut rng = SimRng::seed_from(3);
+/// system.run_for(200.0, &mut rng);          // warm up
+/// let stats = system.observe(500.0, &mut rng);
+/// assert!(stats.completed > 0);
+/// assert!(stats.littles_law_gap() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContinuousCapped {
+    config: ContinuousConfig,
+    /// Per-server queue of arrival times (head is in service).
+    queues: Vec<Vec<f64>>,
+    orbit: u64,
+    events: EventQueue<Event>,
+    time: f64,
+    started: bool,
+}
+
+impl ContinuousCapped {
+    /// Creates the system empty at time 0.
+    pub fn new(config: ContinuousConfig) -> Self {
+        ContinuousCapped {
+            queues: vec![Vec::new(); config.servers],
+            orbit: 0,
+            events: EventQueue::new(),
+            time: 0.0,
+            started: false,
+            config,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current orbit size (retrying balls) — the analog of the pool.
+    pub fn orbit(&self) -> u64 {
+        self.orbit
+    }
+
+    /// Total jobs in the system (queued + in service + orbiting).
+    pub fn in_system(&self) -> u64 {
+        self.orbit + self.queues.iter().map(|q| q.len() as u64).sum::<u64>()
+    }
+
+    fn schedule_next_arrival(&mut self, rng: &mut SimRng) {
+        let rate = self.config.lambda * self.config.servers as f64;
+        if rate > 0.0 {
+            let dt = sample_exponential(rng, rate);
+            self.events.schedule(self.time + dt, Event::Arrival);
+        }
+    }
+
+    /// Routes a job (fresh or retrying) to a uniformly random server.
+    fn route(&mut self, arrived_at: f64, rng: &mut SimRng) {
+        let server = rng.uniform_bin(self.config.servers);
+        let q = &mut self.queues[server];
+        if q.len() < self.config.capacity as usize {
+            q.push(arrived_at);
+            if q.len() == 1 {
+                // Server was idle: start service.
+                let dt = sample_exponential(rng, self.config.service_rate);
+                self.events
+                    .schedule(self.time + dt, Event::ServiceCompletion { server });
+            }
+        } else {
+            // Buffer full: the ball joins the orbit and retries later.
+            self.orbit += 1;
+            let dt = sample_exponential(rng, self.config.retry_rate);
+            self.events
+                .schedule(self.time + dt, Event::Retry { arrived_at });
+        }
+    }
+
+    /// Advances the simulation until `deadline`, discarding metrics.
+    pub fn run_for(&mut self, duration: f64, rng: &mut SimRng) {
+        let deadline = self.time + duration;
+        self.drive(deadline, rng, &mut |_, _| {});
+    }
+
+    /// Advances the simulation for `duration` time units, collecting
+    /// statistics.
+    pub fn observe(&mut self, duration: f64, rng: &mut SimRng) -> ContinuousStats {
+        let start = self.time;
+        let deadline = start + duration;
+        let mut sojourns = Summary::new();
+        let mut sojourn_histogram = Histogram::new();
+        // Time-weighted integrals of orbit and in-system counts.
+        let mut orbit_integral = 0.0;
+        let mut system_integral = 0.0;
+        let mut last_time = start;
+        let mut completed = 0u64;
+
+        // Snapshot counters before each event to integrate step functions.
+        let mut on_event = |sim: &Self, completion: Option<f64>| {
+            let dt = sim.time - last_time;
+            orbit_integral += sim.orbit as f64 * dt;
+            system_integral += sim.in_system() as f64 * dt;
+            last_time = sim.time;
+            if let Some(sojourn) = completion {
+                sojourns.push(sojourn);
+                sojourn_histogram.record(sojourn.floor() as u64);
+                completed += 1;
+            }
+        };
+        self.drive(deadline, rng, &mut on_event);
+
+        ContinuousStats {
+            sojourns,
+            sojourn_histogram,
+            mean_orbit: orbit_integral / duration.max(1e-12),
+            mean_in_system: system_integral / duration.max(1e-12),
+            completed,
+            window: duration,
+        }
+    }
+
+    /// Event loop: processes events up to `deadline`. The callback runs
+    /// *after* each event with the completion sojourn (if the event was a
+    /// completion) — but with the pre-event time delta available via the
+    /// closure's captured `last_time`.
+    fn drive(
+        &mut self,
+        deadline: f64,
+        rng: &mut SimRng,
+        on_event: &mut dyn FnMut(&Self, Option<f64>),
+    ) {
+        if !self.started {
+            self.started = true;
+            self.schedule_next_arrival(rng);
+        }
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, event) = self.events.pop().expect("peeked");
+            self.time = t;
+            let mut completion = None;
+            match event {
+                Event::Arrival => {
+                    self.schedule_next_arrival(rng);
+                    self.route(t, rng);
+                }
+                Event::Retry { arrived_at } => {
+                    self.orbit -= 1;
+                    self.route(arrived_at, rng);
+                }
+                Event::ServiceCompletion { server } => {
+                    let arrived_at = self.queues[server].remove(0);
+                    completion = Some(t - arrived_at);
+                    if !self.queues[server].is_empty() {
+                        let dt = sample_exponential(rng, self.config.service_rate);
+                        self.events
+                            .schedule(t + dt, Event::ServiceCompletion { server });
+                    }
+                }
+            }
+            on_event(self, completion);
+        }
+        self.time = deadline;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stationary_stats(n: usize, c: u32, lambda: f64, seed: u64) -> ContinuousStats {
+        let config = ContinuousConfig::paper_analog(n, c, lambda);
+        let mut sys = ContinuousCapped::new(config);
+        let mut rng = SimRng::seed_from(seed);
+        sys.run_for(500.0, &mut rng);
+        sys.observe(1_000.0, &mut rng)
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn config_rejects_lambda_one() {
+        ContinuousConfig::paper_analog(4, 1, 1.0);
+    }
+
+    #[test]
+    fn empty_system_with_zero_rate_stays_empty() {
+        let config = ContinuousConfig::paper_analog(4, 1, 0.0);
+        let mut sys = ContinuousCapped::new(config);
+        let mut rng = SimRng::seed_from(1);
+        sys.run_for(100.0, &mut rng);
+        assert_eq!(sys.in_system(), 0);
+        assert_eq!(sys.orbit(), 0);
+        assert_eq!(sys.time(), 100.0);
+    }
+
+    #[test]
+    fn system_is_stable_and_serves_throughput() {
+        let stats = stationary_stats(256, 2, 0.75, 2);
+        // Throughput must be ≈ λ·n = 192 per time unit.
+        let throughput = stats.completed as f64 / stats.window;
+        assert!(
+            (throughput - 192.0).abs() < 10.0,
+            "throughput {throughput}"
+        );
+        assert!(stats.mean_in_system > 0.0);
+    }
+
+    #[test]
+    fn littles_law_self_consistency() {
+        let stats = stationary_stats(256, 2, 0.75, 3);
+        let gap = stats.littles_law_gap();
+        assert!(gap < 0.05, "Little's law gap {gap}");
+    }
+
+    #[test]
+    fn orbit_shrinks_with_capacity() {
+        let o1 = stationary_stats(256, 1, 0.75, 4).mean_orbit;
+        let o3 = stationary_stats(256, 3, 0.75, 4).mean_orbit;
+        assert!(
+            o3 < o1 / 2.0,
+            "orbit c=3 ({o3}) should be well below c=1 ({o1})"
+        );
+    }
+
+    #[test]
+    fn sojourns_grow_with_lambda() {
+        let light = stationary_stats(128, 2, 0.25, 5).sojourns.mean();
+        let heavy = stationary_stats(128, 2, 0.9375, 5).sojourns.mean();
+        assert!(heavy > light, "{heavy} vs {light}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = stationary_stats(64, 2, 0.75, 7);
+        let b = stationary_stats(64, 2, 0.75, 7);
+        assert_eq!(a, b);
+    }
+}

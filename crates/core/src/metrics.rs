@@ -1,0 +1,128 @@
+//! Point-in-time system snapshots and derived metrics.
+
+use iba_sim::stats::Histogram;
+
+use crate::process::CappedProcess;
+
+/// A point-in-time snapshot of a CAPPED system's state, as used by the
+/// examples and the self-stabilization experiment to narrate recovery.
+///
+/// # Examples
+///
+/// ```
+/// use iba_core::{CappedConfig, CappedProcess};
+/// use iba_core::metrics::SystemSnapshot;
+/// use iba_sim::{AllocationProcess, SimRng};
+///
+/// # fn main() -> Result<(), iba_sim::error::ConfigError> {
+/// let mut p = CappedProcess::new(CappedConfig::new(64, 2, 0.75)?);
+/// let mut rng = SimRng::seed_from(5);
+/// for _ in 0..50 { p.step(&mut rng); }
+/// let snap = SystemSnapshot::capture(&p);
+/// assert_eq!(snap.round, 50);
+/// assert!(snap.normalized_pool >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSnapshot {
+    /// Round at which the snapshot was taken.
+    pub round: u64,
+    /// Pool size `m(t)`.
+    pub pool_size: usize,
+    /// Pool size divided by `n` (the paper's normalized pool size).
+    pub normalized_pool: f64,
+    /// Total balls in bin buffers.
+    pub buffered: usize,
+    /// Histogram of bin loads.
+    pub load_histogram: Histogram,
+    /// Histogram of pooled-ball ages.
+    pub age_histogram: Histogram,
+    /// Age of the oldest pooled ball, if any.
+    pub oldest_pooled_age: Option<u64>,
+}
+
+impl SystemSnapshot {
+    /// Captures the current state of `process`.
+    pub fn capture(process: &CappedProcess) -> Self {
+        let round = iba_sim::AllocationProcess::round(process);
+        let n = process.config().bins();
+        let pool_size = process.pool().len();
+        let age_histogram = process.pool().age_histogram(round);
+        SystemSnapshot {
+            round,
+            pool_size,
+            normalized_pool: pool_size as f64 / n as f64,
+            buffered: process.buffered(),
+            load_histogram: process.load_histogram(),
+            age_histogram,
+            oldest_pooled_age: process.pool().oldest_label().map(|l| round - l),
+        }
+    }
+
+    /// Total balls in the system (pool + buffers).
+    pub fn system_load(&self) -> usize {
+        self.pool_size + self.buffered
+    }
+
+    /// Fraction of bins that are completely full (load = c). Returns 0 when
+    /// the capacity is infinite or the snapshot has no bins.
+    pub fn full_bin_fraction(&self, capacity: u32) -> f64 {
+        let total = self.load_histogram.count();
+        if total == 0 {
+            return 0.0;
+        }
+        self.load_histogram.count_at(capacity as u64) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CappedConfig;
+    use iba_sim::rng::SimRng;
+
+    fn snapshot_after(rounds: u64) -> (SystemSnapshot, CappedProcess) {
+        let mut p = CappedProcess::new(CappedConfig::new(32, 2, 0.75).unwrap());
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..rounds {
+            iba_sim::AllocationProcess::step(&mut p, &mut rng);
+        }
+        (SystemSnapshot::capture(&p), p)
+    }
+
+    #[test]
+    fn empty_system_snapshot() {
+        let (snap, _) = snapshot_after(0);
+        assert_eq!(snap.round, 0);
+        assert_eq!(snap.pool_size, 0);
+        assert_eq!(snap.normalized_pool, 0.0);
+        assert_eq!(snap.system_load(), 0);
+        assert_eq!(snap.oldest_pooled_age, None);
+    }
+
+    #[test]
+    fn snapshot_is_consistent_with_process() {
+        let (snap, p) = snapshot_after(100);
+        assert_eq!(snap.round, 100);
+        assert_eq!(snap.pool_size, p.pool().len());
+        assert_eq!(snap.buffered, p.buffered());
+        assert_eq!(snap.load_histogram.count(), 32);
+        assert_eq!(snap.age_histogram.count() as usize, snap.pool_size);
+        assert!((snap.normalized_pool - snap.pool_size as f64 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_bin_fraction_bounds() {
+        let (snap, _) = snapshot_after(200);
+        // Snapshots are taken after the deletion stage, where every
+        // non-empty bin has just served a ball — so no bin can be at full
+        // capacity c = 2...
+        let f = snap.full_bin_fraction(2);
+        assert_eq!(f, 0.0);
+        // ...but in a λ = 0.75 stationary system many bins hold c − 1 = 1.
+        let f1 = snap.full_bin_fraction(1);
+        assert!(f1 > 0.0, "expected some bins at load 1, got fraction {f1}");
+        assert!((0.0..=1.0).contains(&f1));
+    }
+}

@@ -1,0 +1,230 @@
+//! The pool of balls awaiting allocation.
+
+use iba_sim::stats::Histogram;
+
+use crate::ball::Ball;
+
+/// The pool `M(t)`: all balls that have been generated but not yet accepted
+/// by any bin.
+///
+/// The pool maintains the invariant that balls are ordered oldest-first
+/// (non-decreasing labels). This invariant is what makes the per-round
+/// allocation loop equivalent to Algorithm 1's "accept the oldest
+/// min{c − ℓ, ν} requests": processing balls in global age order and
+/// accepting greedily yields, at every bin, exactly its oldest requests up
+/// to remaining capacity.
+///
+/// # Examples
+///
+/// ```
+/// use iba_core::Pool;
+/// let mut pool = Pool::new();
+/// pool.push_generation(1, 3); // three balls labeled 1
+/// pool.push_generation(2, 2); // two balls labeled 2
+/// assert_eq!(pool.len(), 5);
+/// assert_eq!(pool.oldest_label(), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Pool {
+    balls: Vec<Ball>,
+}
+
+impl Pool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Pool::default()
+    }
+
+    /// Creates an empty pool with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Pool {
+            balls: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of pooled balls `m(t)`.
+    pub fn len(&self) -> usize {
+        self.balls.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.balls.is_empty()
+    }
+
+    /// Appends `count` balls generated in round `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would violate the oldest-first invariant, i.e. if a
+    /// ball with a larger label is already pooled.
+    pub fn push_generation(&mut self, round: u64, count: u64) {
+        if let Some(last) = self.balls.last() {
+            assert!(
+                last.label() <= round,
+                "pool already contains younger balls (label {}) than round {round}",
+                last.label()
+            );
+        }
+        self.balls
+            .extend(std::iter::repeat_n(Ball::generated_in(round), count as usize));
+    }
+
+    /// Removes and returns all pooled balls (oldest first) for the
+    /// allocation stage. Rejected balls are returned via
+    /// [`restore`](Self::restore).
+    pub fn take(&mut self) -> Vec<Ball> {
+        std::mem::take(&mut self.balls)
+    }
+
+    /// Puts rejected balls back into the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is not empty (restore must follow [`take`])
+    /// or if `rejected` is not sorted oldest-first.
+    ///
+    /// [`take`]: Self::take
+    pub fn restore(&mut self, rejected: Vec<Ball>) {
+        assert!(
+            self.balls.is_empty(),
+            "restore must follow take within the same round"
+        );
+        debug_assert!(
+            rejected.windows(2).all(|w| w[0].label() <= w[1].label()),
+            "rejected balls must be ordered oldest-first"
+        );
+        self.balls = rejected;
+    }
+
+    /// Label of the oldest pooled ball, if any.
+    pub fn oldest_label(&self) -> Option<u64> {
+        self.balls.first().map(Ball::label)
+    }
+
+    /// Label of the youngest pooled ball, if any.
+    pub fn youngest_label(&self) -> Option<u64> {
+        self.balls.last().map(Ball::label)
+    }
+
+    /// Iterates over pooled balls, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Ball> {
+        self.balls.iter()
+    }
+
+    /// Whether the oldest-first invariant holds (always true unless the
+    /// pool was corrupted through a bug; used by property tests).
+    pub fn is_age_sorted(&self) -> bool {
+        self.balls.windows(2).all(|w| w[0].label() <= w[1].label())
+    }
+
+    /// Number of pooled balls generated in round `t` or earlier — the
+    /// survivor count `m(t, t')` from the paper's waiting-time analysis,
+    /// evaluated at the current state.
+    pub fn survivors_from(&self, t: u64) -> usize {
+        // Balls are sorted by label; binary-search the first label > t.
+        self.balls.partition_point(|b| b.label() <= t)
+    }
+
+    /// Histogram of ball ages at round `round`.
+    pub fn age_histogram(&self, round: u64) -> Histogram {
+        self.balls.iter().map(|b| b.age_at(round)).collect()
+    }
+}
+
+impl FromIterator<Ball> for Pool {
+    /// Collects balls into a pool, sorting them oldest-first.
+    fn from_iter<I: IntoIterator<Item = Ball>>(iter: I) -> Self {
+        let mut balls: Vec<Ball> = iter.into_iter().collect();
+        balls.sort();
+        Pool { balls }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_generation_appends_in_order() {
+        let mut pool = Pool::new();
+        pool.push_generation(1, 2);
+        pool.push_generation(3, 1);
+        assert_eq!(pool.len(), 3);
+        assert!(pool.is_age_sorted());
+        assert_eq!(pool.oldest_label(), Some(1));
+        assert_eq!(pool.youngest_label(), Some(3));
+    }
+
+    #[test]
+    fn push_generation_zero_is_noop() {
+        let mut pool = Pool::new();
+        pool.push_generation(1, 0);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "younger balls")]
+    fn push_generation_rejects_out_of_order() {
+        let mut pool = Pool::new();
+        pool.push_generation(5, 1);
+        pool.push_generation(4, 1);
+    }
+
+    #[test]
+    fn take_restore_roundtrip() {
+        let mut pool = Pool::new();
+        pool.push_generation(1, 3);
+        let balls = pool.take();
+        assert!(pool.is_empty());
+        assert_eq!(balls.len(), 3);
+        pool.restore(balls);
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must follow take")]
+    fn restore_into_nonempty_pool_panics() {
+        let mut pool = Pool::new();
+        pool.push_generation(1, 1);
+        pool.restore(vec![Ball::generated_in(0)]);
+    }
+
+    #[test]
+    fn survivors_counts_by_label() {
+        let mut pool = Pool::new();
+        pool.push_generation(1, 2);
+        pool.push_generation(2, 3);
+        pool.push_generation(4, 1);
+        assert_eq!(pool.survivors_from(0), 0);
+        assert_eq!(pool.survivors_from(1), 2);
+        assert_eq!(pool.survivors_from(2), 5);
+        assert_eq!(pool.survivors_from(3), 5);
+        assert_eq!(pool.survivors_from(10), 6);
+    }
+
+    #[test]
+    fn age_histogram_at_round() {
+        let mut pool = Pool::new();
+        pool.push_generation(1, 1);
+        pool.push_generation(3, 2);
+        let h = pool.age_histogram(4);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.count_at(3), 1); // ball labeled 1
+        assert_eq!(h.count_at(1), 2); // balls labeled 3
+    }
+
+    #[test]
+    fn from_iterator_sorts() {
+        let pool: Pool = [3u64, 1, 2].into_iter().map(Ball::generated_in).collect();
+        assert!(pool.is_age_sorted());
+        assert_eq!(pool.oldest_label(), Some(1));
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let pool = Pool::with_capacity(128);
+        assert!(pool.is_empty());
+        assert_eq!(pool.oldest_label(), None);
+    }
+}

@@ -1,0 +1,326 @@
+//! Ball arrival models.
+//!
+//! Section II of the paper fixes the arrival model to a deterministic batch
+//! of `λn` new balls per round (with `λn ∈ ℕ`). Footnote 2 remarks that the
+//! results can be adjusted to a *probabilistic* generation process with `n`
+//! generators and expected injection rate `λ`; related work (Mitzenmacher)
+//! uses Poisson streams of rate `λn`. All three are provided here so the
+//! benchmark harness can run the arrival-model ablation (experiment id
+//! `ABL-arr` in DESIGN.md).
+
+use crate::error::ConfigError;
+use crate::rng::SimRng;
+
+/// How many new balls arrive at the beginning of each round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalModel {
+    /// Exactly `batch` new balls per round — the paper's model
+    /// (`batch = λn`).
+    Deterministic {
+        /// Number of balls generated every round.
+        batch: u64,
+    },
+    /// Each of `generators` independent generators produces a ball with
+    /// probability `p`, so the batch is Binomial(`generators`, `p`) with mean
+    /// `generators · p` — the paper's footnote-2 variant with `generators = n`
+    /// and `p = λ`.
+    Bernoulli {
+        /// Number of independent generators.
+        generators: u64,
+        /// Per-generator, per-round generation probability.
+        p: f64,
+    },
+    /// Poisson(`mean`) arrivals per round — the Mitzenmacher-style stream
+    /// with `mean = λn`.
+    Poisson {
+        /// Expected number of arrivals per round.
+        mean: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Builds the paper's deterministic model from `(n, λ)`, validating the
+    /// Section-II constraints: `0 ≤ λ ≤ 1 − 1/n` and `λn ∈ ℕ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidRate`] if `λ` is outside
+    /// `[0, 1 − 1/n]` and [`ConfigError::NonIntegralArrivals`] if `λn` is not
+    /// an integer (up to floating-point tolerance of 10⁻⁹).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iba_sim::arrivals::ArrivalModel;
+    /// let m = ArrivalModel::deterministic_rate(1024, 0.75)?;
+    /// assert_eq!(m.mean(), 768.0);
+    /// # Ok::<(), iba_sim::error::ConfigError>(())
+    /// ```
+    pub fn deterministic_rate(n: usize, lambda: f64) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::ZeroBins);
+        }
+        if !(0.0..=1.0).contains(&lambda) || lambda > 1.0 - 1.0 / n as f64 + 1e-12 {
+            return Err(ConfigError::InvalidRate {
+                lambda,
+                constraint: "0 <= lambda <= 1 - 1/n",
+            });
+        }
+        let batch_f = lambda * n as f64;
+        let batch = batch_f.round();
+        if (batch_f - batch).abs() > 1e-9 {
+            return Err(ConfigError::NonIntegralArrivals { lambda, bins: n });
+        }
+        Ok(ArrivalModel::Deterministic { batch: batch as u64 })
+    }
+
+    /// Builds the footnote-2 probabilistic model: `n` generators each
+    /// producing a ball with probability `λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidRate`] if `λ ∉ [0, 1]` and
+    /// [`ConfigError::ZeroBins`] if `n = 0`.
+    pub fn bernoulli_rate(n: usize, lambda: f64) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::ZeroBins);
+        }
+        if !(0.0..=1.0).contains(&lambda) {
+            return Err(ConfigError::InvalidRate {
+                lambda,
+                constraint: "0 <= lambda <= 1",
+            });
+        }
+        Ok(ArrivalModel::Bernoulli {
+            generators: n as u64,
+            p: lambda,
+        })
+    }
+
+    /// Builds a Poisson stream with per-round mean `λn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidRate`] if `λ < 0` and
+    /// [`ConfigError::ZeroBins`] if `n = 0`.
+    pub fn poisson_rate(n: usize, lambda: f64) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::ZeroBins);
+        }
+        if lambda < 0.0 {
+            return Err(ConfigError::InvalidRate {
+                lambda,
+                constraint: "lambda >= 0",
+            });
+        }
+        Ok(ArrivalModel::Poisson {
+            mean: lambda * n as f64,
+        })
+    }
+
+    /// Expected number of arrivals per round.
+    pub fn mean(&self) -> f64 {
+        match self {
+            ArrivalModel::Deterministic { batch } => *batch as f64,
+            ArrivalModel::Bernoulli { generators, p } => *generators as f64 * p,
+            ArrivalModel::Poisson { mean } => *mean,
+        }
+    }
+
+    /// Samples the number of arrivals for one round.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        match self {
+            ArrivalModel::Deterministic { batch } => *batch,
+            ArrivalModel::Bernoulli { generators, p } => sample_binomial(rng, *generators, *p),
+            ArrivalModel::Poisson { mean } => sample_poisson(rng, *mean),
+        }
+    }
+
+    /// Serializes the model into a checkpoint encoder.
+    pub fn encode_into(&self, enc: &mut crate::codec::Encoder) {
+        match self {
+            ArrivalModel::Deterministic { batch } => {
+                enc.u32(0);
+                enc.u64(*batch);
+            }
+            ArrivalModel::Bernoulli { generators, p } => {
+                enc.u32(1);
+                enc.u64(*generators);
+                enc.f64(*p);
+            }
+            ArrivalModel::Poisson { mean } => {
+                enc.u32(2);
+                enc.f64(*mean);
+            }
+        }
+    }
+
+    /// Deserializes a model from a checkpoint decoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::codec::CodecError`] on truncated or malformed
+    /// input.
+    pub fn decode_from(
+        dec: &mut crate::codec::Decoder<'_>,
+    ) -> Result<Self, crate::codec::CodecError> {
+        match dec.u32("arrival model tag")? {
+            0 => Ok(ArrivalModel::Deterministic {
+                batch: dec.u64("deterministic batch")?,
+            }),
+            1 => Ok(ArrivalModel::Bernoulli {
+                generators: dec.u64("bernoulli generators")?,
+                p: dec.f64("bernoulli p")?,
+            }),
+            2 => Ok(ArrivalModel::Poisson {
+                mean: dec.f64("poisson mean")?,
+            }),
+            _ => Err(crate::codec::CodecError::Invalid {
+                what: "arrival model tag",
+            }),
+        }
+    }
+}
+
+/// Samples Binomial(n, p) by simulating the `n` generators directly.
+///
+/// O(n) per call — faithful to the footnote-2 model ("n generators") and fast
+/// enough because it is called once per round, while ball placement costs
+/// Θ(pool size) anyway.
+fn sample_binomial(rng: &mut SimRng, n: u64, p: f64) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mut hits = 0;
+    for _ in 0..n {
+        if rng.unit_f64() < p {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// Samples Poisson(mean) via Knuth's product-of-uniforms method, splitting
+/// large means into chunks of at most 500 to avoid `exp(-mean)` underflow
+/// (Poisson is additive, so a sum of independent Poisson chunks is exact).
+fn sample_poisson(rng: &mut SimRng, mean: f64) -> u64 {
+    const CHUNK: f64 = 500.0;
+    let mut remaining = mean;
+    let mut total = 0u64;
+    while remaining > 0.0 {
+        let mu = remaining.min(CHUNK);
+        remaining -= mu;
+        let limit = (-mu).exp();
+        let mut k = 0u64;
+        let mut prod = 1.0;
+        loop {
+            prod *= rng.unit_f64();
+            if prod <= limit {
+                break;
+            }
+            k += 1;
+        }
+        total += k;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_rate_validates_integrality() {
+        assert!(ArrivalModel::deterministic_rate(10, 0.35).is_err());
+        let m = ArrivalModel::deterministic_rate(10, 0.3).unwrap();
+        assert_eq!(m, ArrivalModel::Deterministic { batch: 3 });
+    }
+
+    #[test]
+    fn deterministic_rate_rejects_out_of_range() {
+        assert!(ArrivalModel::deterministic_rate(10, -0.1).is_err());
+        assert!(ArrivalModel::deterministic_rate(10, 0.95).is_err()); // > 1 - 1/10
+        assert!(ArrivalModel::deterministic_rate(0, 0.5).is_err());
+    }
+
+    #[test]
+    fn deterministic_rate_accepts_boundary() {
+        // λ = 1 - 1/n is explicitly allowed by Theorems 1 and 2.
+        let m = ArrivalModel::deterministic_rate(16, 1.0 - 1.0 / 16.0).unwrap();
+        assert_eq!(m, ArrivalModel::Deterministic { batch: 15 });
+        let zero = ArrivalModel::deterministic_rate(16, 0.0).unwrap();
+        assert_eq!(zero.mean(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_sample_is_constant() {
+        let m = ArrivalModel::Deterministic { batch: 42 };
+        let mut rng = SimRng::seed_from(0);
+        for _ in 0..5 {
+            assert_eq!(m.sample(&mut rng), 42);
+        }
+    }
+
+    #[test]
+    fn bernoulli_mean_matches() {
+        let m = ArrivalModel::bernoulli_rate(1000, 0.25).unwrap();
+        assert_eq!(m.mean(), 250.0);
+        let mut rng = SimRng::seed_from(1);
+        let rounds = 2000;
+        let total: u64 = (0..rounds).map(|_| m.sample(&mut rng)).sum();
+        let avg = total as f64 / rounds as f64;
+        assert!((avg - 250.0).abs() < 5.0, "avg {avg}");
+    }
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn bernoulli_rejects_bad_rate() {
+        assert!(ArrivalModel::bernoulli_rate(10, 1.5).is_err());
+        assert!(ArrivalModel::bernoulli_rate(0, 0.5).is_err());
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_match() {
+        let m = ArrivalModel::poisson_rate(100, 0.9).unwrap(); // mean 90
+        let mut rng = SimRng::seed_from(3);
+        let rounds = 5000;
+        let samples: Vec<u64> = (0..rounds).map(|_| m.sample(&mut rng)).collect();
+        let avg = samples.iter().sum::<u64>() as f64 / rounds as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - avg).powi(2))
+            .sum::<f64>()
+            / rounds as f64;
+        assert!((avg - 90.0).abs() < 1.5, "mean {avg}");
+        assert!((var - 90.0).abs() < 10.0, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_does_not_underflow() {
+        // mean far above the 500-chunk threshold
+        let mut rng = SimRng::seed_from(4);
+        let mean = 30_000.0;
+        let s = sample_poisson(&mut rng, mean);
+        assert!((s as f64 - mean).abs() < 6.0 * mean.sqrt(), "sample {s}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = SimRng::seed_from(5);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_rejects_negative() {
+        assert!(ArrivalModel::poisson_rate(10, -0.5).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Burn-in policies: deciding when a simulated system is stationary.
+//!
+//! The paper measures "a stabilized system after a burn-in phase of suitable
+//! length" without specifying the length. We provide two policies:
+//!
+//! - [`BurnIn::Fixed`] — run a fixed number of rounds. The theoretical
+//!   mixing scale of CAPPED(c, λ) is governed by `1/(1−λ)` (the pool
+//!   approaches its fixed point exponentially with that time constant), so a
+//!   sensible fixed choice is a small multiple of `1/(1−λ)`.
+//! - [`BurnIn::Adaptive`] — run until the pool-size series is statistically
+//!   flat: both the relative half-window mean drift and the relative
+//!   regression slope over a sliding window fall below a tolerance. A
+//!   `max_rounds` bound guarantees termination.
+//!
+//! Both report how many rounds were spent and whether convergence was
+//! diagnosed, so measurement code can assert burn-in adequacy.
+
+use crate::engine::Simulation;
+use crate::process::AllocationProcess;
+use crate::stats::TimeSeries;
+
+/// A burn-in policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BurnIn {
+    /// Run exactly `rounds` rounds.
+    Fixed {
+        /// Number of rounds to run.
+        rounds: u64,
+    },
+    /// Run until the system-load series (pool + buffered balls)
+    /// stabilizes.
+    Adaptive {
+        /// Minimum rounds before convergence may be declared.
+        min_rounds: u64,
+        /// Hard upper bound on burn-in length.
+        max_rounds: u64,
+        /// Length of the sliding diagnostic window (also the cadence at
+        /// which convergence is re-checked).
+        window: u64,
+        /// Maximum allowed relative drift/slope over the window for the
+        /// series to count as stationary (e.g. `0.02` for 2 %).
+        tolerance: f64,
+    },
+}
+
+impl BurnIn {
+    /// A fixed burn-in scaled to the theoretical mixing time of a process
+    /// with injection rate `λ`: `multiplier / (1 − λ)` rounds, clamped to
+    /// `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `λ ≥ 1`.
+    pub fn mixing_scaled(lambda: f64, multiplier: f64, min: u64, max: u64) -> BurnIn {
+        assert!(lambda < 1.0, "mixing time undefined for lambda >= 1");
+        let rounds = (multiplier / (1.0 - lambda)).ceil() as u64;
+        BurnIn::Fixed {
+            rounds: rounds.clamp(min, max),
+        }
+    }
+
+    /// The default adaptive policy used by the figure harness.
+    pub fn default_adaptive(lambda: f64) -> BurnIn {
+        let scale = if lambda < 1.0 {
+            (4.0 / (1.0 - lambda)).ceil() as u64
+        } else {
+            u64::MAX / 4
+        };
+        BurnIn::Adaptive {
+            min_rounds: 256,
+            max_rounds: scale.clamp(2_048, 400_000),
+            window: 256,
+            tolerance: 0.02,
+        }
+    }
+}
+
+/// What a burn-in run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurnInOutcome {
+    /// Number of rounds executed.
+    pub rounds: u64,
+    /// Whether the adaptive policy diagnosed stationarity (always `true`
+    /// for the fixed policy).
+    pub converged: bool,
+}
+
+/// Runs the burn-in policy on a simulation, discarding all metrics.
+///
+/// Returns how many rounds were executed and whether stationarity was
+/// diagnosed.
+pub fn run_burn_in<P: AllocationProcess>(
+    sim: &mut Simulation<P>,
+    policy: &BurnIn,
+) -> BurnInOutcome {
+    match *policy {
+        BurnIn::Fixed { rounds } => {
+            sim.run_rounds(rounds);
+            BurnInOutcome {
+                rounds,
+                converged: true,
+            }
+        }
+        BurnIn::Adaptive {
+            min_rounds,
+            max_rounds,
+            window,
+            tolerance,
+        } => {
+            let window = window.max(4);
+            let mut series = TimeSeries::with_capacity(window as usize * 2);
+            let mut executed = 0u64;
+            while executed < max_rounds {
+                let chunk = window.min(max_rounds - executed);
+                for _ in 0..chunk {
+                    let report = sim.step();
+                    // Track the total system load (pool + buffers): for
+                    // unbounded-queue processes the pool is identically 0
+                    // and only the buffered backlog reveals the transient.
+                    series.push(report.system_load() as f64);
+                }
+                executed += chunk;
+                if executed < min_rounds {
+                    continue;
+                }
+                let w = (2 * window) as usize;
+                let drift_ok = series
+                    .half_mean_drift(w)
+                    .map(|d| d < tolerance)
+                    .unwrap_or(false);
+                // Slope per round, relative to the window mean (guarding the
+                // empty-pool case with +1): flat means slope ≪ scale/window.
+                let mean = series.window_summary(w).mean().abs() + 1.0;
+                let slope_ok = series
+                    .window_slope(w)
+                    .map(|s| s.abs() * w as f64 / mean < tolerance * 4.0)
+                    .unwrap_or(false);
+                if drift_ok && slope_ok {
+                    return BurnInOutcome {
+                        rounds: executed,
+                        converged: true,
+                    };
+                }
+            }
+            BurnInOutcome {
+                rounds: executed,
+                converged: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{AllocationProcess, RoundReport};
+    use crate::rng::SimRng;
+
+    /// A process whose pool rises toward a fixed point, mimicking the
+    /// transient of CAPPED(c, λ).
+    struct Relaxing {
+        pool: f64,
+        target: f64,
+        rate: f64,
+        round: u64,
+    }
+
+    impl AllocationProcess for Relaxing {
+        fn bins(&self) -> usize {
+            1
+        }
+        fn round(&self) -> u64 {
+            self.round
+        }
+        fn pool_size(&self) -> usize {
+            self.pool as usize
+        }
+        fn step(&mut self, rng: &mut SimRng) -> RoundReport {
+            self.round += 1;
+            let noise = (rng.unit_f64() - 0.5) * 0.01 * self.target;
+            self.pool += self.rate * (self.target - self.pool) + noise;
+            RoundReport {
+                round: self.round,
+                pool_size: self.pool.max(0.0) as u64,
+                ..RoundReport::default()
+            }
+        }
+    }
+
+    fn relaxing() -> Relaxing {
+        Relaxing {
+            pool: 0.0,
+            target: 10_000.0,
+            rate: 0.01,
+            round: 0,
+        }
+    }
+
+    #[test]
+    fn fixed_policy_runs_exact_rounds() {
+        let mut sim = Simulation::new(relaxing(), SimRng::seed_from(1));
+        let out = run_burn_in(&mut sim, &BurnIn::Fixed { rounds: 100 });
+        assert_eq!(out.rounds, 100);
+        assert!(out.converged);
+        assert_eq!(sim.process().round(), 100);
+    }
+
+    #[test]
+    fn adaptive_policy_waits_for_stationarity() {
+        let mut sim = Simulation::new(relaxing(), SimRng::seed_from(2));
+        let policy = BurnIn::Adaptive {
+            min_rounds: 64,
+            max_rounds: 50_000,
+            window: 64,
+            tolerance: 0.02,
+        };
+        let out = run_burn_in(&mut sim, &policy);
+        assert!(out.converged, "should converge within bound");
+        // Relaxation time constant is 1/rate = 100 rounds; convergence
+        // should need at least one time constant and be near target.
+        assert!(out.rounds >= 64);
+        let pool = sim.process().pool_size() as f64;
+        assert!(
+            (pool - 10_000.0).abs() < 2_000.0,
+            "pool {pool} far from target"
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_gives_up_at_max_rounds() {
+        // Ever-growing pool never converges.
+        struct Growing {
+            round: u64,
+        }
+        impl AllocationProcess for Growing {
+            fn bins(&self) -> usize {
+                1
+            }
+            fn round(&self) -> u64 {
+                self.round
+            }
+            fn pool_size(&self) -> usize {
+                (self.round * 10) as usize
+            }
+            fn step(&mut self, _rng: &mut SimRng) -> RoundReport {
+                self.round += 1;
+                RoundReport {
+                    round: self.round,
+                    pool_size: self.round * 10,
+                    ..RoundReport::default()
+                }
+            }
+        }
+        let mut sim = Simulation::new(Growing { round: 0 }, SimRng::seed_from(3));
+        let policy = BurnIn::Adaptive {
+            min_rounds: 10,
+            max_rounds: 500,
+            window: 50,
+            tolerance: 0.01,
+        };
+        let out = run_burn_in(&mut sim, &policy);
+        assert!(!out.converged);
+        assert_eq!(out.rounds, 500);
+    }
+
+    #[test]
+    fn mixing_scaled_clamps() {
+        assert_eq!(
+            BurnIn::mixing_scaled(0.5, 10.0, 1, 1000),
+            BurnIn::Fixed { rounds: 20 }
+        );
+        assert_eq!(
+            BurnIn::mixing_scaled(0.999, 10.0, 1, 1000),
+            BurnIn::Fixed { rounds: 1000 }
+        );
+        assert_eq!(
+            BurnIn::mixing_scaled(0.0, 10.0, 50, 1000),
+            BurnIn::Fixed { rounds: 50 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing time")]
+    fn mixing_scaled_rejects_lambda_one() {
+        BurnIn::mixing_scaled(1.0, 1.0, 1, 10);
+    }
+}

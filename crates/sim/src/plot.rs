@@ -1,0 +1,219 @@
+//! Terminal (ASCII) plots for simulation output.
+//!
+//! The figure harness and the examples render small line charts directly
+//! in the terminal — enough to *see* the shapes the paper plots (1/c decay,
+//! the waiting-time minimum, recovery transients) without leaving the
+//! console. Not a plotting library: fixed-size character canvas, multiple
+//! labeled series, automatic axis scaling.
+
+use std::fmt::Write as _;
+
+/// A labeled data series: `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (need not be sorted).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label and points.
+    pub fn new(label: &str, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.to_string(),
+            points,
+        }
+    }
+
+    /// Creates a series from y-values indexed 0, 1, 2, …
+    pub fn from_values(label: &str, values: &[f64]) -> Self {
+        Series {
+            label: label.to_string(),
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| (i as f64, y))
+                .collect(),
+        }
+    }
+}
+
+/// An ASCII chart: a character canvas with axes, one marker per series.
+///
+/// # Examples
+///
+/// ```
+/// use iba_sim::plot::{Chart, Series};
+/// let s = Series::from_values("pool", &[1.0, 2.0, 4.0, 8.0]);
+/// let text = Chart::new("growth", 40, 10).with_series(s).render();
+/// assert!(text.contains("growth"));
+/// assert!(text.contains("pool"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+const MARKERS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+impl Chart {
+    /// Creates an empty chart with a plotting canvas of `width × height`
+    /// characters (clamped to at least 8 × 4).
+    pub fn new(title: &str, width: usize, height: usize) -> Self {
+        Chart {
+            title: title.to_string(),
+            width: width.max(8),
+            height: height.max(4),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series; returns `self` for chaining. Series beyond the six
+    /// available markers reuse markers cyclically.
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders the chart. Empty charts (no series or no points) render a
+    /// placeholder note instead of axes.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return format!("[{}: no data]\n", self.title);
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if x_max == x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        for (si, s) in self.series.iter().enumerate() {
+            let marker = MARKERS[si % MARKERS.len()];
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - cy;
+                canvas[row][cx] = marker;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let y_label_width = 10;
+        for (row, line) in canvas.iter().enumerate() {
+            let y_at_row =
+                y_max - (y_max - y_min) * row as f64 / (self.height - 1) as f64;
+            let label = if row == 0 || row == self.height - 1 || row == self.height / 2 {
+                format!("{y_at_row:>9.3} ")
+            } else {
+                " ".repeat(y_label_width)
+            };
+            let _ = writeln!(out, "{label}|{}", line.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "{}+{}",
+            " ".repeat(y_label_width),
+            "-".repeat(self.width)
+        );
+        let _ = writeln!(
+            out,
+            "{}{:<.3} .. {:.3}",
+            " ".repeat(y_label_width + 1),
+            x_min,
+            x_max
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", MARKERS[si % MARKERS.len()], s.label);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let c = Chart::new("empty", 20, 5);
+        assert_eq!(c.render(), "[empty: no data]\n");
+        let c = Chart::new("empty", 20, 5).with_series(Series::new("s", vec![]));
+        assert!(c.render().contains("no data"));
+    }
+
+    #[test]
+    fn single_point_renders() {
+        let c = Chart::new("dot", 20, 5).with_series(Series::new("s", vec![(1.0, 1.0)]));
+        let text = c.render();
+        assert!(text.contains('*'));
+        assert!(text.contains("s"));
+    }
+
+    #[test]
+    fn rising_series_fills_diagonal() {
+        let s = Series::from_values("line", &[0.0, 1.0, 2.0, 3.0]);
+        let text = Chart::new("diag", 16, 8).with_series(s).render();
+        let rows: Vec<&str> = text.lines().collect();
+        // The maximum must appear in the top canvas row, the minimum at
+        // the bottom.
+        assert!(rows[1].contains('*'), "top row: {}", rows[1]);
+        assert!(rows[8].contains('*'), "bottom row: {}", rows[8]);
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_markers() {
+        let a = Series::from_values("a", &[0.0, 1.0]);
+        let b = Series::from_values("b", &[1.0, 0.0]);
+        let text = Chart::new("two", 16, 6).with_series(a).with_series(b).render();
+        assert!(text.contains('*'));
+        assert!(text.contains('+'));
+        assert!(text.contains("a") && text.contains("b"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = Series::from_values("flat", &[5.0, 5.0, 5.0]);
+        let text = Chart::new("flat", 12, 4).with_series(s).render();
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let s = Series::new("nan", vec![(0.0, f64::NAN), (1.0, 2.0), (f64::INFINITY, 3.0)]);
+        let text = Chart::new("nan", 12, 4).with_series(s).render();
+        assert!(text.contains('*')); // only the finite point plots
+    }
+
+    #[test]
+    fn tiny_dimensions_are_clamped() {
+        let s = Series::from_values("s", &[1.0, 2.0]);
+        let text = Chart::new("tiny", 1, 1).with_series(s).render();
+        assert!(text.lines().count() >= 5);
+    }
+}

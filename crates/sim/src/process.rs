@@ -1,0 +1,162 @@
+//! The contract between allocation processes and the simulation engine.
+//!
+//! Every simulated process — CAPPED(c, λ), MODCAPPED(c, λ), batched
+//! GREEDY\[d\], THRESHOLD\[T\] — implements [`AllocationProcess`]: a
+//! synchronous-round state machine that, given a random source, executes one
+//! parallel round and reports what happened in it as a [`RoundReport`].
+//!
+//! Keeping the report a plain data struct (rather than having processes call
+//! into observers) keeps the processes pure and makes coupled executions
+//! (two processes sharing randomness) straightforward.
+
+use crate::rng::SimRng;
+
+/// Everything that happened during one synchronous round of an allocation
+/// process.
+///
+/// A `RoundReport` is produced by [`AllocationProcess::step`] and consumed by
+/// observers ([`crate::engine::Observer`]). Fields that a particular process
+/// cannot meaningfully fill (e.g. `failed_deletions` for a process without
+/// per-round deletions) are left at their `0`/empty defaults.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundReport {
+    /// Index of the round this report describes (1-based; round 0 is the
+    /// empty initial state).
+    pub round: u64,
+    /// Number of balls newly generated at the beginning of the round.
+    pub generated: u64,
+    /// Number of balls that competed for allocation this round
+    /// (pool leftovers + newly generated).
+    pub thrown: u64,
+    /// Number of balls accepted into some bin's buffer this round.
+    pub accepted: u64,
+    /// Number of balls deleted (served) at the end of the round.
+    pub deleted: u64,
+    /// Number of bins whose deletion attempt failed this round, i.e. bins
+    /// that were empty after the allocation stage (the quantity `X` in the
+    /// paper's Lemmas 2–4).
+    pub failed_deletions: u64,
+    /// Pool size `m(t)` at the *end* of the round (balls left unallocated).
+    pub pool_size: u64,
+    /// Total number of balls stored in bin buffers at the end of the round.
+    pub buffered: u64,
+    /// Maximum bin load at the end of the round.
+    pub max_load: u64,
+    /// Waiting times (age at deletion, in rounds) of every ball deleted this
+    /// round. Empty if the process does not track per-ball ages.
+    pub waiting_times: Vec<u64>,
+}
+
+impl RoundReport {
+    /// A report for a round in which nothing happened.
+    pub fn empty(round: u64) -> Self {
+        RoundReport {
+            round,
+            ..RoundReport::default()
+        }
+    }
+
+    /// Total number of balls anywhere in the system (pool + buffers) at the
+    /// end of the round. This is the "system load" tracked by the PODC'16
+    /// baseline analyses.
+    pub fn system_load(&self) -> u64 {
+        self.pool_size + self.buffered
+    }
+
+    /// Maximum waiting time observed among this round's deletions, if any.
+    pub fn max_waiting_time(&self) -> Option<u64> {
+        self.waiting_times.iter().copied().max()
+    }
+
+    /// Checks the per-round conservation law
+    /// `thrown = accepted + pool_size`: every competing ball is either
+    /// accepted into a buffer or returns to the pool.
+    pub fn conserves_balls(&self) -> bool {
+        self.thrown == self.accepted + self.pool_size
+    }
+}
+
+/// A synchronous-round allocation process driven by the simulation engine.
+///
+/// Implementations hold all process state (pool, bins, current round) and
+/// advance by exactly one parallel round per [`step`](Self::step) call.
+/// Randomness is injected so that runs are reproducible and so that two
+/// processes can be *coupled* by feeding them correlated random sources.
+pub trait AllocationProcess {
+    /// Number of bins `n`.
+    fn bins(&self) -> usize;
+
+    /// Index of the last completed round (0 before the first step).
+    fn round(&self) -> u64;
+
+    /// Current pool size `m(t)`: balls waiting to be allocated.
+    fn pool_size(&self) -> usize;
+
+    /// Executes one synchronous round and reports what happened.
+    fn step(&mut self, rng: &mut SimRng) -> RoundReport;
+
+    /// A short human-readable identifier, e.g. `"capped(c=3, λ=0.75)"`.
+    /// Used in tables and bench labels.
+    fn label(&self) -> String {
+        "process".to_string()
+    }
+
+    /// Whether the process has terminated (only meaningful for *static*
+    /// processes such as THRESHOLD\[T\] that allocate a fixed set of balls;
+    /// infinite processes always return `false`).
+    fn is_finished(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = RoundReport::empty(5);
+        assert_eq!(r.round, 5);
+        assert_eq!(r.generated, 0);
+        assert_eq!(r.system_load(), 0);
+        assert_eq!(r.max_waiting_time(), None);
+        assert!(r.conserves_balls());
+    }
+
+    #[test]
+    fn system_load_sums_pool_and_buffers() {
+        let r = RoundReport {
+            pool_size: 7,
+            buffered: 5,
+            ..RoundReport::default()
+        };
+        assert_eq!(r.system_load(), 12);
+    }
+
+    #[test]
+    fn max_waiting_time_picks_maximum() {
+        let r = RoundReport {
+            waiting_times: vec![3, 9, 1],
+            ..RoundReport::default()
+        };
+        assert_eq!(r.max_waiting_time(), Some(9));
+    }
+
+    #[test]
+    fn conservation_detects_mismatch() {
+        let good = RoundReport {
+            thrown: 10,
+            accepted: 6,
+            pool_size: 4,
+            ..RoundReport::default()
+        };
+        assert!(good.conserves_balls());
+        let bad = RoundReport {
+            thrown: 10,
+            accepted: 6,
+            pool_size: 5,
+            ..RoundReport::default()
+        };
+        assert!(!bad.conserves_balls());
+    }
+}

@@ -1,0 +1,474 @@
+//! Deterministic pseudo-random number generation for simulations.
+//!
+//! Every simulation in this workspace is a pure function of `(config, seed)`.
+//! To guarantee that across platforms and `rand` versions, we implement the
+//! generators ourselves:
+//!
+//! - [`SplitMix64`] — a tiny, well-distributed generator used for seeding and
+//!   for splitting one master seed into independent per-replication streams.
+//! - [`Xoshiro256PlusPlus`] — the workhorse generator (Blackman & Vigna,
+//!   2019 public-domain algorithm, re-implemented from the specification).
+//! - [`SimRng`] — the façade used throughout the workspace, wrapping
+//!   xoshiro256++ with the sampling helpers the processes need
+//!   (uniform bins via Lemire rejection, Bernoulli, unit-interval doubles).
+//!
+//! Both generators also implement `rand_core::RngCore` (via the `rand`
+//! re-export) so they can be plugged into external samplers where needed.
+
+use std::fmt;
+
+/// SplitMix64 generator (Steele, Lea & Flood).
+///
+/// Used for seed expansion and stream splitting: consecutive outputs of a
+/// SplitMix64 seeded with a master seed are statistically independent enough
+/// to seed independent simulation streams, and this is the seeding procedure
+/// recommended by the xoshiro authors.
+///
+/// # Examples
+///
+/// ```
+/// use iba_sim::rng::SplitMix64;
+/// let mut sm = SplitMix64::new(0);
+/// // Reference value from the public-domain C implementation.
+/// assert_eq!(sm.next_u64(), 0xe220a8397b1dcdaf);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 generator (Blackman & Vigna).
+///
+/// Fast, high-quality, 256-bit state, period 2²⁵⁶ − 1. This is the generator
+/// that drives all ball placements; it is deterministic per seed across
+/// platforms.
+///
+/// # Examples
+///
+/// ```
+/// use iba_sim::rng::Xoshiro256PlusPlus;
+/// let mut a = Xoshiro256PlusPlus::seed_from(7);
+/// let mut b = Xoshiro256PlusPlus::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl fmt::Debug for Xoshiro256PlusPlus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Xoshiro256PlusPlus")
+            .field("s", &self.s)
+            .finish()
+    }
+}
+
+impl Xoshiro256PlusPlus {
+    /// Creates a generator from raw 256-bit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zeros (the one forbidden state of the
+    /// xoshiro family).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+        Self { s }
+    }
+
+    /// Seeds the generator by expanding a 64-bit seed through [`SplitMix64`],
+    /// the procedure recommended by the algorithm's authors.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        // SplitMix64 output is never all-zero across four consecutive draws
+        // for any seed, so `from_state` cannot panic here.
+        Self::from_state([sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()])
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Jump function: advances the stream by 2¹²⁸ steps, producing a
+    /// non-overlapping substream. Useful for coarse-grained parallelism.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180ec6d33cfd0aba,
+            0xd5a61266f0c9392c,
+            0xa9582618e03fc9aa,
+            0x39abdc4529b1661c,
+        ];
+        let mut acc = [0u64; 4];
+        for &word in &JUMP {
+            for bit in 0..64 {
+                if (word >> bit) & 1 == 1 {
+                    for (a, s) in acc.iter_mut().zip(self.s.iter()) {
+                        *a ^= s;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = acc;
+    }
+}
+
+impl rand::RngCore for Xoshiro256PlusPlus {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256PlusPlus::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// The simulation RNG façade used by every process in this workspace.
+///
+/// Wraps [`Xoshiro256PlusPlus`] and provides the small set of sampling
+/// operations the allocation processes actually use. All sampling is exact
+/// (no floating-point modulo bias): uniform integers use Lemire's rejection
+/// method.
+///
+/// # Examples
+///
+/// ```
+/// use iba_sim::rng::SimRng;
+/// let mut rng = SimRng::seed_from(1);
+/// let bin = rng.uniform_below(10);
+/// assert!(bin < 10);
+/// let p = rng.unit_f64();
+/// assert!((0.0..1.0).contains(&p));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    inner: Xoshiro256PlusPlus,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed (expanded via SplitMix64).
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            inner: Xoshiro256PlusPlus::seed_from(seed),
+        }
+    }
+
+    /// Creates an RNG from raw xoshiro state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zeros.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        Self {
+            inner: Xoshiro256PlusPlus::from_state(state),
+        }
+    }
+
+    /// The raw 256-bit generator state (for checkpointing; feed back into
+    /// [`SimRng::from_state`] to resume the stream bit-exactly).
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.s
+    }
+
+    /// Returns the next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Samples an integer uniformly from `0..bound` using Lemire's
+    /// multiply-with-rejection method (exactly uniform, no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn uniform_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "uniform_below requires a positive bound");
+        // Lemire 2019: multiply a 64-bit draw by the bound; the high word is
+        // the candidate. Reject the small biased fraction of the low word.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Samples a bin index uniformly from `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn uniform_bin(&mut self, n: usize) -> usize {
+        self.uniform_below(n as u64) as usize
+    }
+
+    /// Samples a double uniformly from `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        // Standard 53-bit conversion: take the top 53 bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples a Bernoulli trial with success probability `p`.
+    ///
+    /// Values of `p <= 0` always fail; values `>= 1` always succeed.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.unit_f64() < p
+    }
+
+    /// Splits off an independent child RNG.
+    ///
+    /// The child is seeded from the next output of this generator passed
+    /// through SplitMix64, so parent and child streams are decorrelated.
+    pub fn split(&mut self) -> SimRng {
+        SimRng::seed_from(self.next_u64())
+    }
+
+    /// Creates `count` decorrelated RNGs from a master seed, one per
+    /// replication. Deterministic: the same master seed always yields the
+    /// same family of streams.
+    pub fn family(master_seed: u64, count: usize) -> Vec<SimRng> {
+        let mut sm = SplitMix64::new(master_seed);
+        (0..count).map(|_| SimRng::seed_from(sm.next_u64())).collect()
+    }
+}
+
+impl rand::RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.inner.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        rand::RngCore::fill_bytes(&mut self.inner, dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First three outputs for seed 0, from the reference C code.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(sm.next_u64(), 0x6e789e6aa1b965f4);
+        assert_eq!(sm.next_u64(), 0x06c45d188009454f);
+    }
+
+    #[test]
+    fn splitmix_seed_1234567_vector() {
+        let mut sm = SplitMix64::new(1234567);
+        // Deterministic regression pin (self-generated, stable forever).
+        let first = sm.next_u64();
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(first, sm2.next_u64());
+        assert_ne!(first, sm2.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Reference: seeding xoshiro256++ with SplitMix64(0) state and taking
+        // outputs must match the algorithm run by hand. We pin the state
+        // produced by the seeding path and the first outputs as a regression
+        // anchor (values verified once against an independent implementation).
+        let mut x = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        // Computed from the reference C implementation of xoshiro256++ with
+        // state {1, 2, 3, 4}:
+        assert_eq!(x.next_u64(), 41943041);
+        assert_eq!(x.next_u64(), 58720359);
+        assert_eq!(x.next_u64(), 3588806011781223);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn xoshiro_rejects_zero_state() {
+        let _ = Xoshiro256PlusPlus::from_state([0; 4]);
+    }
+
+    #[test]
+    fn xoshiro_jump_changes_stream() {
+        let mut a = Xoshiro256PlusPlus::seed_from(99);
+        let mut b = a.clone();
+        b.jump();
+        let head_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let head_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(head_a, head_b);
+    }
+
+    #[test]
+    fn uniform_below_is_in_range() {
+        let mut rng = SimRng::seed_from(3);
+        for bound in [1u64, 2, 3, 7, 10, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(rng.uniform_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_below_bound_one_is_zero() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..10 {
+            assert_eq!(rng.uniform_below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn uniform_below_zero_panics() {
+        SimRng::seed_from(0).uniform_below(0);
+    }
+
+    #[test]
+    fn uniform_below_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from(5);
+        let bound = 10u64;
+        let trials = 100_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..trials {
+            counts[rng.uniform_below(bound) as usize] += 1;
+        }
+        let expected = trials as f64 / bound as f64;
+        for &c in &counts {
+            // 5-sigma band for a binomial with p = 1/10.
+            let sigma = (trials as f64 * 0.1 * 0.9).sqrt();
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * sigma,
+                "count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(6);
+        for _ in 0..10_000 {
+            let v = rng.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_f64_mean_is_half() {
+        let mut rng = SimRng::seed_from(7);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.unit_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_edge_cases() {
+        let mut rng = SimRng::seed_from(8);
+        assert!(rng.bernoulli(1.0));
+        assert!(rng.bernoulli(2.0));
+        assert!(!rng.bernoulli(0.0));
+        assert!(!rng.bernoulli(-1.0));
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let mut rng = SimRng::seed_from(9);
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| rng.bernoulli(0.3)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn split_streams_are_decorrelated_and_deterministic() {
+        let mut parent1 = SimRng::seed_from(10);
+        let mut parent2 = SimRng::seed_from(10);
+        let mut c1 = parent1.split();
+        let mut c2 = parent2.split();
+        // Same parent seed => same child stream.
+        let h1: Vec<u64> = (0..4).map(|_| c1.next_u64()).collect();
+        let h2: Vec<u64> = (0..4).map(|_| c2.next_u64()).collect();
+        assert_eq!(h1, h2);
+        // Child stream differs from the parent continuation.
+        let p: Vec<u64> = (0..4).map(|_| parent1.next_u64()).collect();
+        assert_ne!(h1, p);
+    }
+
+    #[test]
+    fn family_is_deterministic_and_pairwise_distinct() {
+        let fam1 = SimRng::family(77, 8);
+        let fam2 = SimRng::family(77, 8);
+        assert_eq!(fam1.len(), 8);
+        for (a, b) in fam1.iter().zip(&fam2) {
+            assert_eq!(a, b);
+        }
+        for i in 0..fam1.len() {
+            for j in (i + 1)..fam1.len() {
+                assert_ne!(fam1[i], fam1[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_covers_partial_chunks() {
+        use rand::RngCore;
+        let mut rng = SimRng::seed_from(11);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,180 @@
+//! Multi-seed replication.
+//!
+//! Every figure data point is estimated from several independent
+//! replications (distinct RNG streams split from one master seed). The
+//! runner executes replications across OS threads — the workload is
+//! embarrassingly parallel — and aggregates per-seed point estimates into a
+//! [`PointEstimate`] with a confidence interval.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+use crate::rng::SimRng;
+use crate::stats::ci::{normal_ci, ConfidenceInterval};
+use crate::stats::Summary;
+
+/// Aggregate of one scalar metric across replications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointEstimate {
+    /// Summary over the per-replication estimates.
+    pub summary: Summary,
+    /// 95 % normal-approximation confidence interval over replications.
+    pub ci95: ConfidenceInterval,
+}
+
+impl PointEstimate {
+    /// Builds a point estimate from per-replication values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "point estimate needs at least one value");
+        let summary: Summary = values.iter().copied().collect();
+        let ci95 = normal_ci(&summary, 0.95);
+        PointEstimate { summary, ci95 }
+    }
+
+    /// Mean across replications.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Maximum across replications.
+    pub fn max(&self) -> f64 {
+        self.summary.max().unwrap_or(0.0)
+    }
+}
+
+/// Runs `count` replications of `job` in parallel and returns their results
+/// in replication order.
+///
+/// Each replication gets a decorrelated [`SimRng`] derived from
+/// `master_seed` (see [`SimRng::family`]), so the full experiment is a pure
+/// function of `(master_seed, count, job)`.
+///
+/// The closure receives `(replication_index, rng)`.
+///
+/// # Panics
+///
+/// Panics if `count == 0` or if a replication thread panics.
+pub fn replicate<T, F>(master_seed: u64, count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, SimRng) -> T + Sync,
+{
+    assert!(count > 0, "need at least one replication");
+    let rngs = SimRng::family(master_seed, count);
+    let threads = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(count);
+
+    if threads <= 1 {
+        return rngs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rng)| job(i, rng))
+            .collect();
+    }
+
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let job_ref = &job;
+    thread::scope(|scope| {
+        let mut remaining: &mut [Option<T>] = &mut slots;
+        let mut rng_iter = rngs.into_iter();
+        let mut next_index = 0usize;
+        // Split the result slice into contiguous chunks, one per thread.
+        let chunk = count.div_ceil(threads);
+        while !remaining.is_empty() {
+            let take = chunk.min(remaining.len());
+            let (head, tail) = remaining.split_at_mut(take);
+            let base = next_index;
+            let chunk_rngs: Vec<SimRng> = (&mut rng_iter).take(take).collect();
+            scope.spawn(move || {
+                for (offset, (slot, rng)) in head.iter_mut().zip(chunk_rngs).enumerate() {
+                    *slot = Some(job_ref(base + offset, rng));
+                }
+            });
+            remaining = tail;
+            next_index += take;
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("replication thread filled its slot"))
+        .collect()
+}
+
+/// Convenience wrapper: runs replications that each return one scalar and
+/// aggregates them into a [`PointEstimate`].
+pub fn replicate_scalar<F>(master_seed: u64, count: usize, job: F) -> PointEstimate
+where
+    F: Fn(usize, SimRng) -> f64 + Sync,
+{
+    let values = replicate(master_seed, count, job);
+    PointEstimate::from_values(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_preserves_order_and_count() {
+        let out = replicate(1, 10, |i, _rng| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
+    }
+
+    #[test]
+    fn replicate_is_deterministic_across_runs() {
+        let a = replicate(42, 8, |_i, mut rng| rng.next_u64());
+        let b = replicate(42, 8, |_i, mut rng| rng.next_u64());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replicate_streams_are_distinct() {
+        let draws = replicate(7, 6, |_i, mut rng| rng.next_u64());
+        for i in 0..draws.len() {
+            for j in (i + 1)..draws.len() {
+                assert_ne!(draws[i], draws[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn replicate_single() {
+        let out = replicate(3, 1, |i, _| i);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn replicate_zero_panics() {
+        let _ = replicate(0, 0, |_, _| ());
+    }
+
+    #[test]
+    fn scalar_aggregation() {
+        let est = replicate_scalar(5, 16, |i, _| i as f64);
+        assert_eq!(est.summary.count(), 16);
+        assert!((est.mean() - 7.5).abs() < 1e-12);
+        assert_eq!(est.max(), 15.0);
+        assert!(est.ci95.half_width > 0.0);
+        assert!(est.ci95.contains(7.5));
+    }
+
+    #[test]
+    fn point_estimate_from_values() {
+        let est = PointEstimate::from_values(&[2.0, 4.0]);
+        assert_eq!(est.mean(), 3.0);
+        assert_eq!(est.max(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn point_estimate_empty_panics() {
+        let _ = PointEstimate::from_values(&[]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Autocorrelation and effective sample size.
+//!
+//! The paper averages each data point over a 1000-round window. Rounds are
+//! *not* independent — the pool size mixes on a timescale of `1/(1−λ)` —
+//! so the effective number of independent observations in a window is
+//! smaller than its length. These diagnostics quantify that: the
+//! measurement harness can report the effective sample size alongside each
+//! estimate, and the tests verify the window comfortably exceeds the
+//! integrated autocorrelation time for the paper's parameter ranges.
+
+/// Sample autocorrelation of `data` at the given `lag`.
+///
+/// Returns `None` if fewer than `lag + 2` observations are available or if
+/// the series has zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use iba_sim::stats::autocorr::autocorrelation;
+/// // An alternating series is perfectly anti-correlated at lag 1.
+/// let data: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let r1 = autocorrelation(&data, 1).unwrap();
+/// assert!(r1 < -0.95);
+/// ```
+pub fn autocorrelation(data: &[f64], lag: usize) -> Option<f64> {
+    if data.len() < lag + 2 {
+        return None;
+    }
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let var: f64 = data.iter().map(|x| (x - mean).powi(2)).sum();
+    if var == 0.0 {
+        return None;
+    }
+    let cov: f64 = data[..n - lag]
+        .iter()
+        .zip(&data[lag..])
+        .map(|(&a, &b)| (a - mean) * (b - mean))
+        .sum();
+    Some(cov / var)
+}
+
+/// Integrated autocorrelation time
+/// `τ = 1 + 2·Σ_{k≥1} ρ(k)`, with the sum truncated at the first
+/// non-positive autocorrelation (Geyer's initial-positive-sequence rule,
+/// simplified). Returns at least 1.
+///
+/// Returns `None` for series shorter than 4 observations or with zero
+/// variance.
+pub fn integrated_autocorrelation_time(data: &[f64]) -> Option<f64> {
+    if data.len() < 4 {
+        return None;
+    }
+    // Zero-variance series have no defined autocorrelation structure.
+    autocorrelation(data, 1)?;
+    let max_lag = data.len() / 2;
+    let mut tau = 1.0;
+    for lag in 1..max_lag {
+        match autocorrelation(data, lag) {
+            Some(rho) if rho > 0.0 => tau += 2.0 * rho,
+            _ => break,
+        }
+    }
+    Some(tau.max(1.0))
+}
+
+/// Effective sample size `n / τ` of a correlated series.
+///
+/// Returns `None` under the same conditions as
+/// [`integrated_autocorrelation_time`].
+pub fn effective_sample_size(data: &[f64]) -> Option<f64> {
+    let tau = integrated_autocorrelation_time(data)?;
+    Some(data.len() as f64 / tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn iid_series_has_near_zero_autocorrelation() {
+        let mut rng = SimRng::seed_from(1);
+        let data: Vec<f64> = (0..10_000).map(|_| rng.unit_f64()).collect();
+        let r1 = autocorrelation(&data, 1).unwrap();
+        assert!(r1.abs() < 0.05, "{r1}");
+        let ess = effective_sample_size(&data).unwrap();
+        assert!(ess > 0.5 * data.len() as f64, "{ess}");
+    }
+
+    #[test]
+    fn constant_series_has_no_autocorrelation() {
+        let data = vec![5.0; 100];
+        assert_eq!(autocorrelation(&data, 1), None);
+        assert_eq!(integrated_autocorrelation_time(&data), None);
+    }
+
+    #[test]
+    fn ar1_series_matches_theory() {
+        // AR(1) with coefficient φ: ρ(k) = φ^k, τ = (1 + φ)/(1 − φ).
+        let phi = 0.8;
+        let mut rng = SimRng::seed_from(2);
+        let mut x = 0.0;
+        let data: Vec<f64> = (0..50_000)
+            .map(|_| {
+                x = phi * x + (rng.unit_f64() - 0.5);
+                x
+            })
+            .collect();
+        let r1 = autocorrelation(&data, 1).unwrap();
+        assert!((r1 - phi).abs() < 0.05, "rho(1) = {r1}");
+        let tau = integrated_autocorrelation_time(&data).unwrap();
+        let expected = (1.0 + phi) / (1.0 - phi); // 9.0
+        assert!(
+            (tau - expected).abs() < 2.5,
+            "tau = {tau}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn short_series_return_none() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 1), None);
+        assert_eq!(integrated_autocorrelation_time(&[1.0, 2.0, 3.0]), None);
+        assert_eq!(effective_sample_size(&[]), None);
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let data: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        let r0 = autocorrelation(&data, 0).unwrap();
+        assert!((r0 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Confidence intervals across replications.
+//!
+//! Each figure data point in this reproduction is run with several seeds;
+//! the runner reports a normal-approximation confidence interval over the
+//! per-seed point estimates so EXPERIMENTS.md can state measurement
+//! uncertainty.
+
+use crate::stats::summary::Summary;
+
+/// A symmetric confidence interval `mean ± half_width`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (mean across replications).
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level the interval was built for, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.half_width)
+    }
+}
+
+/// Two-sided standard-normal quantile `z` such that `Φ(z) = (1 + level)/2`,
+/// computed by bisection on the complementary error function.
+///
+/// # Panics
+///
+/// Panics if `level` is not in `(0, 1)`.
+pub fn z_value(level: f64) -> f64 {
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0, 1)");
+    let target = (1.0 + level) / 2.0;
+    // Bisection over [0, 10] on the standard normal CDF, which is monotone.
+    let (mut lo, mut hi) = (0.0f64, 10.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (absolute error < 1.5·10⁻⁷, ample for confidence intervals).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz–Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Builds a normal-approximation confidence interval from a summary of
+/// per-replication estimates.
+///
+/// With a single replication, the half-width is 0 (no spread information);
+/// callers should prefer ≥ 3 replications for meaningful intervals.
+///
+/// # Panics
+///
+/// Panics if `summary` is empty or `level` is not in `(0, 1)`.
+pub fn normal_ci(summary: &Summary, level: f64) -> ConfidenceInterval {
+    assert!(summary.count() > 0, "confidence interval of empty sample");
+    ConfidenceInterval {
+        mean: summary.mean(),
+        half_width: z_value(level) * summary.std_error(),
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // The A&S 7.1.26 polynomial has absolute error up to 1.5e-7.
+        assert!(erf(0.0).abs() < 1.5e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn z_value_matches_textbook() {
+        assert!((z_value(0.95) - 1.95996).abs() < 1e-3);
+        assert!((z_value(0.99) - 2.57583).abs() < 1e-3);
+        assert!((z_value(0.68) - 0.99446).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn z_value_rejects_bad_level() {
+        z_value(1.0);
+    }
+
+    #[test]
+    fn ci_endpoints_and_contains() {
+        let s: Summary = [10.0, 12.0, 11.0, 9.0, 13.0].into_iter().collect();
+        let ci = normal_ci(&s, 0.95);
+        assert!((ci.mean - 11.0).abs() < 1e-12);
+        assert!(ci.half_width > 0.0);
+        assert!(ci.contains(11.0));
+        assert!(ci.contains(ci.lo()) && ci.contains(ci.hi()));
+        assert!(!ci.contains(ci.hi() + 0.001));
+        assert_eq!(ci.lo(), ci.mean - ci.half_width);
+        assert_eq!(ci.hi(), ci.mean + ci.half_width);
+    }
+
+    #[test]
+    fn single_observation_has_zero_width() {
+        let s: Summary = [5.0].into_iter().collect();
+        let ci = normal_ci(&s, 0.95);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(ci.contains(5.0));
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let s: Summary = (0..20).map(|i| i as f64).collect();
+        let ci95 = normal_ci(&s, 0.95);
+        let ci99 = normal_ci(&s, 0.99);
+        assert!(ci99.half_width > ci95.half_width);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let ci = ConfidenceInterval {
+            mean: 1.0,
+            half_width: 0.5,
+            level: 0.95,
+        };
+        assert!(ci.to_string().contains('±'));
+    }
+}

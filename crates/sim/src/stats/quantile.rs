@@ -1,0 +1,122 @@
+//! Exact quantiles of floating-point samples.
+//!
+//! The replication runner aggregates per-seed point estimates (e.g. the mean
+//! waiting time of each seed) and reports medians and inter-seed spread;
+//! those samples are small, so exact quantiles are cheap and preferable to
+//! streaming estimators.
+
+/// Returns the `q`-quantile of `data` using linear interpolation between
+/// order statistics (type-7 quantile, the R/NumPy default).
+///
+/// Returns `None` when `data` is empty. Does not require `data` to be
+/// sorted; a sorted copy is made internally.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or if `data` contains a NaN.
+///
+/// # Examples
+///
+/// ```
+/// use iba_sim::stats::quantile::quantile;
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&data, 0.5), Some(2.5));
+/// assert_eq!(quantile(&data, 0.0), Some(1.0));
+/// assert_eq!(quantile(&data, 1.0), Some(4.0));
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile input must not contain NaN"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Like [`quantile`] but assumes `data` is already sorted ascending.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or `data` is empty.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Returns the median of `data` (`None` if empty).
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+/// Returns the interquartile range `q75 − q25` (`None` if empty).
+pub fn iqr(data: &[f64]) -> Option<f64> {
+    Some(quantile(data, 0.75)? - quantile(data, 0.25)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(iqr(&[]), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(quantile(&[42.0], 0.5), Some(42.0));
+        assert_eq!(quantile(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_type7() {
+        // numpy.quantile([10, 20, 30, 40], 0.3) == 19.0
+        let data = [10.0, 20.0, 30.0, 40.0];
+        let q = quantile(&data, 0.3).unwrap();
+        assert!((q - 19.0).abs() < 1e-12, "{q}");
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let data = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&data), Some(5.0));
+    }
+
+    #[test]
+    fn iqr_of_uniform_grid() {
+        let data: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let r = iqr(&data).unwrap();
+        assert!((r - 50.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn out_of_range_q_panics() {
+        let _ = quantile(&[1.0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_input_panics() {
+        let _ = quantile(&[1.0, f64::NAN], 0.5);
+    }
+}

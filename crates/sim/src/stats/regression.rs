@@ -1,0 +1,170 @@
+//! Ordinary least-squares linear regression.
+//!
+//! Used for two things in this reproduction:
+//!
+//! 1. Burn-in detection — the slope of the pool-size series over a sliding
+//!    window must vanish relative to the series scale.
+//! 2. Shape verification — the comparison experiment (`CMP` in DESIGN.md)
+//!    fits waiting time against `log n` and `log log n` covariates to decide
+//!    which growth law describes a process.
+
+/// Result of a simple linear fit `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Estimated slope.
+    pub slope: f64,
+    /// Estimated intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 for a perfect fit; 0 when the
+    /// model explains nothing beyond the mean; can be negative only for
+    /// degenerate inputs, where it is clamped to 0).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y ≈ a + b·x` by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` have different lengths or fewer than 2 points,
+/// or if all `x` values are identical (the slope is then undefined).
+///
+/// # Examples
+///
+/// ```
+/// use iba_sim::stats::regression::linear_fit;
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0];
+/// let fit = linear_fit(&xs, &ys);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x and y must have equal length");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "all x values identical; slope undefined");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 {
+        1.0 // constant y perfectly fit by slope 0
+    } else {
+        ((sxy * sxy) / (sxx * syy)).clamp(0.0, 1.0)
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Compares how well `y` is explained by each of several candidate
+/// covariates, returning the index of the covariate with the highest R².
+///
+/// This implements the "growth-law classifier" used by the comparison
+/// experiment: given waiting times measured for several `n`, the covariates
+/// are `log₂ n` and `log₂ log₂ n`, and the winner tells us which asymptotic
+/// the data follows.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or any candidate's length differs from
+/// `ys`.
+pub fn best_covariate(candidates: &[Vec<f64>], ys: &[f64]) -> (usize, LinearFit) {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let mut best: Option<(usize, LinearFit)> = None;
+    for (i, xs) in candidates.iter().enumerate() {
+        let fit = linear_fit(xs, ys);
+        if best.is_none() || fit.r_squared > best.as_ref().unwrap().1.r_squared {
+            best = Some((i, fit));
+        }
+    }
+    best.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -3.0 * x + 4.0).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope + 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 4.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(2.0) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let fit = linear_fit(&xs, &ys);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_data_has_partial_r2() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.0, 1.2, 1.8, 3.3, 3.7];
+        let fit = linear_fit(&xs, &ys);
+        assert!(fit.r_squared > 0.95 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_panics() {
+        linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn best_covariate_identifies_log_growth() {
+        // y grows like log2(n): the log2 covariate must win over loglog.
+        let ns: Vec<f64> = (10..=16).map(|e| (1u64 << e) as f64).collect();
+        let ys: Vec<f64> = ns.iter().map(|n| 3.0 * n.log2() + 1.0).collect();
+        let log_cov: Vec<f64> = ns.iter().map(|n| n.log2()).collect();
+        let loglog_cov: Vec<f64> = ns.iter().map(|n| n.log2().log2()).collect();
+        let (winner, fit) = best_covariate(&[loglog_cov, log_cov], &ys);
+        assert_eq!(winner, 1);
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_covariate_identifies_loglog_growth() {
+        let ns: Vec<f64> = (10..=20).map(|e| (1u64 << e) as f64).collect();
+        let ys: Vec<f64> = ns.iter().map(|n| 2.0 * n.log2().log2() + 0.5).collect();
+        let log_cov: Vec<f64> = ns.iter().map(|n| n.log2()).collect();
+        let loglog_cov: Vec<f64> = ns.iter().map(|n| n.log2().log2()).collect();
+        let (winner, _) = best_covariate(&[loglog_cov, log_cov], &ys);
+        assert_eq!(winner, 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Round-indexed time series with window statistics.
+//!
+//! Used by the burn-in detector (slope of the pool-size series) and by the
+//! measurement harness (window means over the stationary regime).
+
+use crate::stats::regression::linear_fit;
+use crate::stats::summary::Summary;
+
+/// A time series of one observation per round.
+///
+/// # Examples
+///
+/// ```
+/// use iba_sim::stats::TimeSeries;
+/// let mut ts = TimeSeries::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     ts.push(v);
+/// }
+/// assert_eq!(ts.len(), 4);
+/// assert_eq!(ts.window_summary(2).mean(), 3.5); // last two values
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Creates an empty series with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimeSeries {
+            values: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends the next round's observation.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All recorded values, oldest first.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The most recent value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Summary statistics over the last `window` observations (or all of
+    /// them, if fewer are available).
+    pub fn window_summary(&self, window: usize) -> Summary {
+        let start = self.values.len().saturating_sub(window);
+        self.values[start..].iter().copied().collect()
+    }
+
+    /// Summary over the half-open index range `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn range_summary(&self, from: usize, to: usize) -> Summary {
+        self.values[from..to].iter().copied().collect()
+    }
+
+    /// Least-squares slope (per round) of the last `window` observations.
+    ///
+    /// Returns `None` if fewer than two observations are available. Used by
+    /// adaptive burn-in: a stationary series has slope ≈ 0 relative to its
+    /// own scale.
+    pub fn window_slope(&self, window: usize) -> Option<f64> {
+        let start = self.values.len().saturating_sub(window);
+        let tail = &self.values[start..];
+        if tail.len() < 2 {
+            return None;
+        }
+        let xs: Vec<f64> = (0..tail.len()).map(|i| i as f64).collect();
+        Some(linear_fit(&xs, tail).slope)
+    }
+
+    /// Splits the last `window` observations into halves and returns the
+    /// relative difference of the half-means: `|m₂ − m₁| / max(|m₁|, |m₂|, ε)`.
+    ///
+    /// A small value indicates stationarity over the window (a cheap Geweke-
+    /// style diagnostic). Returns `None` if fewer than 4 observations.
+    pub fn half_mean_drift(&self, window: usize) -> Option<f64> {
+        let start = self.values.len().saturating_sub(window);
+        let tail = &self.values[start..];
+        if tail.len() < 4 {
+            return None;
+        }
+        let mid = tail.len() / 2;
+        let m1 = tail[..mid].iter().sum::<f64>() / mid as f64;
+        let m2 = tail[mid..].iter().sum::<f64>() / (tail.len() - mid) as f64;
+        let scale = m1.abs().max(m2.abs()).max(1e-12);
+        Some((m2 - m1).abs() / scale)
+    }
+}
+
+impl FromIterator<f64> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        TimeSeries {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for TimeSeries {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert_eq!(ts.last(), None);
+        assert_eq!(ts.window_slope(10), None);
+        assert_eq!(ts.half_mean_drift(10), None);
+        assert_eq!(ts.window_summary(10).count(), 0);
+    }
+
+    #[test]
+    fn window_summary_uses_tail() {
+        let ts: TimeSeries = (1..=10).map(|i| i as f64).collect();
+        let s = ts.window_summary(3);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 9.0);
+        // Window larger than series uses all values.
+        assert_eq!(ts.window_summary(100).count(), 10);
+    }
+
+    #[test]
+    fn slope_of_linear_series_is_exact() {
+        let ts: TimeSeries = (0..50).map(|i| 2.5 * i as f64 + 1.0).collect();
+        let slope = ts.window_slope(50).unwrap();
+        assert!((slope - 2.5).abs() < 1e-9, "{slope}");
+    }
+
+    #[test]
+    fn slope_of_constant_series_is_zero() {
+        let ts: TimeSeries = std::iter::repeat_n(7.0, 30).collect();
+        assert!(ts.window_slope(30).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_detects_trend_and_stationarity() {
+        let rising: TimeSeries = (0..100).map(|i| i as f64).collect();
+        assert!(rising.half_mean_drift(100).unwrap() > 0.4);
+        let flat: TimeSeries = (0..100).map(|i| 5.0 + 0.001 * ((i * 7 % 13) as f64)).collect();
+        assert!(flat.half_mean_drift(100).unwrap() < 0.01);
+    }
+
+    #[test]
+    fn range_summary_is_half_open() {
+        let ts: TimeSeries = (0..5).map(|i| i as f64).collect();
+        let s = ts.range_summary(1, 4);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+}

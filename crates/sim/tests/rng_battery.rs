@@ -1,0 +1,153 @@
+//! Statistical test battery for the simulation RNG.
+//!
+//! The allocation results are distribution-level claims about uniform bin
+//! choices, so the generator's uniformity and independence matter. These
+//! tests run classic diagnostics — chi-square goodness of fit, runs test,
+//! serial correlation, bit balance — at fixed seeds with comfortable
+//! acceptance bands (they are regression tripwires for the generator
+//! implementation, not research-grade randomness certification).
+
+use iba_sim::rng::SimRng;
+
+#[test]
+fn chi_square_uniform_bins() {
+    // 1e6 draws over 64 bins: chi-square with 63 dof has mean 63 and
+    // sd ≈ 11.2; accept within ±6 sd.
+    let mut rng = SimRng::seed_from(101);
+    let bins = 64usize;
+    let draws = 1_000_000u64;
+    let mut counts = vec![0u64; bins];
+    for _ in 0..draws {
+        counts[rng.uniform_bin(bins)] += 1;
+    }
+    let expected = draws as f64 / bins as f64;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let dof = (bins - 1) as f64;
+    let sd = (2.0 * dof).sqrt();
+    assert!(
+        (chi2 - dof).abs() < 6.0 * sd,
+        "chi-square {chi2:.1} too far from dof {dof}"
+    );
+}
+
+#[test]
+fn chi_square_non_power_of_two_bins() {
+    // Lemire rejection must stay unbiased for awkward bounds like 1000.
+    let mut rng = SimRng::seed_from(102);
+    let bins = 1000usize;
+    let draws = 2_000_000u64;
+    let mut counts = vec![0u64; bins];
+    for _ in 0..draws {
+        counts[rng.uniform_bin(bins)] += 1;
+    }
+    let expected = draws as f64 / bins as f64;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let dof = (bins - 1) as f64;
+    let sd = (2.0 * dof).sqrt();
+    assert!(
+        (chi2 - dof).abs() < 6.0 * sd,
+        "chi-square {chi2:.1} too far from dof {dof}"
+    );
+}
+
+#[test]
+fn runs_test_on_unit_doubles() {
+    // Number of ascending/descending runs in an i.i.d. sequence of length
+    // N is ≈ N·2/3 with sd ≈ sqrt(16N/90).
+    let mut rng = SimRng::seed_from(103);
+    let n = 500_000usize;
+    let seq: Vec<f64> = (0..n).map(|_| rng.unit_f64()).collect();
+    let mut runs = 1u64;
+    for w in seq.windows(3) {
+        let up1 = w[1] > w[0];
+        let up2 = w[2] > w[1];
+        if up1 != up2 {
+            runs += 1;
+        }
+    }
+    let expected = (2.0 * n as f64 - 1.0) / 3.0;
+    let sd = ((16.0 * n as f64 - 29.0) / 90.0).sqrt();
+    assert!(
+        (runs as f64 - expected).abs() < 6.0 * sd,
+        "runs {runs} vs expected {expected:.0} (sd {sd:.1})"
+    );
+}
+
+#[test]
+fn serial_correlation_is_negligible() {
+    let mut rng = SimRng::seed_from(104);
+    let n = 500_000usize;
+    let seq: Vec<f64> = (0..n).map(|_| rng.unit_f64()).collect();
+    for lag in [1usize, 2, 7] {
+        let r = iba_sim::stats::autocorr::autocorrelation(&seq, lag).unwrap();
+        assert!(r.abs() < 0.01, "lag {lag}: correlation {r}");
+    }
+}
+
+#[test]
+fn bit_balance_of_raw_outputs() {
+    // Each of the 64 output bits must be set about half the time.
+    let mut rng = SimRng::seed_from(105);
+    let draws = 200_000u64;
+    let mut ones = [0u64; 64];
+    for _ in 0..draws {
+        let x = rng.next_u64();
+        for (bit, slot) in ones.iter_mut().enumerate() {
+            *slot += (x >> bit) & 1;
+        }
+    }
+    let expected = draws as f64 / 2.0;
+    let sd = (draws as f64 * 0.25).sqrt();
+    for (bit, &count) in ones.iter().enumerate() {
+        assert!(
+            (count as f64 - expected).abs() < 6.0 * sd,
+            "bit {bit}: {count} ones out of {draws}"
+        );
+    }
+}
+
+#[test]
+fn split_streams_are_uncorrelated() {
+    let mut parent = SimRng::seed_from(106);
+    let mut a = parent.split();
+    let mut b = parent.split();
+    let n = 200_000usize;
+    let xa: Vec<f64> = (0..n).map(|_| a.unit_f64()).collect();
+    let xb: Vec<f64> = (0..n).map(|_| b.unit_f64()).collect();
+    let mean_a: f64 = xa.iter().sum::<f64>() / n as f64;
+    let mean_b: f64 = xb.iter().sum::<f64>() / n as f64;
+    let cov: f64 = xa
+        .iter()
+        .zip(&xb)
+        .map(|(&u, &v)| (u - mean_a) * (v - mean_b))
+        .sum::<f64>()
+        / n as f64;
+    let corr = cov / (1.0 / 12.0); // Var(U[0,1)) = 1/12
+    assert!(corr.abs() < 0.01, "cross-stream correlation {corr}");
+}
+
+#[test]
+fn bernoulli_matches_binomial_variance() {
+    let mut rng = SimRng::seed_from(107);
+    let trials = 400_000u64;
+    let p = 0.37;
+    let hits = (0..trials).filter(|_| rng.bernoulli(p)).count() as f64;
+    let expected = trials as f64 * p;
+    let sd = (trials as f64 * p * (1.0 - p)).sqrt();
+    assert!(
+        (hits - expected).abs() < 6.0 * sd,
+        "{hits} hits vs expected {expected:.0}"
+    );
+}

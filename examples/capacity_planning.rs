@@ -1,0 +1,77 @@
+//! Capacity planning: pick the buffer size `c` for a target injection
+//! rate, combining the paper's theory with a confirmation simulation.
+//!
+//! Given a rate λ, the theory suggests `c* ≈ √ln(1/(1−λ))` (the sweet spot
+//! of Theorem 2). This example sweeps capacities around `c*`, simulates
+//! each and prints the measured stationary waiting times next to the
+//! Section-V envelope, so an operator can see exactly what each extra slot
+//! of buffer buys.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning [lambda-exponent]
+//! ```
+//!
+//! The optional argument `i` selects λ = 1 − 2⁻ⁱ (default i = 10).
+
+use infinite_balanced_allocation::prelude::*;
+use infinite_balanced_allocation::analysis::sweetspot;
+use infinite_balanced_allocation::sim::engine::MultiObserver;
+use infinite_balanced_allocation::sim::output::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let i: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(10);
+    let n: usize = 1 << 13;
+    if !n.is_multiple_of(1usize << i) {
+        return Err(format!("lambda exponent {i} too fine for n = {n}").into());
+    }
+    let lambda = 1.0 - 2.0f64.powi(-(i as i32));
+
+    let c_star = sweetspot::continuous_sweet_spot(lambda);
+    println!("capacity planning for lambda = 1 - 2^-{i} = {lambda:.6} on n = {n} bins");
+    println!("theory: continuous sweet spot c* = {c_star:.2}");
+
+    let lo = (c_star.floor() as u32).saturating_sub(2).max(1);
+    let hi = c_star.ceil() as u32 + 3;
+    let mut table = Table::new(
+        "measured stationary behavior per capacity",
+        &["c", "avg wait", "max wait", "wait envelope", "pool/n", "pool envelope"],
+    );
+    let mut best: Option<(u32, f64)> = None;
+    for c in lo..=hi {
+        let config = CappedConfig::new(n, c, lambda)?;
+        let mut process = CappedProcess::new(config);
+        process.warm_start();
+        let mut sim = Simulation::new(process, SimRng::seed_from(u64::from(c) * 97));
+        run_burn_in(&mut sim, &BurnIn::default_adaptive(lambda));
+
+        let mut waits = WaitingTimes::new();
+        let mut stats = RoundStats::new();
+        let mut obs = MultiObserver::new().with(&mut waits).with(&mut stats);
+        sim.run_observed(600, &mut obs);
+
+        let avg = waits.mean();
+        if best.map(|(_, w)| avg < w).unwrap_or(true) {
+            best = Some((c, avg));
+        }
+        table.row(vec![
+            u64::from(c).into(),
+            avg.into(),
+            waits.max().unwrap_or(0).into(),
+            waiting_time_fit(n, c, lambda).into(),
+            (stats.pool.mean() / n as f64).into(),
+            normalized_pool_fit(c, lambda).into(),
+        ]);
+    }
+    println!("\n{}", table.render());
+    let (best_c, best_wait) = best.expect("at least one capacity measured");
+    println!("recommendation: c = {best_c} (measured avg wait {best_wait:.2} rounds)");
+    println!(
+        "integer sweet spot from the fit alone: c = {}",
+        optimal_capacity(lambda, n)
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run CAPPED(c, λ), watch it stabilize, and compare the
+//! stationary pool and waiting times against the paper's formulas.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use infinite_balanced_allocation::prelude::*;
+use infinite_balanced_allocation::sim::engine::MultiObserver;
+
+fn main() -> Result<(), infinite_balanced_allocation::sim::error::ConfigError> {
+    let n = 1 << 12;
+    let capacity = 2;
+    let lambda = 0.75;
+
+    println!("CAPPED(c = {capacity}, lambda = {lambda}) on n = {n} bins");
+    println!("------------------------------------------------------");
+
+    let config = CappedConfig::new(n, capacity, lambda)?;
+    let process = CappedProcess::new(config);
+    let mut sim = Simulation::new(process, SimRng::seed_from(42));
+
+    // Burn in adaptively: run until the pool-size series flattens.
+    let outcome = run_burn_in(&mut sim, &BurnIn::default_adaptive(lambda));
+    println!(
+        "burn-in: {} rounds (converged: {})",
+        outcome.rounds, outcome.converged
+    );
+
+    // Measure 1000 stationary rounds — the paper's protocol.
+    let mut stats = RoundStats::new();
+    let mut waits = WaitingTimes::new();
+    let mut observer = MultiObserver::new().with(&mut stats).with(&mut waits);
+    sim.run_observed(1000, &mut observer);
+
+    let normalized_pool = stats.pool.mean() / n as f64;
+    println!("normalized pool size : {normalized_pool:.3}");
+    println!(
+        "paper envelope       : ln(1/(1-lambda))/c + 1 = {:.3}",
+        normalized_pool_fit(capacity, lambda)
+    );
+    println!("mean waiting time    : {:.3} rounds", waits.mean());
+    println!(
+        "max waiting time     : {} rounds",
+        waits.max().unwrap_or(0)
+    );
+    println!(
+        "paper envelope       : ln(1/(1-lambda))/c + loglog n + c = {:.3}",
+        waiting_time_fit(n, capacity, lambda)
+    );
+    println!(
+        "Theorem 2 w.h.p. bound on the waiting time: {:.1}",
+        theorem2_waiting_bound(n, capacity, lambda)
+    );
+    println!(
+        "suggested sweet-spot capacity for this lambda: c* = {}",
+        optimal_capacity(lambda, n)
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Self-stabilization: recovery from a catastrophic backlog.
+//!
+//! The paper notes that CAPPED (like the leaky-bin processes of PODC'16)
+//! is positive recurrent: whatever state the system is driven into, it
+//! returns to the stationary regime. This example dumps a huge backlog of
+//! requests into the pool — as after a network partition heals — and
+//! narrates the recovery round by round, comparing the measured drain rate
+//! against the theoretical `(λ − 1)·n` net rate.
+//!
+//! ```text
+//! cargo run --release --example self_stabilization
+//! ```
+
+use infinite_balanced_allocation::core::metrics::SystemSnapshot;
+use infinite_balanced_allocation::prelude::*;
+use infinite_balanced_allocation::sim::plot::{Chart, Series};
+
+fn main() -> Result<(), infinite_balanced_allocation::sim::error::ConfigError> {
+    let n = 1 << 12;
+    let capacity = 2;
+    let lambda = 0.75;
+    let overload_factor = 20u64;
+
+    println!("self-stabilization demo: CAPPED(c = {capacity}, lambda = {lambda}), n = {n}");
+
+    // Reach the stationary regime first.
+    let config = CappedConfig::new(n, capacity, lambda)?;
+    let mut sim = Simulation::new(CappedProcess::new(config), SimRng::seed_from(7));
+    run_burn_in(&mut sim, &BurnIn::default_adaptive(lambda));
+    let stationary_pool = sim.process().pool_size();
+    println!("stationary pool: {stationary_pool} balls ({:.2} per bin)", stationary_pool as f64 / n as f64);
+
+    // Partition heals: a backlog of 20n requests floods in at once.
+    sim.process_mut().inject_pool(overload_factor * n as u64);
+    let snap = SystemSnapshot::capture(sim.process());
+    println!(
+        "injected backlog: pool now {} balls ({:.1} per bin)",
+        snap.pool_size, snap.normalized_pool
+    );
+
+    // Watch the drain. Theoretical net drain per round near saturation:
+    // deletions ≈ n, arrivals = λn, so pool shrinks by ≈ (1 − λ)n.
+    let expected_drain = (1.0 - lambda) * n as f64;
+    let recovery_band = (stationary_pool as f64 * 1.5).max(n as f64);
+    let mut rounds = 0u64;
+    let mut last_pool = snap.pool_size as f64;
+    let mut trajectory = vec![(0.0, snap.pool_size as f64 / n as f64)];
+    loop {
+        let report = sim.step();
+        rounds += 1;
+        trajectory.push((rounds as f64, report.pool_size as f64 / n as f64));
+        if rounds.is_multiple_of(16) {
+            let drained = (last_pool - report.pool_size as f64) / 16.0;
+            println!(
+                "round {rounds:>4}: pool {:>8}  (drain {:>7.1}/round, theory {expected_drain:.1})",
+                report.pool_size, drained
+            );
+            last_pool = report.pool_size as f64;
+        }
+        if (report.pool_size as f64) < recovery_band {
+            println!("recovered to the stationary band after {rounds} rounds");
+            break;
+        }
+        if rounds > 100_000 {
+            println!("no recovery within 100000 rounds — unexpected!");
+            break;
+        }
+    }
+    println!(
+        "\n{}",
+        Chart::new("pool/n during recovery", 64, 16)
+            .with_series(Series::new("pool/n", trajectory))
+            .render()
+    );
+    println!(
+        "theory: {} extra balls / {:.0} net drain per round ≈ {:.0} rounds",
+        overload_factor * n as u64,
+        expected_drain,
+        overload_factor as f64 * n as f64 / expected_drain
+    );
+    Ok(())
+}

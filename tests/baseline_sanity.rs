@@ -1,0 +1,123 @@
+//! Integration tests pinning the baselines to their published asymptotics
+//! — if a baseline drifts, the paper comparison (`CMP`) stops being
+//! meaningful.
+
+use infinite_balanced_allocation::analysis::math;
+use infinite_balanced_allocation::baselines::sequential;
+use infinite_balanced_allocation::prelude::*;
+
+#[test]
+fn threshold_one_uses_loglog_rounds() {
+    // Adler et al.: THRESHOLD[1] with m = n finishes in ln ln n + O(1)
+    // rounds w.h.p. At n = 2^14, ln ln n ≈ 2.3; allow a generous O(1).
+    let n = 1 << 14;
+    let p = ThresholdProcess::new(n as u64, n, 1).expect("valid");
+    let mut sim = Simulation::new(p, SimRng::seed_from(1));
+    let rounds = sim.run_to_completion(100).expect("terminates") as f64;
+    let prediction = math::ln_ln(n);
+    assert!(
+        rounds <= prediction + 10.0,
+        "THRESHOLD[1] took {rounds} rounds, ln ln n = {prediction:.1}"
+    );
+    // Max load is bounded by the number of rounds (T = 1 per round).
+    assert!(f64::from(sim.into_process().max_load()) <= rounds);
+}
+
+#[test]
+fn sequential_greedy2_beats_one_choice_at_scale() {
+    let n = 1 << 14;
+    let mut rng = SimRng::seed_from(2);
+    let one = sequential::one_choice(n as u64, n, &mut rng).expect("valid");
+    let two = sequential::greedy_d(n as u64, n, 2, &mut rng).expect("valid");
+    // Azar et al.: d = 2 gives log log n / log 2 + O(1) ≈ 3.2 + O(1).
+    assert!(two.max_load() <= 7, "d=2 max load {}", two.max_load());
+    // Raab–Steger: d = 1 gives ≈ ln n / ln ln n ≈ 4.3, strictly above d=2.
+    assert!(one.max_load() > two.max_load());
+}
+
+#[test]
+fn greedy_batch_one_choice_max_load_grows_with_lambda() {
+    // PODC'16 shape: the 1-choice system load explodes as λ → 1 (the
+    // bound is (1/(1−λ))·log(n/(1−λ))), while it stays modest at λ = 1/2.
+    let n = 512;
+    let measure = |lambda: f64, seed: u64| -> f64 {
+        let mut p = GreedyBatchProcess::new(n, 1, lambda).expect("valid");
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..1_500 {
+            p.step(&mut rng);
+        }
+        let mut max_load = 0u64;
+        for _ in 0..500 {
+            let r = p.step(&mut rng);
+            max_load = max_load.max(r.max_load);
+        }
+        max_load as f64
+    };
+    let light = measure(0.5, 3);
+    let heavy = measure(1.0 - 1.0 / 64.0, 4);
+    assert!(
+        heavy >= 3.0 * light,
+        "heavy-traffic max load {heavy} should dwarf light-traffic {light}"
+    );
+}
+
+#[test]
+fn greedy_batch_two_choices_stay_log_bounded_at_heavy_lambda() {
+    // PODC'16: the 2-choice bound is O(log(n/(1−λ))) even for λ close
+    // to 1 — the load must not explode the way 1-choice does.
+    let n = 512;
+    let lambda = 1.0 - 1.0 / 64.0;
+    let mut p1 = GreedyBatchProcess::new(n, 1, lambda).expect("valid");
+    let mut p2 = GreedyBatchProcess::new(n, 2, lambda).expect("valid");
+    let mut rng1 = SimRng::seed_from(5);
+    let mut rng2 = SimRng::seed_from(6);
+    let mut max1 = 0u64;
+    let mut max2 = 0u64;
+    for i in 0..2_000 {
+        let r1 = p1.step(&mut rng1);
+        let r2 = p2.step(&mut rng2);
+        if i >= 1_000 {
+            max1 = max1.max(r1.max_load);
+            max2 = max2.max(r2.max_load);
+        }
+    }
+    assert!(
+        2 * max2 <= max1,
+        "2-choice max {max2} should be well below 1-choice max {max1}"
+    );
+}
+
+#[test]
+fn capped_beats_greedy_baselines_on_waiting_time() {
+    // The paper's headline comparison at constant λ: CAPPED's waiting
+    // times undercut both GREEDY baselines.
+    let n = 1 << 11;
+    let lambda = 0.75;
+    let max_wait = |reports: &mut dyn FnMut() -> RoundReport| -> u64 {
+        let mut max = 0;
+        for _ in 0..400 {
+            let r = reports();
+            max = max.max(r.max_waiting_time().unwrap_or(0));
+        }
+        max
+    };
+
+    let mut capped = CappedProcess::new(CappedConfig::new(n, 2, lambda).expect("valid"));
+    let mut rng_c = SimRng::seed_from(7);
+    for _ in 0..800 {
+        capped.step(&mut rng_c);
+    }
+    let capped_max = max_wait(&mut || capped.step(&mut rng_c));
+
+    let mut greedy = GreedyBatchProcess::new(n, 1, lambda).expect("valid");
+    let mut rng_g = SimRng::seed_from(8);
+    for _ in 0..800 {
+        greedy.step(&mut rng_g);
+    }
+    let greedy_max = max_wait(&mut || greedy.step(&mut rng_g));
+
+    assert!(
+        capped_max < greedy_max,
+        "capped max wait {capped_max} should undercut greedy[1] {greedy_max}"
+    );
+}

@@ -1,0 +1,77 @@
+//! Exact-vs-simulated validation for small systems: at `c = 1` the pool
+//! is a Markov chain whose stationary distribution `iba-analysis` computes
+//! exactly (no asymptotics). The simulator's long-run pool histogram must
+//! converge to it in total variation.
+
+use infinite_balanced_allocation::analysis::exact;
+use infinite_balanced_allocation::prelude::*;
+use infinite_balanced_allocation::sim::stats::Histogram;
+
+/// Simulated stationary pool distribution over a long window.
+fn simulated_pool_distribution(
+    n: usize,
+    batch: u64,
+    rounds: u64,
+    seed: u64,
+) -> Vec<f64> {
+    let lambda = batch as f64 / n as f64;
+    let config = CappedConfig::new(n, 1, lambda).expect("valid");
+    let mut p = CappedProcess::new(config);
+    let mut rng = SimRng::seed_from(seed);
+    for _ in 0..2_000 {
+        p.step(&mut rng); // burn-in
+    }
+    let mut hist = Histogram::new();
+    for _ in 0..rounds {
+        let r = p.step(&mut rng);
+        hist.record(r.pool_size);
+    }
+    let max = hist.max().unwrap_or(0) as usize;
+    (0..=max)
+        .map(|m| hist.count_at(m as u64) as f64 / hist.count() as f64)
+        .collect()
+}
+
+fn total_variation(a: &[f64], b: &[f64]) -> f64 {
+    let len = a.len().max(b.len());
+    (0..len)
+        .map(|i| {
+            let pa = a.get(i).copied().unwrap_or(0.0);
+            let pb = b.get(i).copied().unwrap_or(0.0);
+            (pa - pb).abs()
+        })
+        .sum::<f64>()
+        / 2.0
+}
+
+#[test]
+fn simulated_pool_distribution_matches_exact_chain() {
+    for (n, batch, seed) in [(4usize, 2u64, 10u64), (8, 4, 11), (16, 12, 12)] {
+        let exact_pi = exact::stationary_pool_distribution(n, batch as usize, 40 * n);
+        let sim_pi = simulated_pool_distribution(n, batch, 200_000, seed);
+        let tv = total_variation(&exact_pi, &sim_pi);
+        assert!(
+            tv < 0.02,
+            "n={n}, batch={batch}: total variation {tv:.4} too large"
+        );
+    }
+}
+
+#[test]
+fn simulated_mean_matches_exact_mean() {
+    let n = 8;
+    let batch = 6; // λ = 0.75
+    let exact_pi = exact::stationary_pool_distribution(n, batch, 400);
+    let exact_mean = exact::distribution_mean(&exact_pi);
+    let sim_pi = simulated_pool_distribution(n, batch as u64, 300_000, 13);
+    let sim_mean: f64 = sim_pi
+        .iter()
+        .enumerate()
+        .map(|(m, &p)| m as f64 * p)
+        .sum();
+    let rel = (sim_mean - exact_mean).abs() / exact_mean.max(1e-9);
+    assert!(
+        rel < 0.02,
+        "simulated mean {sim_mean:.4} vs exact {exact_mean:.4}"
+    );
+}

@@ -1,0 +1,162 @@
+//! Cross-validation: the mean-field model (`iba-analysis`, no shared code
+//! with the simulator) must agree with the simulated CAPPED(c, λ) on the
+//! stationary pool size, load distribution, and mean waiting time.
+//!
+//! Agreement between two independent implementations of the same
+//! mathematical object is the strongest correctness evidence this
+//! reproduction can offer without the authors' artifacts.
+
+use infinite_balanced_allocation::analysis::meanfield;
+use infinite_balanced_allocation::prelude::*;
+use infinite_balanced_allocation::sim::engine::MultiObserver;
+
+struct Measured {
+    pool_per_bin: f64,
+    load_distribution: Vec<f64>,
+    mean_wait: f64,
+}
+
+fn simulate(n: usize, c: u32, lambda: f64, seed: u64) -> Measured {
+    let config = CappedConfig::new(n, c, lambda).expect("valid");
+    let mut process = CappedProcess::new(config);
+    process.warm_start();
+    let mut sim = Simulation::new(process, SimRng::seed_from(seed));
+    run_burn_in(&mut sim, &BurnIn::default_adaptive(lambda));
+    let mut stats = RoundStats::new();
+    let mut waits = WaitingTimes::new();
+    let mut obs = MultiObserver::new().with(&mut stats).with(&mut waits);
+    sim.run_observed(800, &mut obs);
+
+    // Load distribution time-averaged over a few snapshots.
+    let mut dist = vec![0.0f64; c as usize];
+    let snapshots = 50;
+    for _ in 0..snapshots {
+        sim.run_rounds(5);
+        let h = sim.process().load_histogram();
+        for (l, slot) in dist.iter_mut().enumerate() {
+            *slot += h.count_at(l as u64) as f64 / n as f64;
+        }
+    }
+    for slot in &mut dist {
+        *slot /= snapshots as f64;
+    }
+    Measured {
+        pool_per_bin: stats.pool.mean() / n as f64,
+        load_distribution: dist,
+        mean_wait: waits.mean(),
+    }
+}
+
+#[test]
+fn pool_size_agrees_with_mean_field() {
+    let n = 1 << 12;
+    for &(c, lambda) in &[(1u32, 0.75), (2, 0.75), (3, 0.9375), (2, 1.0 - 1.0 / 256.0)] {
+        let sim = simulate(n, c, lambda, 77);
+        let mf = meanfield::solve(c, lambda);
+        assert!(mf.converged);
+        let rel = (sim.pool_per_bin - mf.pool_per_bin).abs() / mf.pool_per_bin.max(0.05);
+        assert!(
+            rel < 0.12,
+            "c={c}, lambda={lambda}: simulated {:.4} vs mean-field {:.4} (rel {rel:.3})",
+            sim.pool_per_bin,
+            mf.pool_per_bin
+        );
+    }
+}
+
+#[test]
+fn mean_wait_agrees_with_littles_law() {
+    let n = 1 << 12;
+    for &(c, lambda) in &[(1u32, 0.75), (2, 0.75), (3, 0.9375)] {
+        let sim = simulate(n, c, lambda, 88);
+        let mf = meanfield::solve(c, lambda);
+        let predicted = mf.mean_wait.expect("lambda > 0");
+        let rel = (sim.mean_wait - predicted).abs() / predicted.max(0.1);
+        assert!(
+            rel < 0.12,
+            "c={c}, lambda={lambda}: simulated wait {:.3} vs Little's law {:.3} (rel {rel:.3})",
+            sim.mean_wait,
+            predicted
+        );
+    }
+}
+
+#[test]
+fn load_distribution_agrees_with_mean_field() {
+    let n = 1 << 12;
+    for &(c, lambda) in &[(2u32, 0.75), (3, 0.9375)] {
+        let sim = simulate(n, c, lambda, 99);
+        let mf = meanfield::solve(c, lambda);
+        for (l, (&s, &m)) in sim
+            .load_distribution
+            .iter()
+            .zip(&mf.load_distribution)
+            .enumerate()
+        {
+            assert!(
+                (s - m).abs() < 0.05,
+                "c={c}, lambda={lambda}, load {l}: simulated {s:.4} vs mean-field {m:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_mixture_agrees_with_mixed_mean_field() {
+    let n = 1 << 12;
+    let lambda = 0.75;
+    let profile: Vec<u32> = (0..n).map(|i| if i % 2 == 0 { 1 } else { 3 }).collect();
+    let config = CappedConfig::new(n, 2, lambda)
+        .expect("valid")
+        .with_capacity_profile(profile)
+        .expect("valid profile");
+    let mut process = CappedProcess::new(config);
+    process.warm_start();
+    let mut sim = Simulation::new(process, SimRng::seed_from(55));
+    run_burn_in(&mut sim, &BurnIn::default_adaptive(lambda));
+    let mut stats = RoundStats::new();
+    let mut waits = WaitingTimes::new();
+    let mut obs = MultiObserver::new().with(&mut stats).with(&mut waits);
+    sim.run_observed(800, &mut obs);
+
+    let mf = meanfield::solve_mixed_classes(&[(1, 0.5), (3, 0.5)], lambda);
+    assert!(mf.converged);
+    let sim_pool = stats.pool.mean() / n as f64;
+    assert!(
+        (sim_pool - mf.pool_per_bin).abs() / mf.pool_per_bin < 0.1,
+        "pool {sim_pool} vs mixed mean-field {}",
+        mf.pool_per_bin
+    );
+    let mf_wait = mf.mean_wait.unwrap();
+    assert!(
+        (waits.mean() - mf_wait).abs() / mf_wait < 0.1,
+        "wait {} vs mixed mean-field {mf_wait}",
+        waits.mean()
+    );
+}
+
+#[test]
+fn mean_field_sweet_spot_matches_simulated_argmin() {
+    // Both the mean-field model and the simulation should place the
+    // waiting-time minimum at the same capacity (up to a neighbor).
+    let n = 1 << 11;
+    let lambda = 1.0 - 1.0 / 256.0;
+    let mut sim_waits = Vec::new();
+    let mut mf_waits = Vec::new();
+    for c in 1..=5u32 {
+        sim_waits.push(simulate(n, c, lambda, 111).mean_wait);
+        mf_waits.push(meanfield::solve(c, lambda).mean_wait.unwrap());
+    }
+    let argmin = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0 as i64
+    };
+    let d = (argmin(&sim_waits) - argmin(&mf_waits)).abs();
+    assert!(
+        d <= 1,
+        "argmin mismatch: sim {sim_waits:?} vs mean-field {mf_waits:?}"
+    );
+}

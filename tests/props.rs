@@ -1,0 +1,123 @@
+//! Cross-crate property-based tests: for arbitrary valid configurations
+//! and seeds, the model invariants of Section II hold on every round.
+
+use proptest::prelude::*;
+
+use infinite_balanced_allocation::prelude::*;
+
+/// Strategy for a valid (n, batch, c) triple: λ = batch/n is automatically
+/// in [0, 1 − 1/n] with λn integral.
+fn config_strategy() -> impl Strategy<Value = (usize, u64, u32)> {
+    (4usize..96)
+        .prop_flat_map(|n| (Just(n), 0..(n as u64), 1u32..6))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn capped_invariants_hold_for_arbitrary_configs(
+        (n, batch, c) in config_strategy(),
+        seed in any::<u64>(),
+        rounds in 1u64..60,
+    ) {
+        let lambda = batch as f64 / n as f64;
+        let config = CappedConfig::new(n, c, lambda).expect("constructed valid");
+        let mut p = CappedProcess::new(config);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..rounds {
+            let r = p.step(&mut rng);
+            // Per-round conservation (Algorithm 1 bookkeeping).
+            prop_assert!(r.conserves_balls());
+            prop_assert!(p.conserves_balls());
+            // Loads bounded by capacity.
+            prop_assert!(p.loads().iter().all(|&l| l <= c as usize));
+            prop_assert!(r.max_load <= u64::from(c));
+            // The pool remains age-sorted (oldest-first processing).
+            prop_assert!(p.pool().is_age_sorted());
+            // A round deletes at most one ball per bin.
+            prop_assert!(r.deleted <= n as u64);
+            prop_assert_eq!(r.deleted + r.failed_deletions, n as u64);
+        }
+    }
+
+    #[test]
+    fn modcapped_invariants_hold_for_arbitrary_configs(
+        (n, batch, c) in config_strategy(),
+        seed in any::<u64>(),
+        rounds in 1u64..40,
+    ) {
+        let lambda = batch as f64 / n as f64;
+        let mut p = ModCappedProcess::new(n, c, lambda).expect("valid");
+        let mut rng = SimRng::seed_from(seed);
+        let m_star = p.m_star() as u64;
+        for _ in 0..rounds {
+            let r = p.step(&mut rng);
+            prop_assert!(r.conserves_balls());
+            prop_assert!(p.conserves_balls());
+            prop_assert!(p.check_buffer_invariants());
+            // Inflated generation: at least m* balls are thrown each round.
+            prop_assert!(r.thrown >= m_star);
+        }
+    }
+
+    #[test]
+    fn coupled_dominance_property(
+        (n, batch, c) in config_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let lambda = batch as f64 / n as f64;
+        let config = CappedConfig::new(n, c, lambda).expect("valid");
+        let mut run = CoupledRun::new(config).expect("valid");
+        let mut rng = SimRng::seed_from(seed);
+        prop_assert_eq!(run.run_checked(25, &mut rng), 0);
+    }
+
+    #[test]
+    fn waiting_times_are_consistent_with_labels(
+        (n, batch, c) in config_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let lambda = batch as f64 / n as f64;
+        let config = CappedConfig::new(n, c, lambda).expect("valid");
+        let mut p = CappedProcess::new(config);
+        let mut rng = SimRng::seed_from(seed);
+        for round in 1..=30u64 {
+            let r = p.step(&mut rng);
+            // No ball can wait longer than the age of the system, and
+            // waiting times are ages at deletion, so <= round − 1 … plus
+            // zero for same-round service.
+            prop_assert!(r.waiting_times.iter().all(|&w| w < round));
+        }
+    }
+
+    #[test]
+    fn greedy_batch_conserves_for_arbitrary_configs(
+        (n, batch, d) in (4usize..96).prop_flat_map(|n| (Just(n), 0..(n as u64), 1u32..4)),
+        seed in any::<u64>(),
+    ) {
+        let lambda = batch as f64 / n as f64;
+        let mut p = GreedyBatchProcess::new(n, d, lambda).expect("valid");
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..40 {
+            let r = p.step(&mut rng);
+            prop_assert!(r.conserves_balls());
+            prop_assert!(p.conserves_balls());
+            prop_assert_eq!(r.pool_size, 0);
+        }
+    }
+
+    #[test]
+    fn threshold_terminates_and_conserves(
+        n in 8usize..512,
+        t in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let p = ThresholdProcess::new(n as u64, n, t).expect("valid");
+        let mut sim = Simulation::new(p, SimRng::seed_from(seed));
+        let rounds = sim.run_to_completion(10_000).expect("must terminate");
+        let p = sim.into_process();
+        prop_assert!(p.conserves_balls());
+        prop_assert!(p.max_load() as u64 <= rounds.max(1) * u64::from(t));
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration test: measured stationary behavior respects Theorem 2 and
+//! the Section-V envelopes, at moderate scale.
+
+use infinite_balanced_allocation::analysis::{bounds, fits, verify};
+use infinite_balanced_allocation::prelude::*;
+use infinite_balanced_allocation::sim::engine::MultiObserver;
+
+/// Runs one configuration to stationarity and returns
+/// (mean pool, max pool, mean wait, max wait).
+fn stationary(n: usize, c: u32, lambda: f64, seed: u64) -> (f64, f64, f64, f64) {
+    let config = CappedConfig::new(n, c, lambda).expect("valid");
+    let mut process = CappedProcess::new(config);
+    process.warm_start();
+    let mut sim = Simulation::new(process, SimRng::seed_from(seed));
+    run_burn_in(&mut sim, &BurnIn::default_adaptive(lambda));
+    let mut stats = RoundStats::new();
+    let mut waits = WaitingTimes::new();
+    let mut obs = MultiObserver::new().with(&mut stats).with(&mut waits);
+    sim.run_observed(500, &mut obs);
+    (
+        stats.pool.mean(),
+        stats.pool.max().unwrap_or(0.0),
+        waits.mean(),
+        waits.max().unwrap_or(0) as f64,
+    )
+}
+
+#[test]
+fn pool_respects_theorem2_bound() {
+    let n = 1 << 11;
+    for &(c, lambda) in &[(1u32, 0.75), (2, 0.75), (3, 0.9375), (1, 1.0 - 1.0 / 128.0)] {
+        let (_, pool_max, _, _) = stationary(n, c, lambda, 42);
+        let check = verify::pool_check(n, c, lambda, pool_max);
+        assert!(check.within_bound(), "{check}");
+    }
+}
+
+#[test]
+fn pool_respects_section5_envelope() {
+    // Section V: the measured pool is *bounded by* n·(ln(1/(1−λ))/c + 1).
+    let n = 1 << 11;
+    for &(c, lambda) in &[(1u32, 0.75), (2, 0.75), (3, 0.75), (1, 0.9375), (2, 0.9375)] {
+        let (pool_mean, pool_max, _, _) = stationary(n, c, lambda, 7);
+        let envelope = fits::pool_size_fit(n, c, lambda);
+        assert!(
+            pool_mean <= envelope,
+            "mean pool {pool_mean} above envelope {envelope} (c={c}, lambda={lambda})"
+        );
+        // The max over the window gets a small fluctuation allowance.
+        assert!(
+            pool_max <= 1.2 * envelope,
+            "max pool {pool_max} far above envelope {envelope} (c={c}, lambda={lambda})"
+        );
+    }
+}
+
+#[test]
+fn waiting_respects_theorem2_bound() {
+    let n = 1 << 11;
+    for &(c, lambda) in &[(1u32, 0.75), (2, 0.75), (3, 0.9375), (2, 1.0 - 1.0 / 128.0)] {
+        let (_, _, _, wait_max) = stationary(n, c, lambda, 11);
+        let bound = bounds::theorem2_waiting_bound(n, c, lambda);
+        assert!(
+            wait_max <= bound,
+            "max wait {wait_max} above Theorem-2 bound {bound} (c={c}, lambda={lambda})"
+        );
+    }
+}
+
+#[test]
+fn waiting_respects_section5_envelope() {
+    let n = 1 << 11;
+    for &(c, lambda) in &[(1u32, 0.75), (2, 0.75), (1, 0.9375), (3, 0.9375)] {
+        let (_, _, wait_mean, wait_max) = stationary(n, c, lambda, 13);
+        let envelope = fits::waiting_time_fit(n, c, lambda);
+        assert!(
+            wait_mean <= envelope,
+            "mean wait {wait_mean} above envelope {envelope} (c={c}, lambda={lambda})"
+        );
+        // The paper's Figure 5 shows even max waits at or below the line.
+        assert!(
+            wait_max <= 1.5 * envelope,
+            "max wait {wait_max} far above envelope {envelope} (c={c}, lambda={lambda})"
+        );
+    }
+}
+
+#[test]
+fn capacity_reduces_pool_by_roughly_c() {
+    // Section I-B: "both the number of balls in the pool and the waiting
+    // time decrease by a factor of essentially c" (for large λ, c small).
+    let n = 1 << 11;
+    let lambda = 1.0 - 1.0 / 128.0; // ln term ≈ 4.85 dominates
+    let (pool1, _, _, _) = stationary(n, 1, lambda, 3);
+    let (pool3, _, _, _) = stationary(n, 3, lambda, 3);
+    let ratio = pool1 / pool3;
+    assert!(
+        (2.0..5.5).contains(&ratio),
+        "pool reduction factor {ratio} not ≈ c = 3"
+    );
+}
+
+#[test]
+fn waiting_grows_like_loglog_not_log() {
+    // CMP shape at test scale: max wait across n must grow sub-log.
+    let lambda = 0.75;
+    let c = 2;
+    let mut maxima = Vec::new();
+    for e in [8u32, 10, 12] {
+        let (_, _, _, wmax) = stationary(1 << e, c, lambda, 21);
+        maxima.push(wmax);
+    }
+    // Quadrupling n (2^8 → 2^12) must not add more than a few rounds.
+    let growth = maxima[2] - maxima[0];
+    assert!(
+        growth <= 3.0,
+        "max wait grew by {growth} from n=2^8 to n=2^12: {maxima:?}"
+    );
+}

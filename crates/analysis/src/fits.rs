@@ -53,9 +53,7 @@ mod tests {
         // λ = 0.75, c = 1: ln 4 + 1 ≈ 2.386.
         assert!((normalized_pool_fit(1, 0.75) - (4.0f64.ln() + 1.0)).abs() < 1e-12);
         // c = 2 halves the log term.
-        assert!(
-            (normalized_pool_fit(2, 0.75) - (4.0f64.ln() / 2.0 + 1.0)).abs() < 1e-12
-        );
+        assert!((normalized_pool_fit(2, 0.75) - (4.0f64.ln() / 2.0 + 1.0)).abs() < 1e-12);
         // λ = 0 floors at 1 (the +n additive term).
         assert_eq!(normalized_pool_fit(3, 0.0), 1.0);
     }

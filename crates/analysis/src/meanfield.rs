@@ -197,7 +197,7 @@ fn solve_mixed(classes: &[(u32, f64)], lambda: f64) -> MeanFieldSolution {
 fn round_map(x: f64, p: &[f64], c: usize, lambda: f64) -> (f64, Vec<f64>, f64, f64) {
     let mu = x + lambda; // Poisson request rate per bin
     let pmf = poisson_pmf(mu, c + 1); // pmf[k] for k in 0..=c
-    // tail[k] = P(R >= k)
+                                      // tail[k] = P(R >= k)
     let mut tail = vec![0.0; c + 2];
     tail[c + 1] = 0.0;
     // P(R >= k) = 1 - sum_{j<k} pmf[j]
@@ -354,7 +354,12 @@ mod tests {
     #[test]
     fn pool_stays_below_section5_envelope() {
         use crate::fits::normalized_pool_fit;
-        for (c, lambda) in [(1u32, 0.75), (2, 0.75), (3, 0.9375), (2, 1.0 - 1.0 / 1024.0)] {
+        for (c, lambda) in [
+            (1u32, 0.75),
+            (2, 0.75),
+            (3, 0.9375),
+            (2, 1.0 - 1.0 / 1024.0),
+        ] {
             let sol = solve(c, lambda);
             // Envelope counts the pool only; the fit has a +1 headroom.
             assert!(

@@ -64,7 +64,11 @@ impl fmt::Display for TheoryCheck {
             self.fit,
             self.fit_ratio(),
             self.bound,
-            if self.within_bound() { "OK" } else { "VIOLATED" }
+            if self.within_bound() {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
         )
     }
 }

@@ -93,8 +93,7 @@ impl AdlerProcess {
     /// Whether the configuration satisfies the `m < n/(3de)` stability
     /// condition of the original analysis.
     pub fn within_stability_region(&self) -> bool {
-        (self.batch as f64)
-            < self.bins as f64 / (3.0 * self.copies as f64 * std::f64::consts::E)
+        (self.batch as f64) < self.bins as f64 / (3.0 * self.copies as f64 * std::f64::consts::E)
     }
 
     /// Number of balls currently in the system.

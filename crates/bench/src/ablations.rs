@@ -24,10 +24,22 @@ pub fn dominance(scale: Scale) -> ExperimentOutput {
     let rounds = scale.window().max(300);
     let mut table = Table::new(
         "Dominance coupling (Lemmas 1 and 6)",
-        &["c", "lambda", "rounds", "violations", "mean slack m^M - m^C"],
+        &[
+            "c",
+            "lambda",
+            "rounds",
+            "violations",
+            "mean slack m^M - m^C",
+        ],
     );
     let notes = vec![format!("n = {n}; violations must be exactly 0")];
-    for (c, lambda) in [(1u32, 0.5), (1, 0.75), (2, 0.75), (3, 0.75), (2, 1.0 - 1.0 / n as f64)] {
+    for (c, lambda) in [
+        (1u32, 0.5),
+        (1, 0.75),
+        (2, 0.75),
+        (3, 0.75),
+        (2, 1.0 - 1.0 / n as f64),
+    ] {
         let config = CappedConfig::new(n, c, lambda).expect("valid");
         let mut run = CoupledRun::new(config).expect("valid coupling");
         let mut rng = SimRng::seed_from(u64::from(c) * 31 + 5);
@@ -188,7 +200,14 @@ pub fn policy_ablation(scale: Scale) -> ExperimentOutput {
     let c = 2u32;
     let mut table = Table::new(
         "Ablation: acceptance priority, c = 2, lambda = 1 - 2^-6",
-        &["policy", "pool/n", "avg wait", "p99 wait", "p999 wait", "max wait"],
+        &[
+            "policy",
+            "pool/n",
+            "avg wait",
+            "p99 wait",
+            "p999 wait",
+            "max wait",
+        ],
     );
     let notes = vec![format!(
         "n = {n}; the pool is priority-invariant, the waiting-time tail is not"
@@ -260,16 +279,14 @@ pub fn mstar_sensitivity(scale: Scale) -> ExperimentOutput {
         let m_star = (paper_m_star as u64 * percent / 100) as usize;
         let config = CappedConfig::new(n, c, lambda).expect("valid");
         let mut capped = CappedProcess::new(config);
-        let mut modcapped =
-            ModCappedProcess::with_m_star(n, c, lambda, m_star).expect("valid");
+        let mut modcapped = ModCappedProcess::with_m_star(n, c, lambda, m_star).expect("valid");
         let mut rng = SimRng::seed_from(percent + 11);
         let mut violations = 0u64;
         let mut slack_sum = 0.0;
         for _ in 0..rounds {
             let nu_c = capped.next_throw_count();
             let nu_m = modcapped.next_throw_count();
-            let choices: Vec<usize> =
-                (0..nu_m.max(nu_c)).map(|_| rng.uniform_bin(n)).collect();
+            let choices: Vec<usize> = (0..nu_m.max(nu_c)).map(|_| rng.uniform_bin(n)).collect();
             let rc = capped.step_with_choices(&choices[..nu_c]);
             let rm = modcapped.step_with_choices(&choices[..nu_m]);
             if rc.pool_size > rm.pool_size {
@@ -321,8 +338,7 @@ pub fn async_comparison(scale: Scale) -> ExperimentOutput {
                 .with_master_seed(u64::from(c) * 3 + 100);
             let sync = measure_capped(&config, &m);
 
-            let mut system =
-                ContinuousCapped::new(ContinuousConfig::paper_analog(n, c, lambda));
+            let mut system = ContinuousCapped::new(ContinuousConfig::paper_analog(n, c, lambda));
             let mut rng = SimRng::seed_from(u64::from(c) * 5 + 200);
             let warm = 40.0 / (1.0 - lambda);
             system.run_for(warm, &mut rng);
@@ -351,7 +367,14 @@ pub fn hetero(scale: Scale) -> ExperimentOutput {
     let lambda = 0.75;
     let mut table = Table::new(
         "Heterogeneous capacities: mixtures vs uniform, lambda = 0.75",
-        &["profile", "pool/n", "mf pool/n", "avg wait", "mf wait", "max wait"],
+        &[
+            "profile",
+            "pool/n",
+            "mf pool/n",
+            "avg wait",
+            "mf wait",
+            "max wait",
+        ],
     );
     let notes = vec![format!(
         "n = {n}; all profiles have mean capacity 2 (same total buffer space)"
@@ -406,7 +429,14 @@ pub fn load_distribution(scale: Scale) -> ExperimentOutput {
     let n = scale.bins();
     let mut table = Table::new(
         "Stationary bin-load distribution: measured vs mean-field",
-        &["c", "lambda", "load", "measured P", "mean-field P", "abs diff"],
+        &[
+            "c",
+            "lambda",
+            "load",
+            "measured P",
+            "mean-field P",
+            "abs diff",
+        ],
     );
     let notes = vec![format!(
         "n = {n}; distribution measured at the start-of-round boundary, averaged over 50 snapshots"
@@ -472,7 +502,12 @@ pub fn wait_tail(scale: Scale) -> ExperimentOutput {
     let notes = vec![format!(
         "n = {n}; Theorem 2's bound holds per ball with prob >= 1 - n^-2, so the max must sit far below it"
     )];
-    for (c, lambda) in [(1u32, 0.75), (2, 0.75), (2, 1.0 - 1.0 / 128.0), (3, 1.0 - 1.0 / 128.0)] {
+    for (c, lambda) in [
+        (1u32, 0.75),
+        (2, 0.75),
+        (2, 1.0 - 1.0 / 128.0),
+        (3, 1.0 - 1.0 / 128.0),
+    ] {
         let config = CappedConfig::new(n, c, lambda).expect("valid");
         let mut process = CappedProcess::new(config);
         process.warm_start();
@@ -503,69 +538,142 @@ pub fn wait_tail(scale: Scale) -> ExperimentOutput {
     ExperimentOutput::new(table, notes)
 }
 
-/// **`CHAOS`** — fault injection: a fraction `f` of bins is offline at any
-/// time, with the offline set rotating every 50 rounds (crash-recovery,
-/// frozen buffers, no ball loss). As long as the surviving service
-/// capacity `(1 − f)·n` exceeds the arrival rate `λn`, the system must
-/// remain stable; waiting times degrade gracefully with `f`.
+/// **`CHAOS`** — deterministic fault injection with recovery metrics.
+///
+/// Each scenario is a seeded [`FaultPlan`] played against a warm-started
+/// CAPPED(2, 0.75) system by `iba_sim::faults::measure_recovery`: burn in,
+/// record the pre-fault pool baseline, apply the faults, then count the
+/// rounds until the pool re-enters the ε-band around its baseline.
+/// Scenarios:
+///
+/// - **crash 10% / 20%** — a scripted mass outage (well below the
+///   stability boundary `f < 1 − λ = 0.25`), healed after a fixed window;
+/// - **churn** — i.i.d. per-round crash/recover probabilities from a
+///   dedicated RNG stream split off each replication's seed
+///   (~9 % of bins offline in expectation), fully healed at the end;
+/// - **surge** — a one-shot pool surge of `2n` balls (the
+///   self-stabilization overload, expressed as a fault plan).
+///
+/// Every estimate is a pure function of the master seed: replaying the
+/// experiment reproduces every crash and every metric bit-exactly (the
+/// first scenario is run twice to verify this; see the notes line).
 pub fn chaos(scale: Scale) -> ExperimentOutput {
+    use iba_sim::faults::{
+        measure_recovery, ChurnModel, FaultEvent, FaultPlan, RecoveryEstimate, RecoveryOptions,
+    };
+
     let n = scale.bins();
     let lambda = 0.75;
     let c = 2u32;
-    let epoch = 50u64;
-    let mut table = Table::new(
-        "Chaos: rotating bin outages, c = 2, lambda = 0.75",
-        &["offline fraction", "pool/n", "avg wait", "max wait", "p99 wait"],
-    );
-    let notes = vec![format!(
-        "n = {n}; outage set rotates every {epoch} rounds; stability requires f < 1 - lambda = 0.25"
-    )];
-    for percent in [0usize, 5, 10, 20] {
-        let offline_count = n * percent / 100;
-        let config = CappedConfig::new(n, c, lambda).expect("valid");
-        let mut process = CappedProcess::new(config);
-        process.warm_start();
-        let mut rng = SimRng::seed_from(percent as u64 + 71);
-        let mut cursor = 0usize;
-        let mut current: Vec<usize> = Vec::new();
-        let rotate = |process: &mut CappedProcess, cursor: &mut usize, current: &mut Vec<usize>| {
-            for &i in current.iter() {
-                process.set_bin_offline(i, false);
-            }
-            current.clear();
-            for k in 0..offline_count {
-                let i = (*cursor + k) % n;
-                process.set_bin_offline(i, true);
-                current.push(i);
-            }
-            *cursor = (*cursor + offline_count) % n;
-        };
-        rotate(&mut process, &mut cursor, &mut current);
+    let master_seed = 0xC0FF_EE00u64;
+    let replications = scale.seeds().max(8);
+    let outage = 120u64;
+    let opts = RecoveryOptions {
+        burnin: 400,
+        baseline_window: 200,
+        epsilon: 0.25,
+        min_band: (n as f64 / 256.0).max(8.0),
+        stable_rounds: 50,
+        max_rounds: 4_000,
+    };
 
-        let burnin = 1_000u64;
-        let window = scale.window();
-        let mut pool_sum = 0.0;
-        let mut waits = iba_sim::stats::Histogram::new();
-        for round in 0..burnin + window {
-            if round % epoch == 0 && round > 0 {
-                rotate(&mut process, &mut cursor, &mut current);
-            }
-            let report = process.step(&mut rng);
-            if round >= burnin {
-                pool_sum += report.pool_size as f64;
-                for &w in &report.waiting_times {
-                    waits.record(w);
-                }
-            }
-        }
+    let config = CappedConfig::new(n, c, lambda).expect("valid");
+    let warm = |config: &CappedConfig| {
+        let mut p = CappedProcess::new(config.clone());
+        p.warm_start();
+        p
+    };
+    let crash_plan = |count: usize| {
+        // Which bins crash is irrelevant by symmetry; a deterministic
+        // prefix keeps the plan independent of the replication stream.
+        let bins: Vec<usize> = (0..count).collect();
+        FaultPlan::new()
+            .with(1, FaultEvent::CrashBins { bins: bins.clone() })
+            .with(outage, FaultEvent::RecoverBins { bins })
+    };
+    let run_crash = |percent: usize| -> RecoveryEstimate {
+        let plan = crash_plan(n * percent / 100);
+        measure_recovery(master_seed ^ percent as u64, replications, &opts, |_, _| {
+            (warm(&config), plan.clone())
+        })
+    };
+
+    let mut table = Table::new(
+        "Chaos: fault injection and recovery, c = 2, lambda = 0.75",
+        &[
+            "scenario",
+            "reps",
+            "recovered",
+            "restab rounds",
+            "peak pool/n",
+            "peak backlog/n",
+            "wait impact",
+        ],
+    );
+    let mut row = |label: String, est: &RecoveryEstimate| {
         table.row(vec![
-            format!("{percent}%").into(),
-            (pool_sum / window as f64 / n as f64).into(),
-            waits.mean().into(),
-            waits.max().unwrap_or(0).into(),
-            waits.quantile(0.99).unwrap_or(0).into(),
+            label.into(),
+            (est.replications as u64).into(),
+            (est.recovered as u64).into(),
+            est.rounds_to_restabilize
+                .as_ref()
+                .map_or_else(|| "never".to_string(), |p| format!("{:.1}", p.mean()))
+                .into(),
+            (est.peak_pool.mean() / n as f64).into(),
+            (est.peak_backlog.mean() / n as f64).into(),
+            est.wait_impact.mean().into(),
         ]);
-    }
+    };
+
+    let first = run_crash(10);
+    let replay = run_crash(10);
+    let bit_exact = first.reports == replay.reports;
+    row("crash 10%".into(), &first);
+    row("crash 20%".into(), &run_crash(20));
+
+    let churn_model = ChurnModel {
+        crash_prob: 0.004,
+        recover_prob: 0.04,
+        start_round: 1,
+        rounds: outage,
+        heal_at_end: true,
+    };
+    let churn = measure_recovery(master_seed ^ 0x11, replications, &opts, |_, rng| {
+        // The plan draws from a stream split off the replication's seed:
+        // reproducible, and decoupled from the simulation's own draws.
+        let mut churn_rng = rng.split();
+        (warm(&config), churn_model.generate(n, &mut churn_rng))
+    });
+    row("churn ~9%".into(), &churn);
+
+    let surge = measure_recovery(master_seed ^ 0x22, replications, &opts, |_, _| {
+        let plan = FaultPlan::new().with(
+            1,
+            FaultEvent::PoolSurge {
+                extra: 2 * n as u64,
+            },
+        );
+        (warm(&config), plan)
+    });
+    row("surge 2n".into(), &surge);
+
+    let notes = vec![
+        format!(
+            "n = {n}; {replications} replications per scenario; outage window {outage} rounds; \
+             stability requires f < 1 - lambda = 0.25"
+        ),
+        format!(
+            "recovery = pool back inside ±max({:.0}%, {:.0} balls) of the pre-fault baseline \
+             for {} consecutive rounds (scan cap {} rounds)",
+            opts.epsilon * 100.0,
+            opts.min_band,
+            opts.stable_rounds,
+            opts.max_rounds
+        ),
+        format!(
+            "replaying scenario 'crash 10%' with the same master seed was bit-exact: {bit_exact}"
+        ),
+    ];
     ExperimentOutput::new(table, notes)
 }
 
@@ -634,7 +742,9 @@ pub fn lemma_phases(scale: Scale) -> ExperimentOutput {
         let t2 = to_n_2e.unwrap_or(0);
         let t3 = to_zero.unwrap_or(elapsed);
         if to_zero.is_none() {
-            notes.push(format!("c={c}: survivors did not vanish within 100000 rounds"));
+            notes.push(format!(
+                "c={c}: survivors did not vanish within 100000 rounds"
+            ));
         }
         table.row(vec![
             u64::from(c).into(),

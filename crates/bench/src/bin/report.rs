@@ -26,16 +26,31 @@ fn all_experiments(scale: Scale) -> Vec<(&'static str, ExperimentOutput)> {
         ("CMP — growth laws", compare::compare_growth(scale).0),
         ("ADLER — stability region", compare::adler_region(scale)),
         ("DOM — dominance coupling", ablations::dominance(scale)),
-        ("MSTAR — m* sensitivity", ablations::mstar_sensitivity(scale)),
+        (
+            "MSTAR — m* sensitivity",
+            ablations::mstar_sensitivity(scale),
+        ),
         ("LEMMA — survivor phases", ablations::lemma_phases(scale)),
         ("TAIL — waiting-time tail", ablations::wait_tail(scale)),
-        ("LOAD — load distribution", ablations::load_distribution(scale)),
-        ("ABL-d — choices ablation", ablations::choice_ablation(scale)),
-        ("ABL-arr — arrival models", ablations::arrival_ablation(scale)),
+        (
+            "LOAD — load distribution",
+            ablations::load_distribution(scale),
+        ),
+        (
+            "ABL-d — choices ablation",
+            ablations::choice_ablation(scale),
+        ),
+        (
+            "ABL-arr — arrival models",
+            ablations::arrival_ablation(scale),
+        ),
         ("STAB — self-stabilization", ablations::stabilization(scale)),
         ("CHAOS — fault injection", ablations::chaos(scale)),
         ("HETERO — capacity mixtures", ablations::hetero(scale)),
-        ("ASYNC — continuous time", ablations::async_comparison(scale)),
+        (
+            "ASYNC — continuous time",
+            ablations::async_comparison(scale),
+        ),
     ]
 }
 

@@ -48,7 +48,11 @@ impl GrowthSeries {
             .iter()
             .map(|&(n, _)| (n as f64).log2().log2())
             .collect();
-        let log: Vec<f64> = self.points.iter().map(|&(n, _)| (n as f64).log2()).collect();
+        let log: Vec<f64> = self
+            .points
+            .iter()
+            .map(|&(n, _)| (n as f64).log2())
+            .collect();
         let (winner, _) = best_covariate(&[loglog, log], &ys);
         if winner == 0 {
             "log log n"
@@ -133,7 +137,13 @@ pub fn compare_head_to_head(scale: Scale) -> ExperimentOutput {
     let n = scale.bins();
     let mut table = Table::new(
         "Head-to-head at fixed n, lambda = 0.75",
-        &["process", "avg wait", "max wait", "mean pool/n", "probes/ball"],
+        &[
+            "process",
+            "avg wait",
+            "max wait",
+            "mean pool/n",
+            "probes/ball",
+        ],
     );
     let notes = vec![format!("n = {n}")];
     for c in [1u32, 2, 3] {

@@ -112,7 +112,9 @@ pub fn fig4_left(scale: Scale) -> ExperimentOutput {
     let mut chart = Chart::new("Figure 4 (left): pool/n vs c", 50, 14);
     for i in [2u32, 10] {
         if !lambda_pow2_valid(i, n) {
-            notes.push(format!("skipped lambda = 1 - 2^-{i}: not integral for n = {n}"));
+            notes.push(format!(
+                "skipped lambda = 1 - 2^-{i}: not integral for n = {n}"
+            ));
             continue;
         }
         let lambda = lambda_pow2(i);
@@ -163,7 +165,9 @@ pub fn fig4_right(scale: Scale) -> ExperimentOutput {
     for c in [1u32, 3] {
         for i in 1..=10u32 {
             if !lambda_pow2_valid(i, n) {
-                notes.push(format!("skipped lambda = 1 - 2^-{i}: not integral for n = {n}"));
+                notes.push(format!(
+                    "skipped lambda = 1 - 2^-{i}: not integral for n = {n}"
+                ));
                 continue;
             }
             let lambda = lambda_pow2(i);
@@ -209,7 +213,9 @@ pub fn fig5_left(scale: Scale) -> ExperimentOutput {
     let mut chart = Chart::new("Figure 5 (left): avg waiting time vs c", 50, 14);
     for i in [2u32, 10, 13] {
         if !lambda_pow2_valid(i, n) {
-            notes.push(format!("skipped lambda = 1 - 2^-{i}: not integral for n = {n}"));
+            notes.push(format!(
+                "skipped lambda = 1 - 2^-{i}: not integral for n = {n}"
+            ));
             continue;
         }
         let lambda = lambda_pow2(i);
@@ -260,7 +266,9 @@ pub fn fig5_right(scale: Scale) -> ExperimentOutput {
     for c in [1u32, 3] {
         for i in 1..=10u32 {
             if !lambda_pow2_valid(i, n) {
-                notes.push(format!("skipped lambda = 1 - 2^-{i}: not integral for n = {n}"));
+                notes.push(format!(
+                    "skipped lambda = 1 - 2^-{i}: not integral for n = {n}"
+                ));
                 continue;
             }
             let lambda = lambda_pow2(i);
@@ -304,7 +312,9 @@ pub fn sweet_spot(scale: Scale) -> ExperimentOutput {
     note_scale(&mut notes, scale, n);
     for i in [2u32, 6, 10, 13] {
         if !lambda_pow2_valid(i, n) {
-            notes.push(format!("skipped lambda = 1 - 2^-{i}: not integral for n = {n}"));
+            notes.push(format!(
+                "skipped lambda = 1 - 2^-{i}: not integral for n = {n}"
+            ));
             continue;
         }
         let lambda = lambda_pow2(i);
@@ -401,7 +411,7 @@ mod tests {
     fn n_invariance_smoke_reports_flat_pools() {
         let out = n_invariance(Scale::Smoke);
         assert_eq!(out.table.len(), 6); // 2 configs x 3 n values
-        // The flatness notes must be present and report small spreads.
+                                        // The flatness notes must be present and report small spreads.
         let spread_notes: Vec<&String> =
             out.notes.iter().filter(|n| n.contains("spread")).collect();
         assert_eq!(spread_notes.len(), 2);

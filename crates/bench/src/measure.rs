@@ -5,14 +5,14 @@
 //! collect pool-size and waiting-time statistics over a measurement window,
 //! replicated across independent seeds.
 
+use iba_baselines::greedy_batch::GreedyBatchProcess;
 use iba_core::config::CappedConfig;
 use iba_core::process::CappedProcess;
-use iba_baselines::greedy_batch::GreedyBatchProcess;
 use iba_sim::burnin::{run_burn_in, BurnIn};
 use iba_sim::engine::{MultiObserver, PoolSeries, RoundStats, Simulation, WaitingTimes};
-use iba_sim::stats::autocorr::effective_sample_size;
 use iba_sim::process::AllocationProcess;
 use iba_sim::runner::{replicate, PointEstimate};
+use iba_sim::stats::autocorr::effective_sample_size;
 
 /// How to measure: burn-in policy, window length, replication count.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,8 +131,8 @@ where
             .with(&mut waits)
             .with(&mut pool_series);
         sim.run_observed(config.window, &mut multi);
-        let ess = effective_sample_size(pool_series.series().values())
-            .unwrap_or(config.window as f64);
+        let ess =
+            effective_sample_size(pool_series.series().values()).unwrap_or(config.window as f64);
         SeedResult {
             probes_per_ball: stats.probes_per_ball().unwrap_or(0.0),
             pool_mean: stats.pool.mean(),

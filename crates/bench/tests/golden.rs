@@ -41,8 +41,7 @@ fn check_golden(name: &str, output: &ExperimentOutput) {
         )
     });
     assert_eq!(
-        actual,
-        expected,
+        actual, expected,
         "output of '{name}' diverged from its golden file; if the change is \
          intentional, regenerate with UPDATE_GOLDEN=1"
     );

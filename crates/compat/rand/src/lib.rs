@@ -1,0 +1,74 @@
+//! Offline stand-in for the tiny part of the `rand` 0.9 API this workspace
+//! uses.
+//!
+//! The workspace's own generators (`iba_sim::rng`) are hand-rolled and
+//! self-contained; the only thing taken from `rand` is the [`RngCore`]
+//! abstraction so the generators can be plugged into external samplers.
+//! The build image has no crates.io access, so this crate provides that
+//! trait with the exact `rand` 0.9 signatures. If registry access ever
+//! returns, deleting `crates/compat` and restoring the crates.io
+//! dependency is a drop-in swap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The core of a random number generator, signature-compatible with
+/// `rand::RngCore` 0.9.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        R::fill_bytes(self, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dst: &mut [u8]) {
+            for chunk in dst.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_and_reference_impls_work() {
+        let mut c = Counter(0);
+        assert_eq!((&mut c).next_u64(), 1);
+        let dyn_rng: &mut dyn RngCore = &mut c;
+        assert_eq!(dyn_rng.next_u64(), 2);
+        let mut buf = [0u8; 4];
+        dyn_rng.fill_bytes(&mut buf);
+        assert_eq!(u32::from_le_bytes(buf), 3);
+    }
+}

@@ -44,9 +44,30 @@ impl BinBuffer {
         }
     }
 
+    /// Rebuilds a buffer from checkpointed contents, in FIFO order.
+    ///
+    /// Unlike [`try_accept`](Self::try_accept), this does **not** enforce
+    /// `len ≤ capacity`: a bin whose capacity was degraded mid-run (see
+    /// `iba_sim::faults`) legally holds more balls than its current
+    /// capacity allows and must round-trip through a checkpoint unchanged.
+    pub fn restore(capacity: Capacity, balls: impl IntoIterator<Item = Ball>) -> Self {
+        BinBuffer {
+            queue: balls.into_iter().collect(),
+            capacity,
+        }
+    }
+
     /// The buffer's capacity.
     pub fn capacity(&self) -> Capacity {
         self.capacity
+    }
+
+    /// Changes the buffer's capacity (fault injection: capacity
+    /// degradation or restoration). Balls already stored above a lowered
+    /// capacity stay; the buffer simply rejects new balls until it drains
+    /// below the new bound.
+    pub fn set_capacity(&mut self, capacity: Capacity) {
+        self.capacity = capacity;
     }
 
     /// Current load (number of stored balls).
@@ -155,6 +176,47 @@ mod tests {
         }
         assert!(!buf.is_full());
         assert_eq!(buf.len(), 10_000);
+    }
+
+    #[test]
+    fn lowered_capacity_keeps_overflow_but_rejects_new() {
+        let mut buf = finite(3);
+        for label in 0..3 {
+            assert!(buf.try_accept(Ball::generated_in(label)));
+        }
+        buf.set_capacity(Capacity::finite(1).unwrap());
+        assert_eq!(buf.len(), 3, "stored balls survive degradation");
+        assert!(buf.is_full());
+        assert!(!buf.try_accept(Ball::generated_in(9)));
+        // Drain below the new bound; acceptance resumes.
+        buf.serve();
+        buf.serve();
+        buf.serve();
+        assert!(buf.try_accept(Ball::generated_in(10)));
+        assert!(!buf.try_accept(Ball::generated_in(11)));
+    }
+
+    #[test]
+    fn raised_capacity_opens_room() {
+        let mut buf = finite(1);
+        assert!(buf.try_accept(Ball::generated_in(1)));
+        assert!(!buf.try_accept(Ball::generated_in(2)));
+        buf.set_capacity(Capacity::finite(2).unwrap());
+        assert!(buf.try_accept(Ball::generated_in(2)));
+        buf.set_capacity(Capacity::Infinite);
+        assert!(buf.try_accept(Ball::generated_in(3)));
+    }
+
+    #[test]
+    fn restore_accepts_over_capacity_contents() {
+        let balls: Vec<Ball> = (0..5).map(Ball::generated_in).collect();
+        let mut buf = BinBuffer::restore(Capacity::finite(2).unwrap(), balls);
+        assert_eq!(buf.len(), 5);
+        assert!(buf.is_full());
+        assert!(!buf.try_accept(Ball::generated_in(9)));
+        // FIFO order preserved.
+        assert_eq!(buf.serve(), Some(Ball::generated_in(0)));
+        assert_eq!(buf.serve(), Some(Ball::generated_in(1)));
     }
 
     #[test]

@@ -451,7 +451,10 @@ mod tests {
         // Wrong length rejected.
         assert!(base.clone().with_capacity_profile(vec![1, 2]).is_err());
         // Zero entry rejected.
-        assert!(base.clone().with_capacity_profile(vec![1, 0, 2, 3]).is_err());
+        assert!(base
+            .clone()
+            .with_capacity_profile(vec![1, 0, 2, 3])
+            .is_err());
         // Valid profile: capacity() is the max, per-bin values preserved.
         let cfg = base.with_capacity_profile(vec![1, 3, 1, 3]).unwrap();
         assert_eq!(cfg.capacity().as_finite(), Some(3));

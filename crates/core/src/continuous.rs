@@ -304,10 +304,7 @@ mod tests {
         let stats = stationary_stats(256, 2, 0.75, 2);
         // Throughput must be ≈ λ·n = 192 per time unit.
         let throughput = stats.completed as f64 / stats.window;
-        assert!(
-            (throughput - 192.0).abs() < 10.0,
-            "throughput {throughput}"
-        );
+        assert!((throughput - 192.0).abs() < 10.0, "throughput {throughput}");
         assert!(stats.mean_in_system > 0.0);
     }
 

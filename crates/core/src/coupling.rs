@@ -86,7 +86,11 @@ impl CoupledRun {
             .capacity()
             .as_finite()
             .expect("coupling requires a finite capacity");
-        assert_eq!(config.choices(), 1, "coupling requires the 1-choice process");
+        assert_eq!(
+            config.choices(),
+            1,
+            "coupling requires the 1-choice process"
+        );
         let modcapped = ModCappedProcess::new(config.bins(), capacity, config.lambda())?;
         Ok(CoupledRun {
             capped: CappedProcess::new(config),
@@ -117,7 +121,8 @@ impl CoupledRun {
         );
         let n = self.capped.config().bins();
         self.choices.clear();
-        self.choices.extend((0..nu_m.max(nu_c)).map(|_| rng.uniform_bin(n)));
+        self.choices
+            .extend((0..nu_m.max(nu_c)).map(|_| rng.uniform_bin(n)));
 
         let capped_report = self.capped.step_with_choices(&self.choices[..nu_c]);
         let modcapped_report = self.modcapped.step_with_choices(&self.choices[..nu_m]);

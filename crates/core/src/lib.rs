@@ -58,7 +58,7 @@ pub mod spec;
 
 pub use ball::Ball;
 pub use buffer::BinBuffer;
-pub use config::{AcceptancePolicy, CappedConfig, Capacity};
+pub use config::{AcceptancePolicy, Capacity, CappedConfig};
 pub use coupling::CoupledRun;
 pub use modcapped::ModCappedProcess;
 pub use pool::Pool;

@@ -190,7 +190,8 @@ impl ModCappedProcess {
     /// Number of balls the next round will generate,
     /// `max{λn, m* − m(t−1)}`.
     pub fn next_generation(&self) -> u64 {
-        self.batch.max(self.m_star.saturating_sub(self.pool.len()) as u64)
+        self.batch
+            .max(self.m_star.saturating_sub(self.pool.len()) as u64)
     }
 
     /// Number of balls the next round will throw (pool + generation).
@@ -201,8 +202,7 @@ impl ModCappedProcess {
 
     /// Ball-conservation invariant.
     pub fn conserves_balls(&self) -> bool {
-        self.total_generated
-            == self.total_deleted + self.pool.len() as u64 + self.buffered() as u64
+        self.total_generated == self.total_deleted + self.pool.len() as u64 + self.buffered() as u64
     }
 
     /// Checks the Eq.-5 structural invariants: per-buffer loads within the

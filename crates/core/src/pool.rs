@@ -66,8 +66,10 @@ impl Pool {
                 last.label()
             );
         }
-        self.balls
-            .extend(std::iter::repeat_n(Ball::generated_in(round), count as usize));
+        self.balls.extend(std::iter::repeat_n(
+            Ball::generated_in(round),
+            count as usize,
+        ));
     }
 
     /// Removes and returns all pooled balls (oldest first) for the

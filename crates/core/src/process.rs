@@ -7,7 +7,7 @@ use iba_sim::stats::Histogram;
 
 use crate::ball::Ball;
 use crate::buffer::BinBuffer;
-use crate::config::{AcceptancePolicy, CappedConfig};
+use crate::config::{AcceptancePolicy, Capacity, CappedConfig};
 use crate::pool::Pool;
 
 /// The CAPPED(c, λ) process.
@@ -90,14 +90,70 @@ impl CappedProcess {
     ///
     /// # Panics
     ///
-    /// Panics if `i ≥ n`.
+    /// Panics with a descriptive message if `i ≥ n`; use
+    /// [`try_set_bin_offline`](Self::try_set_bin_offline) for fallible
+    /// handling of untrusted indices.
     pub fn set_bin_offline(&mut self, i: usize, offline: bool) {
+        assert!(
+            i < self.offline.len(),
+            "bin index {i} out of range for a process with n = {} bins",
+            self.offline.len()
+        );
         self.offline[i] = offline;
+    }
+
+    /// Fallible [`set_bin_offline`](Self::set_bin_offline) for indices
+    /// coming from untrusted input (CLI arguments, fault-plan files).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfDomain`](iba_sim::error::ConfigError)
+    /// if `i ≥ n`; the process is left unchanged.
+    pub fn try_set_bin_offline(
+        &mut self,
+        i: usize,
+        offline: bool,
+    ) -> Result<(), iba_sim::error::ConfigError> {
+        if i >= self.offline.len() {
+            return Err(iba_sim::error::ConfigError::OutOfDomain {
+                name: "bin index",
+                domain: "0..n",
+            });
+        }
+        self.offline[i] = offline;
+        Ok(())
+    }
+
+    /// Whether bin `i` is currently offline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    pub fn is_bin_offline(&self, i: usize) -> bool {
+        self.offline[i]
     }
 
     /// Number of currently offline bins.
     pub fn offline_count(&self) -> usize {
         self.offline.iter().filter(|&&o| o).count()
+    }
+
+    /// Fault injection: changes bin `i`'s **live** buffer capacity without
+    /// touching the configuration (capacity degradation experiments).
+    /// Balls buffered above a lowered capacity stay until served; the bin
+    /// rejects new balls until it drains below the new bound. Checkpoints
+    /// preserve live capacities (format v2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    pub fn set_bin_capacity(&mut self, i: usize, capacity: crate::config::Capacity) {
+        assert!(
+            i < self.bins.len(),
+            "bin index {i} out of range for a process with n = {} bins",
+            self.bins.len()
+        );
+        self.bins[i].set_capacity(capacity);
     }
 
     /// The configuration this process runs with.
@@ -173,14 +229,15 @@ impl CappedProcess {
     /// Ball-conservation invariant: every generated ball is pooled,
     /// buffered, or deleted.
     pub fn conserves_balls(&self) -> bool {
-        self.total_generated
-            == self.total_deleted + self.pool.len() as u64 + self.buffered() as u64
+        self.total_generated == self.total_deleted + self.pool.len() as u64 + self.buffered() as u64
     }
 
     /// Serializes the full process state (configuration, round counters,
-    /// pool, bin queues, fault mask) into a checkpoint encoder. Restoring
-    /// via [`decode_from`](Self::decode_from) and continuing with the same
-    /// RNG stream reproduces the original trajectory bit-exactly.
+    /// pool, bin queues with their **live** capacities, fault mask) into a
+    /// checkpoint encoder. Restoring via
+    /// [`decode_from`](Self::decode_from) and continuing with the same RNG
+    /// stream reproduces the original trajectory bit-exactly — including
+    /// runs whose capacities were degraded mid-flight by fault injection.
     pub fn encode_into(&self, enc: &mut iba_sim::codec::Encoder) {
         self.config.encode_into(enc);
         enc.u64(self.round);
@@ -190,6 +247,12 @@ impl CappedProcess {
         enc.u64_seq(pool_labels.into_iter());
         enc.usize(self.bins.len());
         for bin in &self.bins {
+            // Live capacity, which fault injection may have diverged from
+            // the configured profile; 0 encodes "unbounded".
+            enc.u64(match bin.capacity() {
+                Capacity::Finite(c) => u64::from(c.get()),
+                Capacity::Infinite => 0,
+            });
             let labels: Vec<u64> = bin.iter().map(Ball::label).collect();
             enc.u64_seq(labels.into_iter());
         }
@@ -223,15 +286,26 @@ impl CappedProcess {
             return Err(CodecError::Invalid { what: "bin count" });
         }
         let mut bins = Vec::with_capacity(bin_count);
-        for i in 0..bin_count {
+        for _ in 0..bin_count {
+            let raw = dec.u64("bin capacity")?;
+            let capacity = if raw == 0 {
+                Capacity::Infinite
+            } else {
+                u32::try_from(raw)
+                    .ok()
+                    .and_then(|c| Capacity::finite(c).ok())
+                    .ok_or(CodecError::Invalid {
+                        what: "bin capacity",
+                    })?
+            };
             let labels = dec.u64_seq("bin queue")?;
-            let mut buffer = BinBuffer::new(config.capacity_of(i));
-            for &label in &labels {
-                if !buffer.try_accept(Ball::generated_in(label)) {
-                    return Err(CodecError::Invalid { what: "bin load" });
-                }
-            }
-            bins.push(buffer);
+            // No load-vs-capacity check: a degraded bin legally holds more
+            // balls than its live capacity (see `BinBuffer::restore`);
+            // conservation is verified below.
+            bins.push(BinBuffer::restore(
+                capacity,
+                labels.iter().map(|&l| Ball::generated_in(l)),
+            ));
         }
         let mut offline = Vec::with_capacity(bin_count);
         for _ in 0..bin_count {
@@ -458,6 +532,39 @@ impl AllocationProcess for CappedProcess {
     }
 }
 
+/// CAPPED under fault injection: crashes freeze a bin's FIFO buffer
+/// (crash-recovery semantics, no ball loss), capacity degradation changes
+/// the live per-bin bound, and surged balls enter the pool labeled with
+/// the current round. All operations preserve ball conservation.
+impl iba_sim::faults::FaultTolerant for CappedProcess {
+    fn crash_bin(&mut self, i: usize) {
+        self.set_bin_offline(i, true);
+    }
+
+    fn recover_bin(&mut self, i: usize) {
+        self.set_bin_offline(i, false);
+    }
+
+    fn offline_bins(&self) -> usize {
+        self.offline_count()
+    }
+
+    fn set_bin_capacity(&mut self, i: usize, capacity: Option<u32>) {
+        let capacity = match capacity {
+            None => Capacity::Infinite,
+            Some(c) => match Capacity::finite(c) {
+                Ok(cap) => cap,
+                Err(_) => return, // zero capacity: malformed, ignore
+            },
+        };
+        CappedProcess::set_bin_capacity(self, i, capacity);
+    }
+
+    fn surge_pool(&mut self, extra: u64) {
+        self.inject_pool(extra);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,10 +747,16 @@ mod tests {
         // With d = 2 the process should reject at most as much as d = 1 on
         // average (power of two choices); compare stationary pools.
         let mut one = CappedProcess::new(
-            CappedConfig::new(256, 1, 0.75).unwrap().with_choices(1).unwrap(),
+            CappedConfig::new(256, 1, 0.75)
+                .unwrap()
+                .with_choices(1)
+                .unwrap(),
         );
         let mut two = CappedProcess::new(
-            CappedConfig::new(256, 1, 0.75).unwrap().with_choices(2).unwrap(),
+            CappedConfig::new(256, 1, 0.75)
+                .unwrap()
+                .with_choices(2)
+                .unwrap(),
         );
         let mut rng1 = SimRng::seed_from(10);
         let mut rng2 = SimRng::seed_from(11);
@@ -728,9 +841,7 @@ mod tests {
             AcceptancePolicy::YoungestFirst,
             AcceptancePolicy::Random,
         ] {
-            let config = CappedConfig::new(n, 2, lambda)
-                .unwrap()
-                .with_policy(policy);
+            let config = CappedConfig::new(n, 2, lambda).unwrap().with_policy(policy);
             let mut p = CappedProcess::new(config);
             let mut rng = SimRng::seed_from(77);
             let mut worst = 0u64;
@@ -819,6 +930,64 @@ mod tests {
             (end as i64 - mid as i64).unsigned_abs() < (n * 4) as u64,
             "pool drifting: {mid} -> {end}"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "bin index 4 out of range for a process with n = 4 bins")]
+    fn set_bin_offline_rejects_out_of_range_index() {
+        let mut p = process(4, 1, 0.5);
+        p.set_bin_offline(4, true);
+    }
+
+    #[test]
+    fn try_set_bin_offline_reports_out_of_domain() {
+        use iba_sim::error::ConfigError;
+        let mut p = process(4, 1, 0.5);
+        assert!(matches!(
+            p.try_set_bin_offline(4, true),
+            Err(ConfigError::OutOfDomain { .. })
+        ));
+        assert_eq!(p.offline_count(), 0, "failed call must not mutate");
+        assert!(p.try_set_bin_offline(3, true).is_ok());
+        assert!(p.is_bin_offline(3));
+        assert_eq!(p.offline_count(), 1);
+    }
+
+    #[test]
+    fn degraded_capacity_rejects_new_but_keeps_overflow() {
+        let mut p = process(4, 3, 0.5);
+        // Fill bin 0 to its configured capacity 3; one ball is served.
+        p.inject_pool(1);
+        p.step_with_choices(&[0, 0, 0]);
+        assert_eq!(p.bin(0).len(), 2);
+
+        p.set_bin_capacity(0, Capacity::finite(1).unwrap());
+        assert_eq!(p.bin(0).capacity(), Capacity::finite(1).unwrap());
+        // Over the degraded bound: rejects until drained below it.
+        let r = p.step_with_choices(&[0, 0]);
+        assert_eq!(r.accepted, 0);
+        assert_eq!(p.bin(0).len(), 1); // one served, none accepted
+        assert!(p.conserves_balls());
+    }
+
+    #[test]
+    fn fault_tolerant_surface_maps_to_process_operations() {
+        use iba_sim::faults::FaultTolerant;
+        let mut p = process(8, 2, 0.5);
+        FaultTolerant::crash_bin(&mut p, 2);
+        assert!(p.is_bin_offline(2));
+        assert_eq!(FaultTolerant::offline_bins(&p), 1);
+        FaultTolerant::recover_bin(&mut p, 2);
+        assert_eq!(p.offline_count(), 0);
+        FaultTolerant::set_bin_capacity(&mut p, 1, Some(5));
+        assert_eq!(p.bin(1).capacity(), Capacity::finite(5).unwrap());
+        FaultTolerant::set_bin_capacity(&mut p, 1, Some(0)); // malformed: ignored
+        assert_eq!(p.bin(1).capacity(), Capacity::finite(5).unwrap());
+        FaultTolerant::set_bin_capacity(&mut p, 1, None);
+        assert_eq!(p.bin(1).capacity(), Capacity::Infinite);
+        FaultTolerant::surge_pool(&mut p, 42);
+        assert_eq!(p.pool_size(), 42);
+        assert!(p.conserves_balls());
     }
 
     #[test]

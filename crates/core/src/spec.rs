@@ -111,11 +111,7 @@ impl SpecCapped {
             });
             self.next_id += 1;
         }
-        assert_eq!(
-            choices.len(),
-            self.pool.len(),
-            "one choice per pooled ball"
-        );
+        assert_eq!(choices.len(), self.pool.len(), "one choice per pooled ball");
         let thrown = self.pool.len() as u64;
 
         // 2 + 3. Per-bin gathering and oldest-first acceptance.

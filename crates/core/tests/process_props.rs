@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use iba_core::{Ball, BinBuffer, CappedConfig, CappedProcess, Capacity, Pool};
+use iba_core::{Ball, BinBuffer, Capacity, CappedConfig, CappedProcess, Pool};
 use iba_sim::process::AllocationProcess;
 use iba_sim::SimRng;
 

@@ -50,7 +50,11 @@ fn run_differential(n: usize, c: u32, batch: u64, seed: u64, rounds: u64) {
 
         // Per-bin loads must also coincide.
         for bin in 0..n {
-            assert_eq!(fast.bin(bin).len(), spec.load(bin), "round {round}, bin {bin}");
+            assert_eq!(
+                fast.bin(bin).len(),
+                spec.load(bin),
+                "round {round}, bin {bin}"
+            );
         }
     }
 }

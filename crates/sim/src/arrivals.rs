@@ -71,7 +71,9 @@ impl ArrivalModel {
         if (batch_f - batch).abs() > 1e-9 {
             return Err(ConfigError::NonIntegralArrivals { lambda, bins: n });
         }
-        Ok(ArrivalModel::Deterministic { batch: batch as u64 })
+        Ok(ArrivalModel::Deterministic {
+            batch: batch as u64,
+        })
     }
 
     /// Builds the footnote-2 probabilistic model: `n` generators each

@@ -3,9 +3,12 @@
 //! Paper-scale runs at heavy λ can take minutes; the checkpoint feature
 //! lets a long simulation be saved and resumed bit-exactly (state +
 //! RNG). The format is deliberately simple: little-endian primitives, a
-//! magic/version header, and length-prefixed sequences. Hand-rolled
-//! because the approved dependency set has no serializer that emits a
-//! concrete format (`serde` alone is only an abstraction).
+//! magic/version header, length-prefixed sequences, and a CRC32 footer
+//! over the entire payload so any corruption — a single flipped bit
+//! included — is rejected deterministically at decode time instead of
+//! surfacing as a subtly wrong simulation. Hand-rolled because the
+//! approved dependency set has no serializer that emits a concrete
+//! format (`serde` alone is only an abstraction).
 
 use std::error::Error;
 use std::fmt;
@@ -19,10 +22,28 @@ pub enum CodecError {
         /// What was being decoded.
         what: &'static str,
     },
-    /// The magic tag or version did not match.
+    /// The magic tag did not match, or the version field was zero.
     BadHeader {
         /// Expected tag.
         expected: &'static str,
+    },
+    /// The header is valid but was written by a newer format revision
+    /// than this binary understands.
+    FutureVersion {
+        /// Tag whose version field was too new.
+        tag: &'static str,
+        /// Version found in the input.
+        found: u32,
+        /// Newest version this binary can read.
+        max_supported: u32,
+    },
+    /// The CRC32 footer did not match the payload: the input is
+    /// corrupted (or is not a checksummed checkpoint at all).
+    ChecksumMismatch {
+        /// Checksum recomputed over the payload.
+        computed: u32,
+        /// Checksum stored in the footer.
+        stored: u32,
     },
     /// A decoded value violated an invariant.
     Invalid {
@@ -40,12 +61,59 @@ impl fmt::Display for CodecError {
             CodecError::BadHeader { expected } => {
                 write!(f, "checkpoint header mismatch (expected {expected})")
             }
+            CodecError::FutureVersion {
+                tag,
+                found,
+                max_supported,
+            } => write!(
+                f,
+                "checkpoint {tag} was written by a newer format revision \
+                 (version {found}, this binary supports up to {max_supported}); \
+                 upgrade the binary or re-create the checkpoint"
+            ),
+            CodecError::ChecksumMismatch { computed, stored } => write!(
+                f,
+                "checkpoint payload is corrupted: CRC32 footer {stored:#010x} \
+                 does not match recomputed {computed:#010x}"
+            ),
             CodecError::Invalid { what } => write!(f, "checkpoint contains invalid {what}"),
         }
     }
 }
 
 impl Error for CodecError {}
+
+const CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+const fn build_crc32_table() -> [u32; 256] {
+    // CRC-32/ISO-HDLC (the zlib/PNG polynomial), reflected form.
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32/ISO-HDLC checksum of `data` (the checksum zlib and PNG use).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// Binary encoder: appends little-endian fields to a buffer.
 #[derive(Debug, Clone, Default)]
@@ -103,9 +171,15 @@ impl Encoder {
         }
     }
 
-    /// Finishes encoding, returning the buffer.
+    /// Finishes encoding: appends the CRC32 footer over everything
+    /// written so far and returns the buffer. [`Decoder::new`] verifies
+    /// and strips this footer, so any single-byte change anywhere in the
+    /// output is rejected at decode time.
     pub fn finish(self) -> Vec<u8> {
-        self.buf
+        let mut buf = self.buf;
+        let checksum = crc32(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        buf
     }
 }
 
@@ -117,9 +191,25 @@ pub struct Decoder<'a> {
 }
 
 impl<'a> Decoder<'a> {
-    /// Creates a decoder over `data`.
-    pub fn new(data: &'a [u8]) -> Self {
-        Decoder { data, pos: 0 }
+    /// Creates a decoder over `data`, which must end with the CRC32
+    /// footer [`Encoder::finish`] appends. The footer is verified against
+    /// the payload and stripped; decoding then sees only the payload.
+    pub fn new(data: &'a [u8]) -> Result<Self, CodecError> {
+        if data.len() < 4 {
+            return Err(CodecError::UnexpectedEnd {
+                what: "checksum footer",
+            });
+        }
+        let (payload, footer) = data.split_at(data.len() - 4);
+        let stored = u32::from_le_bytes(footer.try_into().expect("length 4"));
+        let computed = crc32(payload);
+        if computed != stored {
+            return Err(CodecError::ChecksumMismatch { computed, stored });
+        }
+        Ok(Decoder {
+            data: payload,
+            pos: 0,
+        })
     }
 
     fn take(&mut self, len: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
@@ -132,14 +222,25 @@ impl<'a> Decoder<'a> {
     }
 
     /// Reads and verifies a tag + version header; returns the version.
+    ///
+    /// A version newer than `max_version` yields
+    /// [`CodecError::FutureVersion`], naming both versions so the caller
+    /// can tell "wrong file" from "newer tool wrote this".
     pub fn header(&mut self, tag: &'static str, max_version: u32) -> Result<u32, CodecError> {
         let bytes = self.take(tag.len(), "header tag")?;
         if bytes != tag.as_bytes() {
             return Err(CodecError::BadHeader { expected: tag });
         }
         let version = self.u32("header version")?;
-        if version == 0 || version > max_version {
+        if version == 0 {
             return Err(CodecError::BadHeader { expected: tag });
+        }
+        if version > max_version {
+            return Err(CodecError::FutureVersion {
+                tag,
+                found: version,
+                max_supported: max_version,
+            });
         }
         Ok(version)
     }
@@ -196,6 +297,14 @@ impl<'a> Decoder<'a> {
 mod tests {
     use super::*;
 
+    /// Appends a valid CRC32 footer to a hand-built payload so tests can
+    /// exercise decoding of arbitrary (non-`Encoder`) byte patterns.
+    fn with_footer(payload: &[u8]) -> Vec<u8> {
+        let mut bytes = payload.to_vec();
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes
+    }
+
     #[test]
     fn primitive_roundtrip() {
         let mut enc = Encoder::new();
@@ -209,7 +318,7 @@ mod tests {
         enc.u64_seq([1u64, 2, 3].into_iter());
         let bytes = enc.finish();
 
-        let mut dec = Decoder::new(&bytes);
+        let mut dec = Decoder::new(&bytes).unwrap();
         assert_eq!(dec.header("TEST", 1).unwrap(), 1);
         assert_eq!(dec.u32("a").unwrap(), 7);
         assert_eq!(dec.u64("b").unwrap(), u64::MAX);
@@ -222,11 +331,57 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_reference_vectors() {
+        // Published CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let mut enc = Encoder::new();
+        enc.header("TEST", 1);
+        enc.u64_seq([9u64, 8, 7, 6].into_iter());
+        enc.bool(true);
+        let bytes = enc.finish();
+
+        assert!(Decoder::new(&bytes).is_ok());
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupted = bytes.clone();
+                corrupted[i] ^= 1 << bit;
+                match Decoder::new(&corrupted) {
+                    Err(CodecError::ChecksumMismatch { .. }) => {}
+                    other => panic!("flip at byte {i} bit {bit} not caught: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_footer_is_rejected() {
+        let mut bytes = Encoder::new().finish();
+        assert_eq!(bytes.len(), 4); // empty payload + footer
+        assert!(Decoder::new(&bytes).is_ok());
+        bytes.pop();
+        assert_eq!(
+            Decoder::new(&bytes).err(),
+            Some(CodecError::UnexpectedEnd {
+                what: "checksum footer"
+            })
+        );
+    }
+
+    #[test]
     fn wrong_tag_is_rejected() {
         let mut enc = Encoder::new();
         enc.header("AAAA", 1);
         let bytes = enc.finish();
-        let mut dec = Decoder::new(&bytes);
+        let mut dec = Decoder::new(&bytes).unwrap();
         assert_eq!(
             dec.header("BBBB", 1),
             Err(CodecError::BadHeader { expected: "BBBB" })
@@ -234,21 +389,40 @@ mod tests {
     }
 
     #[test]
-    fn future_version_is_rejected() {
+    fn future_version_is_rejected_with_actionable_error() {
         let mut enc = Encoder::new();
         enc.header("TAGX", 5);
         let bytes = enc.finish();
-        let mut dec = Decoder::new(&bytes);
-        assert!(dec.header("TAGX", 4).is_err());
+        let mut dec = Decoder::new(&bytes).unwrap();
+        assert_eq!(
+            dec.header("TAGX", 4),
+            Err(CodecError::FutureVersion {
+                tag: "TAGX",
+                found: 5,
+                max_supported: 4,
+            })
+        );
+    }
+
+    #[test]
+    fn zero_version_is_rejected_as_bad_header() {
+        let mut enc = Encoder::new();
+        enc.header("TAGX", 0);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes).unwrap();
+        assert_eq!(
+            dec.header("TAGX", 4),
+            Err(CodecError::BadHeader { expected: "TAGX" })
+        );
     }
 
     #[test]
     fn truncation_is_detected() {
-        let mut enc = Encoder::new();
-        enc.u64(1);
-        let mut bytes = enc.finish();
-        bytes.pop();
-        let mut dec = Decoder::new(&bytes);
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.pop();
+        let bytes = with_footer(&payload);
+        let mut dec = Decoder::new(&bytes).unwrap();
         assert_eq!(
             dec.u64("value"),
             Err(CodecError::UnexpectedEnd { what: "value" })
@@ -257,17 +431,16 @@ mod tests {
 
     #[test]
     fn absurd_sequence_length_is_rejected() {
-        let mut enc = Encoder::new();
-        enc.usize(usize::MAX / 2); // length prefix with no data behind it
-        let bytes = enc.finish();
-        let mut dec = Decoder::new(&bytes);
+        // Length prefix with no data behind it.
+        let bytes = with_footer(&(usize::MAX / 2).to_le_bytes());
+        let mut dec = Decoder::new(&bytes).unwrap();
         assert!(dec.u64_seq("seq").is_err());
     }
 
     #[test]
     fn invalid_bool_is_rejected() {
-        let bytes = [7u8];
-        let mut dec = Decoder::new(&bytes);
+        let bytes = with_footer(&[7u8]);
+        let mut dec = Decoder::new(&bytes).unwrap();
         assert_eq!(dec.bool("flag"), Err(CodecError::Invalid { what: "flag" }));
     }
 
@@ -276,6 +449,15 @@ mod tests {
         for e in [
             CodecError::UnexpectedEnd { what: "x" },
             CodecError::BadHeader { expected: "y" },
+            CodecError::FutureVersion {
+                tag: "y",
+                found: 3,
+                max_supported: 2,
+            },
+            CodecError::ChecksumMismatch {
+                computed: 1,
+                stored: 2,
+            },
             CodecError::Invalid { what: "z" },
         ] {
             assert!(!e.to_string().is_empty());

@@ -91,7 +91,10 @@ mod tests {
                 bins: 10,
             }
             .to_string(),
-            ConfigError::EmptyWindow { what: "measurement" }.to_string(),
+            ConfigError::EmptyWindow {
+                what: "measurement",
+            }
+            .to_string(),
             ConfigError::OutOfDomain {
                 name: "delta",
                 domain: "(0, 1)",

@@ -25,6 +25,9 @@
 //! - [`plot`] — ASCII line charts for terminal visualization.
 //! - [`events`] — a discrete-event (continuous-time) simulation substrate.
 //! - [`codec`] — a versioned binary codec for simulation checkpoints.
+//! - [`faults`] — deterministic fault injection ([`faults::FaultPlan`],
+//!   [`faults::FaultedProcess`]) and recovery measurement
+//!   ([`faults::RecoveryReport`]).
 //!
 //! # Quick example
 //!
@@ -63,6 +66,7 @@ pub mod codec;
 pub mod engine;
 pub mod error;
 pub mod events;
+pub mod faults;
 pub mod output;
 pub mod plot;
 pub mod process;

@@ -195,7 +195,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let cells: Vec<String> = row.iter().map(Cell::render).collect();
@@ -247,7 +251,7 @@ mod tests {
         assert!(text.starts_with("# pool size\n"));
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 5); // title, header, rule, two rows
-        // All data lines have the same width.
+                                    // All data lines have the same width.
         assert_eq!(lines[1].len(), lines[3].len());
         assert_eq!(lines[3].len(), lines[4].len());
     }

@@ -113,10 +113,9 @@ impl Chart {
                 if !x.is_finite() || !y.is_finite() {
                     continue;
                 }
-                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy;
                 canvas[row][cx] = marker;
             }
@@ -126,8 +125,7 @@ impl Chart {
         let _ = writeln!(out, "# {}", self.title);
         let y_label_width = 10;
         for (row, line) in canvas.iter().enumerate() {
-            let y_at_row =
-                y_max - (y_max - y_min) * row as f64 / (self.height - 1) as f64;
+            let y_at_row = y_max - (y_max - y_min) * row as f64 / (self.height - 1) as f64;
             let label = if row == 0 || row == self.height - 1 || row == self.height / 2 {
                 format!("{y_at_row:>9.3} ")
             } else {
@@ -190,7 +188,10 @@ mod tests {
     fn multiple_series_use_distinct_markers() {
         let a = Series::from_values("a", &[0.0, 1.0]);
         let b = Series::from_values("b", &[1.0, 0.0]);
-        let text = Chart::new("two", 16, 6).with_series(a).with_series(b).render();
+        let text = Chart::new("two", 16, 6)
+            .with_series(a)
+            .with_series(b)
+            .render();
         assert!(text.contains('*'));
         assert!(text.contains('+'));
         assert!(text.contains("a") && text.contains("b"));
@@ -205,7 +206,10 @@ mod tests {
 
     #[test]
     fn non_finite_points_are_skipped() {
-        let s = Series::new("nan", vec![(0.0, f64::NAN), (1.0, 2.0), (f64::INFINITY, 3.0)]);
+        let s = Series::new(
+            "nan",
+            vec![(0.0, f64::NAN), (1.0, 2.0), (f64::INFINITY, 3.0)],
+        );
         let text = Chart::new("nan", 12, 4).with_series(s).render();
         assert!(text.contains('*')); // only the finite point plots
     }

@@ -105,10 +105,7 @@ impl Xoshiro256PlusPlus {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -282,7 +279,9 @@ impl SimRng {
     /// same family of streams.
     pub fn family(master_seed: u64, count: usize) -> Vec<SimRng> {
         let mut sm = SplitMix64::new(master_seed);
-        (0..count).map(|_| SimRng::seed_from(sm.next_u64())).collect()
+        (0..count)
+            .map(|_| SimRng::seed_from(sm.next_u64()))
+            .collect()
     }
 }
 

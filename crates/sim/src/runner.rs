@@ -29,7 +29,10 @@ impl PointEstimate {
     ///
     /// Panics if `values` is empty.
     pub fn from_values(values: &[f64]) -> Self {
-        assert!(!values.is_empty(), "point estimate needs at least one value");
+        assert!(
+            !values.is_empty(),
+            "point estimate needs at least one value"
+        );
         let summary: Summary = values.iter().copied().collect();
         let ci95 = normal_ci(&summary, 0.95);
         PointEstimate { summary, ci95 }

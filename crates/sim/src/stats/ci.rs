@@ -48,7 +48,10 @@ impl std::fmt::Display for ConfidenceInterval {
 ///
 /// Panics if `level` is not in `(0, 1)`.
 pub fn z_value(level: f64) -> f64 {
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0, 1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0, 1)"
+    );
     let target = (1.0 + level) / 2.0;
     // Bisection over [0, 10] on the standard normal CDF, which is monotone.
     let (mut lo, mut hi) = (0.0f64, 10.0f64);

@@ -69,8 +69,7 @@ impl Summary {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        let new_mean =
-            self.mean + delta * other.count as f64 / total as f64;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
         let new_m2 = self.m2
             + other.m2
             + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
@@ -213,8 +212,7 @@ mod tests {
         let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
         let s: Summary = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-10);
         assert!((s.sample_variance() - var).abs() < 1e-10);
     }

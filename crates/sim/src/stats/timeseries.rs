@@ -167,7 +167,9 @@ mod tests {
     fn drift_detects_trend_and_stationarity() {
         let rising: TimeSeries = (0..100).map(|i| i as f64).collect();
         assert!(rising.half_mean_drift(100).unwrap() > 0.4);
-        let flat: TimeSeries = (0..100).map(|i| 5.0 + 0.001 * ((i * 7 % 13) as f64)).collect();
+        let flat: TimeSeries = (0..100)
+            .map(|i| 5.0 + 0.001 * ((i * 7 % 13) as f64))
+            .collect();
         assert!(flat.half_mean_drift(100).unwrap() < 0.01);
     }
 

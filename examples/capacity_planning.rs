@@ -13,8 +13,8 @@
 //!
 //! The optional argument `i` selects λ = 1 − 2⁻ⁱ (default i = 10).
 
-use infinite_balanced_allocation::prelude::*;
 use infinite_balanced_allocation::analysis::sweetspot;
+use infinite_balanced_allocation::prelude::*;
 use infinite_balanced_allocation::sim::engine::MultiObserver;
 use infinite_balanced_allocation::sim::output::Table;
 
@@ -38,7 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hi = c_star.ceil() as u32 + 3;
     let mut table = Table::new(
         "measured stationary behavior per capacity",
-        &["c", "avg wait", "max wait", "wait envelope", "pool/n", "pool envelope"],
+        &[
+            "c",
+            "avg wait",
+            "max wait",
+            "wait envelope",
+            "pool/n",
+            "pool envelope",
+        ],
     );
     let mut best: Option<(u32, f64)> = None;
     for c in lo..=hi {

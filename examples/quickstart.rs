@@ -40,10 +40,7 @@ fn main() -> Result<(), infinite_balanced_allocation::sim::error::ConfigError> {
         normalized_pool_fit(capacity, lambda)
     );
     println!("mean waiting time    : {:.3} rounds", waits.mean());
-    println!(
-        "max waiting time     : {} rounds",
-        waits.max().unwrap_or(0)
-    );
+    println!("max waiting time     : {} rounds", waits.max().unwrap_or(0));
     println!(
         "paper envelope       : ln(1/(1-lambda))/c + loglog n + c = {:.3}",
         waiting_time_fit(n, capacity, lambda)

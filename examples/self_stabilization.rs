@@ -28,7 +28,10 @@ fn main() -> Result<(), infinite_balanced_allocation::sim::error::ConfigError> {
     let mut sim = Simulation::new(CappedProcess::new(config), SimRng::seed_from(7));
     run_burn_in(&mut sim, &BurnIn::default_adaptive(lambda));
     let stationary_pool = sim.process().pool_size();
-    println!("stationary pool: {stationary_pool} balls ({:.2} per bin)", stationary_pool as f64 / n as f64);
+    println!(
+        "stationary pool: {stationary_pool} balls ({:.2} per bin)",
+        stationary_pool as f64 / n as f64
+    );
 
     // Partition heals: a backlog of 20n requests floods in at once.
     sim.process_mut().inject_pool(overload_factor * n as u64);

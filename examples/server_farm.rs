@@ -31,17 +31,40 @@ struct Phase {
 fn main() -> Result<(), infinite_balanced_allocation::sim::error::ConfigError> {
     let n = 1 << 12; // 4096 servers
     let phases = [
-        Phase { name: "overnight", lambda: 0.25, ticks: 2_000 },
-        Phase { name: "morning", lambda: 0.75, ticks: 2_000 },
-        Phase { name: "rush hour", lambda: 1.0 - 1.0 / 256.0, ticks: 4_000 },
-        Phase { name: "evening", lambda: 0.5, ticks: 2_000 },
+        Phase {
+            name: "overnight",
+            lambda: 0.25,
+            ticks: 2_000,
+        },
+        Phase {
+            name: "morning",
+            lambda: 0.75,
+            ticks: 2_000,
+        },
+        Phase {
+            name: "rush hour",
+            lambda: 1.0 - 1.0 / 256.0,
+            ticks: 4_000,
+        },
+        Phase {
+            name: "evening",
+            lambda: 0.5,
+            ticks: 2_000,
+        },
     ];
 
     println!("server farm: n = {n} servers, Poisson request arrivals");
     for capacity in [1u32, 3, 8] {
         let mut table = Table::new(
             &format!("buffer capacity c = {capacity}"),
-            &["phase", "lambda", "p50 resp", "p99 resp", "max resp", "retry queue/n"],
+            &[
+                "phase",
+                "lambda",
+                "p50 resp",
+                "p99 resp",
+                "max resp",
+                "retry queue/n",
+            ],
         );
         // A single long-running farm; traffic changes between phases.
         let config = CappedConfig::new(n, capacity, phases[0].lambda)?;

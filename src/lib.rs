@@ -51,9 +51,7 @@ pub mod prelude {
     pub use iba_analysis::fits::{normalized_pool_fit, waiting_time_fit};
     pub use iba_analysis::sweetspot::optimal_capacity;
     pub use iba_baselines::{GreedyBatchProcess, ThresholdProcess};
-    pub use iba_core::{
-        Ball, CappedConfig, CappedProcess, Capacity, CoupledRun, ModCappedProcess,
-    };
+    pub use iba_core::{Ball, Capacity, CappedConfig, CappedProcess, CoupledRun, ModCappedProcess};
     pub use iba_sim::burnin::{run_burn_in, BurnIn};
     pub use iba_sim::engine::{PoolSeries, RoundStats, WaitingTimes};
     pub use iba_sim::{AllocationProcess, RoundReport, SimRng, Simulation};

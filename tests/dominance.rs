@@ -44,7 +44,11 @@ fn modcapped_pool_stays_near_m_star() {
         let r = p.step(&mut rng);
         max_pool = max_pool.max(r.pool_size);
     }
-    assert!(max_pool < 2 * m_star, "max pool {max_pool} vs 2m* {}", 2 * m_star);
+    assert!(
+        max_pool < 2 * m_star,
+        "max pool {max_pool} vs 2m* {}",
+        2 * m_star
+    );
     // And the coupling is not vacuous: the pool does hover near m*.
     assert!(max_pool > m_star / 2, "max pool {max_pool} vs m*/2");
 }

@@ -8,12 +8,7 @@ use infinite_balanced_allocation::prelude::*;
 use infinite_balanced_allocation::sim::stats::Histogram;
 
 /// Simulated stationary pool distribution over a long window.
-fn simulated_pool_distribution(
-    n: usize,
-    batch: u64,
-    rounds: u64,
-    seed: u64,
-) -> Vec<f64> {
+fn simulated_pool_distribution(n: usize, batch: u64, rounds: u64, seed: u64) -> Vec<f64> {
     let lambda = batch as f64 / n as f64;
     let config = CappedConfig::new(n, 1, lambda).expect("valid");
     let mut p = CappedProcess::new(config);
@@ -64,11 +59,7 @@ fn simulated_mean_matches_exact_mean() {
     let exact_pi = exact::stationary_pool_distribution(n, batch, 400);
     let exact_mean = exact::distribution_mean(&exact_pi);
     let sim_pi = simulated_pool_distribution(n, batch as u64, 300_000, 13);
-    let sim_mean: f64 = sim_pi
-        .iter()
-        .enumerate()
-        .map(|(m, &p)| m as f64 * p)
-        .sum();
+    let sim_mean: f64 = sim_pi.iter().enumerate().map(|(m, &p)| m as f64 * p).sum();
     let rel = (sim_mean - exact_mean).abs() / exact_mean.max(1e-9);
     assert!(
         rel < 0.02,

@@ -8,8 +8,7 @@ use infinite_balanced_allocation::prelude::*;
 /// Strategy for a valid (n, batch, c) triple: λ = batch/n is automatically
 /// in [0, 1 − 1/n] with λn integral.
 fn config_strategy() -> impl Strategy<Value = (usize, u64, u32)> {
-    (4usize..96)
-        .prop_flat_map(|n| (Just(n), 0..(n as u64), 1u32..6))
+    (4usize..96).prop_flat_map(|n| (Just(n), 0..(n as u64), 1u32..6))
 }
 
 proptest! {

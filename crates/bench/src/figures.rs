@@ -202,6 +202,9 @@ pub fn fig5_left(scale: Scale) -> ExperimentOutput {
             "lambda",
             "c",
             "avg wait",
+            "p50 wait",
+            "p99 wait",
+            "p999 wait",
             "max wait",
             "mean-field avg",
             "envelope",
@@ -232,6 +235,9 @@ pub fn fig5_left(scale: Scale) -> ExperimentOutput {
                 format!("1-2^-{i}").into(),
                 u64::from(c).into(),
                 est.wait_mean.mean().into(),
+                est.wait_p50.mean().into(),
+                est.wait_p99.mean().into(),
+                est.wait_p999.mean().into(),
                 est.wait_max.mean().into(),
                 mf_wait.into(),
                 fit.into(),
@@ -255,6 +261,9 @@ pub fn fig5_right(scale: Scale) -> ExperimentOutput {
             "c",
             "i (lambda=1-2^-i)",
             "avg wait",
+            "p50 wait",
+            "p99 wait",
+            "p999 wait",
             "max wait",
             "mean-field avg",
             "envelope",
@@ -282,6 +291,9 @@ pub fn fig5_right(scale: Scale) -> ExperimentOutput {
                 u64::from(c).into(),
                 u64::from(i).into(),
                 est.wait_mean.mean().into(),
+                est.wait_p50.mean().into(),
+                est.wait_p99.mean().into(),
+                est.wait_p999.mean().into(),
                 est.wait_max.mean().into(),
                 mf_wait.into(),
                 fit.into(),

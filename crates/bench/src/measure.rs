@@ -7,6 +7,7 @@
 
 use iba_baselines::greedy_batch::GreedyBatchProcess;
 use iba_core::config::CappedConfig;
+use iba_core::metrics::WaitQuantiles;
 use iba_core::process::CappedProcess;
 use iba_sim::burnin::{run_burn_in, BurnIn};
 use iba_sim::engine::{MultiObserver, PoolSeries, RoundStats, Simulation, WaitingTimes};
@@ -67,6 +68,13 @@ pub struct StationaryEstimate {
     pub pool_max: PointEstimate,
     /// Mean waiting time of balls deleted in the window.
     pub wait_mean: PointEstimate,
+    /// Median (p50) waiting time in the window, exact from the recorded
+    /// histogram, aggregated over seeds.
+    pub wait_p50: PointEstimate,
+    /// 99th-percentile waiting time in the window.
+    pub wait_p99: PointEstimate,
+    /// 99.9th-percentile waiting time in the window.
+    pub wait_p999: PointEstimate,
     /// Maximum waiting time observed in the window.
     pub wait_max: PointEstimate,
     /// Mean number of failed deletion attempts per round.
@@ -101,6 +109,9 @@ struct SeedResult {
     probes_per_ball: f64,
     pool_max: f64,
     wait_mean: f64,
+    wait_p50: f64,
+    wait_p99: f64,
+    wait_p999: f64,
     wait_max: f64,
     failed_deletions_mean: f64,
     burnin_rounds: f64,
@@ -133,12 +144,16 @@ where
         sim.run_observed(config.window, &mut multi);
         let ess =
             effective_sample_size(pool_series.series().values()).unwrap_or(config.window as f64);
+        let quantiles = WaitQuantiles::from_histogram(waits.histogram());
         SeedResult {
             probes_per_ball: stats.probes_per_ball().unwrap_or(0.0),
             pool_mean: stats.pool.mean(),
             pool_ess: ess,
             pool_max: stats.pool.max().unwrap_or(0.0),
             wait_mean: waits.mean(),
+            wait_p50: quantiles.as_ref().map_or(0.0, |q| q.p50 as f64),
+            wait_p99: quantiles.as_ref().map_or(0.0, |q| q.p99 as f64),
+            wait_p999: quantiles.as_ref().map_or(0.0, |q| q.p999 as f64),
             wait_max: waits.max().unwrap_or(0) as f64,
             failed_deletions_mean: stats.failed_deletions.mean(),
             burnin_rounds: outcome.rounds as f64,
@@ -155,6 +170,9 @@ where
         probes_per_ball: collect(|r| r.probes_per_ball),
         pool_max: collect(|r| r.pool_max),
         wait_mean: collect(|r| r.wait_mean),
+        wait_p50: collect(|r| r.wait_p50),
+        wait_p99: collect(|r| r.wait_p99),
+        wait_p999: collect(|r| r.wait_p999),
         wait_max: collect(|r| r.wait_max),
         failed_deletions_mean: collect(|r| r.failed_deletions_mean),
         burnin_rounds: collect(|r| r.burnin_rounds),
@@ -229,6 +247,22 @@ mod tests {
         assert!((0.2..8.0).contains(&wait), "mean wait {wait}");
         assert!(est.wait_max.mean() >= est.wait_mean.mean());
         assert!(est.pool_max.mean() >= est.pool_mean.mean());
+    }
+
+    #[test]
+    fn wait_quantiles_are_ordered() {
+        let capped = CappedConfig::new(256, 1, 0.75).unwrap();
+        let est = measure_capped(&capped, &small_config());
+        let (p50, p99, p999) = (
+            est.wait_p50.mean(),
+            est.wait_p99.mean(),
+            est.wait_p999.mean(),
+        );
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert!(p99 <= p999, "p99 {p99} > p999 {p999}");
+        assert!(p999 <= est.wait_max.mean(), "p999 {p999} above max");
+        // At λ = 0.75 some balls always wait, so the tail is non-trivial.
+        assert!(est.wait_p999.mean() >= 1.0, "p999 {p999} suspiciously low");
     }
 
     #[test]

@@ -54,12 +54,15 @@ pub mod metrics;
 pub mod modcapped;
 pub mod pool;
 pub mod process;
+pub mod shard;
 pub mod spec;
 
 pub use ball::Ball;
 pub use buffer::BinBuffer;
 pub use config::{AcceptancePolicy, Capacity, CappedConfig};
 pub use coupling::CoupledRun;
+pub use metrics::WaitQuantiles;
 pub use modcapped::ModCappedProcess;
 pub use pool::Pool;
 pub use process::CappedProcess;
+pub use shard::{shard_of, shard_range, BinShard};

@@ -1,8 +1,72 @@
 //! Point-in-time system snapshots and derived metrics.
 
+use std::fmt;
+
 use iba_sim::stats::Histogram;
 
 use crate::process::CappedProcess;
+
+/// Exact waiting-time quantile summary (p50/p99/p999) computed from a
+/// recorded [`Histogram`] — order statistics over every observation, not a
+/// sampled sketch, so two runs over the same trajectory report identical
+/// quantiles.
+///
+/// Used by the bench reports and the `iba-serve` live metrics export.
+///
+/// # Examples
+///
+/// ```
+/// use iba_core::metrics::WaitQuantiles;
+/// use iba_sim::stats::Histogram;
+///
+/// let hist: Histogram = (0..1000).collect();
+/// let q = WaitQuantiles::from_histogram(&hist).unwrap();
+/// assert_eq!(q.p50, 499);
+/// assert_eq!(q.p99, 989);
+/// assert_eq!(q.p999, 998);
+/// assert_eq!(q.max, 999);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaitQuantiles {
+    /// Number of recorded waiting times.
+    pub count: u64,
+    /// Mean waiting time in rounds.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest observed waiting time.
+    pub max: u64,
+}
+
+impl WaitQuantiles {
+    /// Computes the summary from a waiting-time histogram. Returns `None`
+    /// for an empty histogram (no balls served yet).
+    pub fn from_histogram(hist: &Histogram) -> Option<Self> {
+        let max = hist.max()?;
+        Some(WaitQuantiles {
+            count: hist.count(),
+            mean: hist.mean(),
+            p50: hist.quantile(0.5).expect("non-empty histogram"),
+            p99: hist.quantile(0.99).expect("non-empty histogram"),
+            p999: hist.quantile(0.999).expect("non-empty histogram"),
+            max,
+        })
+    }
+}
+
+impl fmt::Display for WaitQuantiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={} p99={} p999={} max={}",
+            self.count, self.mean, self.p50, self.p99, self.p999, self.max
+        )
+    }
+}
 
 /// A point-in-time snapshot of a CAPPED system's state, as used by the
 /// examples and the self-stabilization experiment to narrate recovery.
@@ -81,6 +145,49 @@ mod tests {
     use super::*;
     use crate::config::CappedConfig;
     use iba_sim::rng::SimRng;
+
+    #[test]
+    fn wait_quantiles_empty_histogram_is_none() {
+        assert_eq!(WaitQuantiles::from_histogram(&Histogram::new()), None);
+    }
+
+    #[test]
+    fn wait_quantiles_are_exact_order_statistics() {
+        // 1000 observations of value v for v in 0..10 — every quantile is
+        // exactly determined.
+        let mut hist = Histogram::new();
+        for v in 0..10 {
+            hist.record_n(v, 1000);
+        }
+        let q = WaitQuantiles::from_histogram(&hist).unwrap();
+        assert_eq!(q.count, 10_000);
+        assert_eq!(q.p50, 4);
+        assert_eq!(q.p99, 9);
+        assert_eq!(q.p999, 9);
+        assert_eq!(q.max, 9);
+        assert!((q.mean - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_quantiles_tail_sensitivity() {
+        // 9989 zeros + 11 large values: p99 stays 0, p999 catches the tail.
+        let mut hist = Histogram::new();
+        hist.record_n(0, 9_989);
+        hist.record_n(40, 11);
+        let q = WaitQuantiles::from_histogram(&hist).unwrap();
+        assert_eq!(q.p50, 0);
+        assert_eq!(q.p99, 0);
+        assert_eq!(q.p999, 40);
+        assert_eq!(q.max, 40);
+    }
+
+    #[test]
+    fn wait_quantiles_display_is_compact() {
+        let hist: Histogram = [1, 2, 3].into_iter().collect();
+        let q = WaitQuantiles::from_histogram(&hist).unwrap();
+        let s = q.to_string();
+        assert!(s.contains("n=3") && s.contains("p999="), "{s}");
+    }
 
     fn snapshot_after(rounds: u64) -> (SystemSnapshot, CappedProcess) {
         let mut p = CappedProcess::new(CappedConfig::new(32, 2, 0.75).unwrap());

@@ -1,0 +1,445 @@
+//! Per-shard bin state: the sequential kernel of a sharded CAPPED service.
+//!
+//! A [`BinShard`] owns a contiguous range of bins — their FIFO buffers and
+//! fault masks — and executes the bin-local half of one CAPPED(c, λ) round:
+//! the greedy oldest-first acceptance stage ([`accept`](BinShard::accept))
+//! and the FIFO deletion stage ([`serve`](BinShard::serve)). It is the
+//! single-threaded building block the `iba-serve` dispatch service runs one
+//! per worker thread; composing `S` shards over a partition of `0..n`
+//! reproduces [`CappedProcess`](crate::process::CappedProcess) exactly:
+//!
+//! - acceptance at a bin depends only on that bin's load and the age order
+//!   of the requests *to that bin*, so routing an age-ordered request
+//!   stream to shards preserves Algorithm 1's "accept the oldest
+//!   min{c − ℓ, ν}" rule at every bin;
+//! - the deletion stage is bin-local by definition.
+//!
+//! The bit-exact equivalence of the composition is property-tested in this
+//! module and anchored end-to-end by the `iba-serve` differential tests.
+
+use std::ops::Range;
+
+use crate::ball::Ball;
+use crate::buffer::BinBuffer;
+use crate::config::{Capacity, CappedConfig};
+
+/// The contiguous bin range owned by shard `shard` when `bins` bins are
+/// partitioned across `shards` shards as evenly as possible (the first
+/// `bins % shards` shards own one extra bin).
+///
+/// # Panics
+///
+/// Panics if `shards == 0`, `shards > bins`, or `shard >= shards`.
+pub fn shard_range(bins: usize, shards: usize, shard: usize) -> Range<usize> {
+    assert!(shards > 0, "need at least one shard");
+    assert!(
+        shards <= bins,
+        "cannot spread {bins} bins over {shards} shards"
+    );
+    assert!(shard < shards, "shard index {shard} out of range");
+    let base = bins / shards;
+    let extra = bins % shards;
+    let start = shard * base + shard.min(extra);
+    let len = base + usize::from(shard < extra);
+    start..start + len
+}
+
+/// The shard owning bin `bin` under the [`shard_range`] partition.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`, `shards > bins`, or `bin >= bins`.
+pub fn shard_of(bins: usize, shards: usize, bin: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    assert!(
+        shards <= bins,
+        "cannot spread {bins} bins over {shards} shards"
+    );
+    assert!(bin < bins, "bin index {bin} out of range");
+    let base = bins / shards;
+    let extra = bins % shards;
+    let boundary = extra * (base + 1);
+    if bin < boundary {
+        bin / (base + 1)
+    } else {
+        extra + (bin - boundary) / base
+    }
+}
+
+/// Statistics of one shard's deletion stage, aggregated over its bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardServeStats {
+    /// Bins that attempted a deletion and found their buffer empty
+    /// (offline bins make no attempt and are excluded, matching
+    /// [`CappedProcess`](crate::process::CappedProcess)).
+    pub failed_deletions: u64,
+    /// Balls left in this shard's buffers after the deletion stage.
+    pub buffered: u64,
+    /// Maximum bin load in this shard after the deletion stage.
+    pub max_load: u64,
+}
+
+/// A contiguous slice of a CAPPED system's bins, with their FIFO buffers
+/// and fault state.
+///
+/// # Examples
+///
+/// ```
+/// use iba_core::shard::BinShard;
+/// use iba_core::{Ball, CappedConfig};
+///
+/// # fn main() -> Result<(), iba_sim::error::ConfigError> {
+/// let config = CappedConfig::new(8, 1, 0.5)?;
+/// // Shard 1 of 2 owns bins 4..8.
+/// let mut shard = BinShard::new(&config, 4..8);
+/// let mut rejected = Vec::new();
+/// // Two requests for local bin 0 (global bin 4): c = 1 keeps only one.
+/// let accepted = shard.accept(
+///     &[(0, Ball::generated_in(1)), (0, Ball::generated_in(1))],
+///     &mut rejected,
+/// );
+/// assert_eq!(accepted, 1);
+/// assert_eq!(rejected.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinShard {
+    first_bin: usize,
+    bins: Vec<BinBuffer>,
+    offline: Vec<bool>,
+}
+
+impl BinShard {
+    /// Creates the shard owning `range`, with per-bin capacities taken
+    /// from `config` (heterogeneous profiles respected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the configured bin count or is empty.
+    pub fn new(config: &CappedConfig, range: Range<usize>) -> Self {
+        assert!(
+            range.end <= config.bins(),
+            "shard range {range:?} exceeds n = {}",
+            config.bins()
+        );
+        assert!(!range.is_empty(), "a shard must own at least one bin");
+        let bins: Vec<BinBuffer> = range
+            .clone()
+            .map(|i| BinBuffer::new(config.capacity_of(i)))
+            .collect();
+        let offline = vec![false; bins.len()];
+        BinShard {
+            first_bin: range.start,
+            bins,
+            offline,
+        }
+    }
+
+    /// Global index of the first bin this shard owns.
+    pub fn first_bin(&self) -> usize {
+        self.first_bin
+    }
+
+    /// Number of bins this shard owns.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether the shard owns no bins (never true for a constructed shard).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Read access to the local bin `i` (0-based within the shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin(&self, i: usize) -> &BinBuffer {
+        &self.bins[i]
+    }
+
+    /// Current loads of this shard's bins, in bin order.
+    pub fn loads(&self) -> Vec<usize> {
+        self.bins.iter().map(BinBuffer::len).collect()
+    }
+
+    /// Total balls stored in this shard's buffers.
+    pub fn buffered(&self) -> usize {
+        self.bins.iter().map(BinBuffer::len).sum()
+    }
+
+    /// Takes local bin `i` offline (`true`) or back online (`false`):
+    /// offline bins reject every request and stop serving; buffered balls
+    /// freeze (crash-recovery semantics, no ball loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_offline(&mut self, i: usize, offline: bool) {
+        self.offline[i] = offline;
+    }
+
+    /// Whether local bin `i` is offline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_offline(&self, i: usize) -> bool {
+        self.offline[i]
+    }
+
+    /// Changes local bin `i`'s live buffer capacity (fault injection).
+    /// Balls above a lowered bound stay until served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_capacity(&mut self, i: usize, capacity: Capacity) {
+        self.bins[i].set_capacity(capacity);
+    }
+
+    /// The acceptance stage for this shard: processes `requests` —
+    /// `(local_bin, ball)` pairs that MUST be ordered oldest-first — and
+    /// greedily accepts each ball into its requested bin while the bin is
+    /// online and has room. Rejected balls are appended to `rejected` in
+    /// request order (hence oldest-first). Returns the number accepted.
+    ///
+    /// Because acceptance at a bin depends only on that bin's state and
+    /// the relative order of its own requests, running this per shard on
+    /// an age-ordered routed stream is exactly Algorithm 1's acceptance
+    /// rule (see [`Pool`](crate::pool::Pool) for the equivalence).
+    pub fn accept(&mut self, requests: &[(u32, Ball)], rejected: &mut Vec<Ball>) -> u64 {
+        let mut accepted = 0u64;
+        for &(local, ball) in requests {
+            let local = local as usize;
+            if !self.offline[local] && self.bins[local].try_accept(ball) {
+                accepted += 1;
+            } else {
+                rejected.push(ball);
+            }
+        }
+        accepted
+    }
+
+    /// The deletion stage for this shard: every online non-empty bin
+    /// serves the head of its FIFO queue. Served balls are appended to
+    /// `served` and their waiting times (`round − label`) to `waits`, in
+    /// bin order — concatenating shard outputs in shard order therefore
+    /// reproduces [`CappedProcess`](crate::process::CappedProcess)'s
+    /// global bin-order waiting-time vector.
+    pub fn serve(
+        &mut self,
+        round: u64,
+        served: &mut Vec<Ball>,
+        waits: &mut Vec<u64>,
+    ) -> ShardServeStats {
+        let mut stats = ShardServeStats::default();
+        for (bin, &offline) in self.bins.iter_mut().zip(&self.offline) {
+            if offline {
+                stats.buffered += bin.len() as u64;
+                stats.max_load = stats.max_load.max(bin.len() as u64);
+                continue;
+            }
+            match bin.serve() {
+                Some(ball) => {
+                    waits.push(ball.age_at(round));
+                    served.push(ball);
+                }
+                None => stats.failed_deletions += 1,
+            }
+            let load = bin.len() as u64;
+            stats.buffered += load;
+            stats.max_load = stats.max_load.max(load);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::CappedProcess;
+
+    #[test]
+    fn partition_covers_all_bins_without_overlap() {
+        for (bins, shards) in [(8, 1), (8, 3), (8, 8), (17, 4), (1024, 7)] {
+            let mut next = 0;
+            for s in 0..shards {
+                let r = shard_range(bins, shards, s);
+                assert_eq!(r.start, next, "gap before shard {s}");
+                assert!(!r.is_empty());
+                for b in r.clone() {
+                    assert_eq!(shard_of(bins, shards, b), s, "owner of bin {b}");
+                }
+                next = r.end;
+            }
+            assert_eq!(next, bins, "partition must cover 0..{bins}");
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let sizes: Vec<usize> = (0..5).map(|s| shard_range(17, 5, s).len()).collect();
+        assert_eq!(sizes, vec![4, 4, 3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot spread")]
+    fn more_shards_than_bins_panics() {
+        shard_range(2, 3, 0);
+    }
+
+    #[test]
+    fn accept_is_greedy_oldest_first_per_bin() {
+        let config = CappedConfig::new(4, 1, 0.5).unwrap();
+        let mut shard = BinShard::new(&config, 0..4);
+        let mut rejected = Vec::new();
+        // Oldest-first stream: bin 0 gets labels 1 then 2 — only 1 fits.
+        let accepted = shard.accept(
+            &[
+                (0, Ball::generated_in(1)),
+                (0, Ball::generated_in(2)),
+                (1, Ball::generated_in(2)),
+            ],
+            &mut rejected,
+        );
+        assert_eq!(accepted, 2);
+        assert_eq!(rejected, vec![Ball::generated_in(2)]);
+        assert_eq!(shard.bin(0).head(), Some(&Ball::generated_in(1)));
+    }
+
+    #[test]
+    fn serve_reports_waits_in_bin_order() {
+        let config = CappedConfig::new(4, 2, 0.5).unwrap();
+        let mut shard = BinShard::new(&config, 0..3);
+        let mut rejected = Vec::new();
+        shard.accept(
+            &[(0, Ball::generated_in(1)), (2, Ball::generated_in(3))],
+            &mut rejected,
+        );
+        let mut served = Vec::new();
+        let mut waits = Vec::new();
+        let stats = shard.serve(4, &mut served, &mut waits);
+        assert_eq!(served, vec![Ball::generated_in(1), Ball::generated_in(3)]);
+        assert_eq!(waits, vec![3, 1]);
+        assert_eq!(stats.failed_deletions, 1); // bin 1 was empty
+        assert_eq!(stats.buffered, 0);
+        assert_eq!(stats.max_load, 0);
+    }
+
+    #[test]
+    fn offline_bins_freeze_and_skip_service() {
+        let config = CappedConfig::new(2, 2, 0.5).unwrap();
+        let mut shard = BinShard::new(&config, 0..2);
+        let mut rejected = Vec::new();
+        shard.accept(&[(0, Ball::generated_in(1))], &mut rejected);
+        shard.set_offline(0, true);
+        assert!(shard.is_offline(0));
+        assert_eq!(
+            shard.accept(&[(0, Ball::generated_in(2))], &mut rejected),
+            0
+        );
+        let mut served = Vec::new();
+        let mut waits = Vec::new();
+        let stats = shard.serve(2, &mut served, &mut waits);
+        assert!(served.is_empty());
+        // Offline bin 0 makes no deletion attempt; empty bin 1 fails one.
+        assert_eq!(stats.failed_deletions, 1);
+        assert_eq!(stats.buffered, 1);
+        assert_eq!(stats.max_load, 1);
+        // Recovery: the frozen ball is served first.
+        shard.set_offline(0, false);
+        shard.serve(3, &mut served, &mut waits);
+        assert_eq!(served, vec![Ball::generated_in(1)]);
+    }
+
+    #[test]
+    fn degraded_capacity_rejects_until_drained() {
+        let config = CappedConfig::new(1, 3, 0.0).unwrap();
+        let mut shard = BinShard::new(&config, 0..1);
+        let mut rejected = Vec::new();
+        shard.accept(
+            &[
+                (0, Ball::generated_in(1)),
+                (0, Ball::generated_in(1)),
+                (0, Ball::generated_in(1)),
+            ],
+            &mut rejected,
+        );
+        shard.set_capacity(0, Capacity::finite(1).unwrap());
+        assert_eq!(
+            shard.accept(&[(0, Ball::generated_in(2))], &mut rejected),
+            0
+        );
+        assert_eq!(shard.bin(0).len(), 3, "overflow balls stay");
+    }
+
+    #[test]
+    fn heterogeneous_profile_is_respected_per_shard() {
+        let config = CappedConfig::new(4, 2, 0.5)
+            .unwrap()
+            .with_capacity_profile(vec![1, 3, 1, 3])
+            .unwrap();
+        let shard = BinShard::new(&config, 2..4);
+        assert_eq!(shard.first_bin(), 2);
+        assert_eq!(shard.bin(0).capacity(), Capacity::finite(1).unwrap());
+        assert_eq!(shard.bin(1).capacity(), Capacity::finite(3).unwrap());
+    }
+
+    /// Sequential composition of shards reproduces `CappedProcess`
+    /// bit-exactly on a shared pre-drawn choice stream — the invariant the
+    /// `iba-serve` differential test extends across threads.
+    #[test]
+    fn shard_composition_matches_capped_process() {
+        let n = 12;
+        let shards = 3;
+        let config = CappedConfig::new(n, 2, 0.75).unwrap();
+        let mut reference = CappedProcess::new(config.clone());
+        let mut parts: Vec<BinShard> = (0..shards)
+            .map(|s| BinShard::new(&config, shard_range(n, shards, s)))
+            .collect();
+        let mut pool: Vec<Ball> = Vec::new();
+        let mut rng = iba_sim::SimRng::seed_from(99);
+        for round in 1..=200u64 {
+            // Shared choice stream, one uniform bin per thrown ball.
+            let batch = 9u64; // λn = 0.75 · 12
+            pool.extend(std::iter::repeat_n(
+                Ball::generated_in(round),
+                batch as usize,
+            ));
+            let choices: Vec<usize> = pool.iter().map(|_| rng.uniform_bin(n)).collect();
+            let report = reference.step_with_choices(&choices);
+
+            // Route the same stream through the shards.
+            let mut routed: Vec<Vec<(u32, Ball)>> = vec![Vec::new(); shards];
+            for (&ball, &bin) in pool.iter().zip(&choices) {
+                let s = shard_of(n, shards, bin);
+                let local = (bin - parts[s].first_bin()) as u32;
+                routed[s].push((local, ball));
+            }
+            let mut rejected: Vec<Vec<Ball>> = vec![Vec::new(); shards];
+            let mut waits = Vec::new();
+            let mut served = Vec::new();
+            let mut accepted = 0;
+            for (s, part) in parts.iter_mut().enumerate() {
+                accepted += part.accept(&routed[s], &mut rejected[s]);
+                part.serve(round, &mut served, &mut waits);
+            }
+            // Merge per-shard rejects oldest-first back into the pool.
+            let mut merged: Vec<Ball> = rejected.into_iter().flatten().collect();
+            merged.sort();
+            pool = merged;
+
+            assert_eq!(report.accepted, accepted, "round {round}");
+            assert_eq!(report.pool_size as usize, pool.len(), "round {round}");
+            assert_eq!(report.waiting_times, waits, "round {round}");
+            let shard_loads: Vec<usize> = parts.iter().flat_map(|p| p.loads()).collect();
+            assert_eq!(reference.loads(), shard_loads, "round {round}");
+            let pool_labels: Vec<u64> = pool.iter().map(Ball::label).collect();
+            let ref_labels: Vec<u64> = reference.pool().iter().map(Ball::label).collect();
+            assert_eq!(pool_labels, ref_labels, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! End-to-end demonstration and smoke test of the serving layer.
+//!
+//! Spawns a sharded [`CappedService`], pushes `rounds × λn` requests
+//! through it from concurrent generator threads (blocking on ingress
+//! backpressure), drains completion notifications on a collector thread,
+//! checks the conservation and capacity invariants every round, and
+//! prints a throughput / waiting-time report. Exits non-zero on any
+//! invariant violation, which makes it directly usable as a CI smoke job:
+//!
+//! ```text
+//! cargo run --release -p iba-serve --bin serve_demo -- \
+//!     --rounds 200 --shards 4 --n 4096
+//! ```
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use iba_core::CappedConfig;
+use iba_serve::{
+    CappedService, Completion, Dispatcher, Pacing, RngMode, RoundClock, ServiceConfig,
+};
+
+struct Options {
+    rounds: u64,
+    shards: usize,
+    n: usize,
+    c: u32,
+    lambda: f64,
+    seed: u64,
+    generators: usize,
+    pace_us: u64,
+    metrics_every: u64,
+    mode: RngMode,
+    ingress_capacity: usize,
+}
+
+impl Options {
+    fn defaults() -> Self {
+        Options {
+            rounds: 100,
+            shards: 8,
+            n: 16_384,
+            c: 4,
+            lambda: 0.75,
+            seed: 2021,
+            generators: 4,
+            pace_us: 0,
+            metrics_every: 0,
+            mode: RngMode::PerShard,
+            ingress_capacity: 1 << 16,
+        }
+    }
+}
+
+const USAGE: &str =
+    "serve_demo: push an open-loop CAPPED(c, lambda) workload through a sharded service
+
+USAGE: serve_demo [--rounds N] [--shards S] [--n BINS] [--c CAP] [--lambda L]
+                  [--seed SEED] [--generators G] [--pace-us MICROS]
+                  [--metrics-every K] [--mode central|pershard] [--ingress-cap Q]
+
+The demo submits rounds x lambda*n requests total, runs rounds until all of
+them are served (bounded by a safety cap), verifies conservation and
+capacity invariants every round, and prints a throughput/latency report.";
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value for {flag}: {value}"))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::defaults();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--rounds" => opts.rounds = parse_value(&flag, &value)?,
+            "--shards" => opts.shards = parse_value(&flag, &value)?,
+            "--n" => opts.n = parse_value(&flag, &value)?,
+            "--c" => opts.c = parse_value(&flag, &value)?,
+            "--lambda" => opts.lambda = parse_value(&flag, &value)?,
+            "--seed" => opts.seed = parse_value(&flag, &value)?,
+            "--generators" => opts.generators = parse_value(&flag, &value)?,
+            "--pace-us" => opts.pace_us = parse_value(&flag, &value)?,
+            "--metrics-every" => opts.metrics_every = parse_value(&flag, &value)?,
+            "--ingress-cap" => opts.ingress_capacity = parse_value(&flag, &value)?,
+            "--mode" => {
+                opts.mode = match value.as_str() {
+                    "central" => RngMode::Central,
+                    "pershard" => RngMode::PerShard,
+                    _ => return Err(format!("--mode must be central or pershard, got {value}")),
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.rounds == 0 || opts.generators == 0 {
+        return Err("--rounds and --generators must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+/// Generator threads split `target` submissions evenly and block on
+/// ingress backpressure, so the offered load is exact.
+fn spawn_generators(
+    dispatcher: &Dispatcher,
+    generators: usize,
+    target: u64,
+) -> Vec<std::thread::JoinHandle<u64>> {
+    let base = target / generators as u64;
+    let extra = target % generators as u64;
+    (0..generators)
+        .map(|g| {
+            let dispatcher = dispatcher.clone();
+            let quota = base + u64::from((g as u64) < extra);
+            std::thread::Builder::new()
+                .name(format!("iba-serve-gen-{g}"))
+                .spawn(move || {
+                    let mut sent = 0;
+                    while sent < quota && dispatcher.submit_blocking().is_ok() {
+                        sent += 1;
+                    }
+                    sent
+                })
+                .expect("spawn generator thread")
+        })
+        .collect()
+}
+
+fn spawn_collector(
+    completions: std::sync::mpsc::Receiver<Completion>,
+    collected: Arc<AtomicU64>,
+) -> std::thread::JoinHandle<u64> {
+    std::thread::Builder::new()
+        .name("iba-serve-collector".into())
+        .spawn(move || {
+            let mut max_wait = 0;
+            for completion in completions {
+                collected.fetch_add(1, Ordering::Relaxed);
+                max_wait = max_wait.max(completion.waiting_rounds);
+            }
+            max_wait
+        })
+        .expect("spawn collector thread")
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let capped = CappedConfig::new(opts.n, opts.c, opts.lambda)
+        .map_err(|e| format!("invalid CAPPED parameters: {e}"))?;
+    let per_round = (opts.lambda * opts.n as f64).round() as u64;
+    let target = opts.rounds * per_round;
+    let mut service = CappedService::spawn(
+        ServiceConfig::new(capped, opts.shards, opts.seed)
+            .with_rng_mode(opts.mode)
+            .with_ingress_capacity(opts.ingress_capacity)
+            .with_max_admit_per_round(Some(per_round)),
+    )
+    .map_err(|e| format!("invalid service configuration: {e}"))?;
+
+    println!(
+        "serve_demo: n={} c={} lambda={} shards={} mode={:?} target={} requests ({} rounds x {}/round)",
+        opts.n, opts.c, opts.lambda, opts.shards, opts.mode, target, opts.rounds, per_round
+    );
+
+    let generators = spawn_generators(&service.dispatcher(), opts.generators, target);
+    let collected = Arc::new(AtomicU64::new(0));
+    let completion_rx = service.take_completions().expect("fresh service");
+    let collector = spawn_collector(completion_rx, Arc::clone(&collected));
+
+    let pacing = if opts.pace_us == 0 {
+        Pacing::Immediate
+    } else {
+        Pacing::Interval(Duration::from_micros(opts.pace_us))
+    };
+    let mut clock = RoundClock::new(pacing);
+    // The pool drains after submission stops; allow generous extra rounds
+    // before declaring the run stuck.
+    let round_cap = opts.rounds * 10 + 1_000;
+    let start = Instant::now();
+    let mut rounds_run = 0;
+    while service.total_served() < target {
+        if rounds_run >= round_cap {
+            return Err(format!(
+                "stuck: served {}/{target} after {rounds_run} rounds",
+                service.total_served()
+            ));
+        }
+        clock.wait();
+        let report = service.run_round();
+        rounds_run += 1;
+        if !report.conserves_balls() {
+            return Err(format!(
+                "round {} violates report conservation",
+                report.round
+            ));
+        }
+        if !service.conserves_balls() {
+            return Err(format!(
+                "round {} violates service conservation",
+                report.round
+            ));
+        }
+        if report.max_load > u64::from(opts.c) {
+            return Err(format!(
+                "round {}: max load {} exceeds capacity {}",
+                report.round, report.max_load, opts.c
+            ));
+        }
+        if opts.metrics_every > 0 && rounds_run % opts.metrics_every == 0 {
+            println!("{}", service.snapshot().to_json_line());
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let mut offered = 0;
+    for generator in generators {
+        offered += generator.join().expect("generator thread panicked");
+    }
+    if offered != target {
+        return Err(format!("generators offered {offered}, expected {target}"));
+    }
+    let snapshot = service.snapshot();
+    // Dropping the service joins the workers AND closes the completion
+    // channel, which is what lets the collector's loop terminate.
+    drop(service);
+    let max_wait_seen = collector.join().expect("collector thread panicked");
+    let notified = collected.load(Ordering::Relaxed);
+
+    if snapshot.total_served != target {
+        return Err(format!(
+            "served {} != target {target}",
+            snapshot.total_served
+        ));
+    }
+    if notified != target {
+        return Err(format!("completions {notified} != target {target}"));
+    }
+
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!("--- report ---");
+    println!(
+        "requests: {target} served in {rounds_run} rounds, {:.3} s wall",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "throughput: {:.0} requests/s, {:.1} rounds/s",
+        target as f64 / secs,
+        rounds_run as f64 / secs
+    );
+    match &snapshot.wait {
+        Some(wait) => println!("waiting time (rounds): {wait} (completion max {max_wait_seen})"),
+        None => println!("waiting time: no balls served"),
+    }
+    println!(
+        "final state: pool={} buffered={} shard max loads {:?}",
+        snapshot.pool_size, snapshot.buffered, snapshot.shard_max_load
+    );
+    println!("invariants: conservation and capacity held every round");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("serve_demo FAILED: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

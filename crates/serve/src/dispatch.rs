@@ -1,0 +1,183 @@
+//! The admission front end: bounded ingress, per-request tickets, and
+//! completion notifications.
+//!
+//! Clients interact with the service exclusively through a cloneable
+//! [`Dispatcher`] handle. Submission places a request onto a **bounded**
+//! ingress queue; when the queue is full the service is saturated and
+//! [`Dispatcher::submit`] reports backpressure instead of queueing
+//! unboundedly ([`SubmitError::Saturated`]), while
+//! [`Dispatcher::submit_blocking`] parks the caller until space frees up.
+//! Each accepted submission is identified by a [`Ticket`]; when the ball
+//! it became is served by a bin, the service emits a [`Completion`]
+//! carrying the measured waiting time in rounds.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// Identifies one submitted request. Ids are unique per service and
+/// monotonically assigned in submission order (ids of submissions rejected
+/// for backpressure are skipped, never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket {
+    id: u64,
+}
+
+impl Ticket {
+    pub(crate) fn from_id(id: u64) -> Self {
+        Ticket { id }
+    }
+
+    /// The ticket's unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ticket#{}", self.id)
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded ingress queue is full — the service is saturated.
+    /// Back off and retry, or treat the request as shed (open-loop
+    /// overload semantics).
+    Saturated,
+    /// The service has shut down; no further submissions will ever be
+    /// accepted.
+    Closed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Saturated => write!(f, "ingress queue full (backpressure)"),
+            SubmitError::Closed => write!(f, "service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Notification that a submitted request was served.
+///
+/// `waiting_rounds` is the paper's waiting time: the number of rounds
+/// between the request's admission into the allocation pool and its
+/// deletion from a bin's FIFO buffer (0 = served in its admission round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The ticket returned at submission time.
+    pub ticket: Ticket,
+    /// Round in which the request was admitted into the pool.
+    pub admitted_round: u64,
+    /// Round in which a bin served the request.
+    pub served_round: u64,
+    /// `served_round − admitted_round`.
+    pub waiting_rounds: u64,
+}
+
+/// Cloneable client handle for submitting requests to a
+/// [`CappedService`](crate::service::CappedService).
+///
+/// All clones share the same bounded ingress queue and ticket counter, so
+/// any number of client threads can submit concurrently.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    ingress: SyncSender<u64>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl Dispatcher {
+    pub(crate) fn new(ingress: SyncSender<u64>) -> Self {
+        Dispatcher {
+            ingress,
+            next_id: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Submits one request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] if the ingress queue is full (the
+    /// request is shed — resubmit to retry), [`SubmitError::Closed`] if
+    /// the service is gone.
+    pub fn submit(&self) -> Result<Ticket, SubmitError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        match self.ingress.try_send(id) {
+            Ok(()) => Ok(Ticket::from_id(id)),
+            Err(TrySendError::Full(_)) => Err(SubmitError::Saturated),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Submits one request, blocking while the ingress queue is full —
+    /// the backpressure mode for closed-loop clients.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] if the service is gone.
+    pub fn submit_blocking(&self) -> Result<Ticket, SubmitError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.ingress
+            .send(id)
+            .map(|()| Ticket::from_id(id))
+            .map_err(|_| SubmitError::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn submit_returns_monotonic_tickets() {
+        let (tx, rx) = sync_channel(8);
+        let d = Dispatcher::new(tx);
+        let a = d.submit().unwrap();
+        let b = d.submit().unwrap();
+        assert!(b.id() > a.id());
+        assert_eq!(rx.try_recv().unwrap(), a.id());
+        assert_eq!(rx.try_recv().unwrap(), b.id());
+    }
+
+    #[test]
+    fn full_queue_reports_saturation() {
+        let (tx, _rx) = sync_channel(1);
+        let d = Dispatcher::new(tx);
+        assert!(d.submit().is_ok());
+        assert_eq!(d.submit(), Err(SubmitError::Saturated));
+    }
+
+    #[test]
+    fn closed_queue_reports_closed() {
+        let (tx, rx) = sync_channel(1);
+        drop(rx);
+        let d = Dispatcher::new(tx);
+        assert_eq!(d.submit(), Err(SubmitError::Closed));
+        assert_eq!(d.submit_blocking(), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn clones_share_the_ticket_space() {
+        let (tx, _rx) = sync_channel(16);
+        let d1 = Dispatcher::new(tx);
+        let d2 = d1.clone();
+        let a = d1.submit().unwrap();
+        let b = d2.submit().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(SubmitError::Saturated.to_string().contains("backpressure"));
+        assert!(SubmitError::Closed.to_string().contains("shut down"));
+        assert_eq!(Ticket::from_id(3).to_string(), "ticket#3");
+    }
+}

@@ -1,0 +1,75 @@
+//! A sharded, multi-threaded dispatch service running the CAPPED(c, λ)
+//! discipline of *"Infinite Balanced Allocation via Finite Capacities"*
+//! (ICDCS 2021) as a live system instead of an offline simulation.
+//!
+//! The crate turns [`iba_core::process::CappedProcess`] into a service:
+//!
+//! - **Sharded bin state** ([`service`]) — the `n` bins are partitioned
+//!   into `S` contiguous shards ([`iba_core::shard::BinShard`]), each owned
+//!   by one worker thread. The driver broadcasts the allocate/accept/serve
+//!   phases of every round to the workers over `std::sync::mpsc` channels
+//!   and merges their replies.
+//! - **Round clock** ([`clock`]) — rounds are logical epochs; an optional
+//!   wall-clock pacing mode spaces them at a fixed interval.
+//! - **Admission front end** ([`dispatch`]) — clients submit requests
+//!   through a [`Dispatcher`] backed by a *bounded* ingress queue
+//!   (backpressure), receive a per-request [`Ticket`], and are notified of
+//!   service with a [`Completion`] carrying the measured waiting time.
+//! - **Workload generation** ([`workload`]) — open-loop λn-per-round
+//!   arrivals plus burst/surge scenarios described by the same
+//!   [`iba_sim::faults::FaultPlan`] schedules the simulator uses.
+//! - **Live metrics** ([`metrics`]) — periodic JSON-lines snapshots of
+//!   pool size, per-shard max load, and exact p50/p99/p999 waiting-time
+//!   quantiles ([`iba_core::metrics::WaitQuantiles`]).
+//!
+//! Everything is std-only: no async runtime, no external crates.
+//!
+//! # Determinism and the differential guarantee
+//!
+//! In [`RngMode::Central`] the driver owns the single RNG stream and
+//! consumes randomness in exactly the order `CappedProcess` does (the
+//! arrival sample, then one uniform bin per pooled ball oldest-first), so
+//! the service's round-by-round trajectory — pool size, bin loads,
+//! waiting times — is **bit-identical** to the bare process under the same
+//! seed, for *any* shard count. The `differential` integration test pins
+//! this. [`RngMode::PerShard`] instead splits one decorrelated stream per
+//! worker from the master seed for scalable randomness generation; the
+//! trajectory is then statistically equivalent rather than bit-equal.
+//!
+//! # Example
+//!
+//! ```
+//! use iba_core::CappedConfig;
+//! use iba_serve::{RngMode, ServiceConfig, CappedService};
+//!
+//! # fn main() -> Result<(), iba_sim::error::ConfigError> {
+//! let capped = CappedConfig::new(64, 2, 0.75)?;
+//! let mut service = CappedService::spawn(
+//!     ServiceConfig::new(capped, 4, 7)
+//!         .with_rng_mode(RngMode::Central)
+//!         .with_model_arrivals(true),
+//! )?;
+//! let report = service.run_round();
+//! assert_eq!(report.generated, 48); // λn = 0.75 · 64
+//! assert!(service.conserves_balls());
+//! service.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod dispatch;
+pub mod metrics;
+pub mod service;
+mod shard;
+pub mod workload;
+
+pub use clock::{Pacing, RoundClock};
+pub use dispatch::{Completion, Dispatcher, SubmitError, Ticket};
+pub use metrics::ServeSnapshot;
+pub use service::{CappedService, RngMode, ServiceConfig};
+pub use workload::{run_open_loop, OpenLoop, WorkloadSummary};

@@ -1,0 +1,140 @@
+//! Live metrics export: point-in-time service snapshots and their
+//! JSON-lines encoding.
+//!
+//! The service accumulates an exact waiting-time histogram and per-shard
+//! load statistics as rounds execute; [`ServeSnapshot`] captures them at
+//! one instant and [`ServeSnapshot::to_json_line`] renders the snapshot
+//! as one line of JSON (hand-rolled — the build environment is std-only)
+//! suitable for appending to a metrics log and ingesting with any JSONL
+//! tool.
+
+use std::fmt::Write as _;
+
+use iba_core::metrics::WaitQuantiles;
+
+/// A point-in-time view of a running [`CappedService`]
+/// (see [`CappedService::snapshot`]).
+///
+/// [`CappedService`]: crate::service::CappedService
+/// [`CappedService::snapshot`]: crate::service::CappedService::snapshot
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSnapshot {
+    /// Last completed round.
+    pub round: u64,
+    /// Pool size (balls awaiting allocation) after that round.
+    pub pool_size: u64,
+    /// Total balls in bin buffers across all shards.
+    pub buffered: u64,
+    /// Maximum bin load per shard, in shard order.
+    pub shard_max_load: Vec<u64>,
+    /// Lifetime count of balls entering the system (model arrivals,
+    /// admitted requests, and fault surges).
+    pub total_generated: u64,
+    /// Lifetime count of client requests admitted from the ingress queue.
+    pub total_admitted: u64,
+    /// Lifetime count of served (deleted) balls.
+    pub total_served: u64,
+    /// Exact waiting-time quantiles over every ball served so far
+    /// (`None` until the first service).
+    pub wait: Option<WaitQuantiles>,
+}
+
+impl ServeSnapshot {
+    /// Renders the snapshot as one JSON line (no trailing newline).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iba_serve::metrics::ServeSnapshot;
+    /// let snap = ServeSnapshot {
+    ///     round: 3,
+    ///     pool_size: 10,
+    ///     buffered: 4,
+    ///     shard_max_load: vec![2, 1],
+    ///     total_generated: 50,
+    ///     total_admitted: 50,
+    ///     total_served: 36,
+    ///     wait: None,
+    /// };
+    /// assert!(snap.to_json_line().starts_with("{\"round\":3,"));
+    /// ```
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(192);
+        let _ = write!(
+            out,
+            "{{\"round\":{},\"pool_size\":{},\"buffered\":{},\"shard_max_load\":[",
+            self.round, self.pool_size, self.buffered
+        );
+        for (i, load) in self.shard_max_load.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{load}");
+        }
+        let _ = write!(
+            out,
+            "],\"total_generated\":{},\"total_admitted\":{},\"total_served\":{}",
+            self.total_generated, self.total_admitted, self.total_served
+        );
+        match &self.wait {
+            None => out.push_str(",\"wait\":null}"),
+            Some(q) => {
+                let _ = write!(
+                    out,
+                    ",\"wait\":{{\"count\":{},\"mean\":{:.6},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{}}}}}",
+                    q.count, q.mean, q.p50, q.p99, q.p999, q.max
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_sim::stats::Histogram;
+
+    fn snapshot(wait: Option<WaitQuantiles>) -> ServeSnapshot {
+        ServeSnapshot {
+            round: 12,
+            pool_size: 345,
+            buffered: 67,
+            shard_max_load: vec![2, 0, 1],
+            total_generated: 1000,
+            total_admitted: 900,
+            total_served: 800,
+            wait,
+        }
+    }
+
+    #[test]
+    fn json_line_without_quantiles() {
+        let line = snapshot(None).to_json_line();
+        assert_eq!(
+            line,
+            "{\"round\":12,\"pool_size\":345,\"buffered\":67,\
+             \"shard_max_load\":[2,0,1],\"total_generated\":1000,\
+             \"total_admitted\":900,\"total_served\":800,\"wait\":null}"
+        );
+    }
+
+    #[test]
+    fn json_line_with_quantiles_is_balanced() {
+        let hist: Histogram = (0..100).collect();
+        let q = WaitQuantiles::from_histogram(&hist).unwrap();
+        let line = snapshot(Some(q)).to_json_line();
+        assert!(line.contains("\"p999\":"));
+        assert!(line.contains("\"mean\":49.5"));
+        // Structurally valid: braces and brackets balance, line ends the
+        // object it opened.
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "{line}"
+        );
+        assert_eq!(line.matches('[').count(), line.matches(']').count());
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+    }
+}

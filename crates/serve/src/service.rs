@@ -1,0 +1,805 @@
+//! The sharded CAPPED(c, λ) dispatch service.
+//!
+//! [`CappedService::spawn`] partitions the configured bins into `S`
+//! contiguous shards, starts one worker thread per shard, and wires up
+//! the admission front end. The driver (the thread calling
+//! [`run_round`](CappedService::run_round)) then executes the paper's
+//! Algorithm 1 once per call:
+//!
+//! 1. apply scheduled fault events ([`FaultPlan`] semantics identical to
+//!    [`iba_sim::faults::FaultedProcess`]);
+//! 2. generate arrivals — the configured arrival model, client requests
+//!    admitted from the bounded ingress queue, or both — into the pool;
+//! 3. draw one uniform bin per pooled ball (oldest-first) and broadcast
+//!    the routed requests to the shard workers over mpsc channels;
+//! 4. merge the workers' replies: rejected balls re-enter the global pool
+//!    (retrying next round), served balls produce waiting times and
+//!    ticket [`Completion`]s.
+//!
+//! Rejected requests never time out — exactly the paper's pool
+//! semantics, which is what makes the service's trajectory provably
+//! identical to `CappedProcess` in [`RngMode::Central`].
+
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use iba_core::metrics::WaitQuantiles;
+use iba_core::shard::{shard_of, shard_range, BinShard};
+use iba_core::{AcceptancePolicy, Ball, CappedConfig, Pool};
+use iba_sim::error::ConfigError;
+use iba_sim::faults::{FaultEvent, FaultPlan};
+use iba_sim::process::RoundReport;
+use iba_sim::stats::Histogram;
+use iba_sim::SimRng;
+
+use crate::dispatch::{Completion, Dispatcher, Ticket};
+use crate::metrics::ServeSnapshot;
+use crate::shard::{worker_loop, FaultOp, ShardCmd, ShardReply};
+
+/// How randomness is distributed between the driver and the workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RngMode {
+    /// The driver owns the single RNG stream and consumes it in exactly
+    /// the order [`iba_core::process::CappedProcess`] does, making the
+    /// service trajectory bit-identical to the bare process under the
+    /// same seed (any shard count). Randomness generation is serial.
+    Central,
+    /// Each worker draws from its own stream, split deterministically
+    /// from the master seed ([`SimRng::family`]); the driver keeps the
+    /// last stream for arrivals and shard assignment. Scalable, and
+    /// statistically equivalent (each ball's bin is still uniform), but
+    /// not bit-equal to the bare process.
+    #[default]
+    PerShard,
+}
+
+/// Configuration of a [`CappedService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The CAPPED(c, λ) parameters (must use one choice per ball and the
+    /// oldest-first acceptance policy — the paper's process).
+    pub capped: CappedConfig,
+    /// Number of shards = worker threads (`1..=n`).
+    pub shards: usize,
+    /// Master seed; every RNG stream in the service derives from it.
+    pub seed: u64,
+    /// Randomness distribution; see [`RngMode`].
+    pub rng_mode: RngMode,
+    /// Whether each round also generates the configured arrival model's
+    /// balls (in addition to admitted client requests). Enable for
+    /// simulator-faithful runs and the differential tests; disable for a
+    /// pure request-driven service.
+    pub model_arrivals: bool,
+    /// Capacity of the bounded ingress queue (backpressure threshold).
+    pub ingress_capacity: usize,
+    /// Upper bound on client requests admitted per round; `None` drains
+    /// the whole ingress queue every round.
+    pub max_admit_per_round: Option<u64>,
+}
+
+impl ServiceConfig {
+    /// Creates a configuration with the defaults: per-shard RNG, no model
+    /// arrivals (request-driven), ingress capacity 65 536, unbounded
+    /// per-round admission.
+    pub fn new(capped: CappedConfig, shards: usize, seed: u64) -> Self {
+        ServiceConfig {
+            capped,
+            shards,
+            seed,
+            rng_mode: RngMode::PerShard,
+            model_arrivals: false,
+            ingress_capacity: 1 << 16,
+            max_admit_per_round: None,
+        }
+    }
+
+    /// Sets the RNG mode.
+    #[must_use]
+    pub fn with_rng_mode(mut self, mode: RngMode) -> Self {
+        self.rng_mode = mode;
+        self
+    }
+
+    /// Enables or disables model-generated arrivals.
+    #[must_use]
+    pub fn with_model_arrivals(mut self, enabled: bool) -> Self {
+        self.model_arrivals = enabled;
+        self
+    }
+
+    /// Sets the bounded ingress queue capacity.
+    #[must_use]
+    pub fn with_ingress_capacity(mut self, capacity: usize) -> Self {
+        self.ingress_capacity = capacity;
+        self
+    }
+
+    /// Caps the number of requests admitted per round.
+    #[must_use]
+    pub fn with_max_admit_per_round(mut self, cap: Option<u64>) -> Self {
+        self.max_admit_per_round = cap;
+        self
+    }
+}
+
+struct Worker {
+    cmds: Sender<ShardCmd>,
+    join: JoinHandle<()>,
+}
+
+/// A running sharded CAPPED(c, λ) service. See the [module docs](self)
+/// for the per-round protocol.
+///
+/// Dropping the service shuts the workers down; call
+/// [`shutdown`](Self::shutdown) to do so explicitly and join the threads.
+pub struct CappedService {
+    config: CappedConfig,
+    shards: usize,
+    ranges: Vec<Range<usize>>,
+    rng_mode: RngMode,
+    model_arrivals: bool,
+    max_admit: Option<u64>,
+    driver_rng: SimRng,
+    workers: Vec<Worker>,
+    replies: Receiver<ShardReply>,
+    ingress: Receiver<u64>,
+    dispatcher: Dispatcher,
+    completions_tx: Sender<Completion>,
+    completions_rx: Option<Receiver<Completion>>,
+    plan: FaultPlan,
+    /// Active arrival bursts as `(last_round_inclusive, extra_per_round)`.
+    bursts: Vec<(u64, u64)>,
+    pool: Pool,
+    /// Tickets admitted in round `label`, awaiting service, FIFO. Balls
+    /// with equal labels are interchangeable, so matching a served ball
+    /// to the longest-waiting ticket of its label is consistent.
+    pending: HashMap<u64, VecDeque<u64>>,
+    round: u64,
+    total_generated: u64,
+    total_admitted: u64,
+    total_served: u64,
+    shard_buffered: Vec<u64>,
+    shard_max_load: Vec<u64>,
+    wait_hist: Histogram,
+    stopped: bool,
+}
+
+impl std::fmt::Debug for CappedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CappedService")
+            .field("config", &self.config)
+            .field("shards", &self.shards)
+            .field("rng_mode", &self.rng_mode)
+            .field("round", &self.round)
+            .field("pool_size", &self.pool.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CappedService {
+    /// Partitions the bins, spawns the worker threads, and returns the
+    /// running service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfDomain`] if the configuration uses
+    /// more than one choice per ball, a non-oldest-first acceptance
+    /// policy, or a shard count outside `1..=n`.
+    pub fn spawn(config: ServiceConfig) -> Result<Self, ConfigError> {
+        let ServiceConfig {
+            capped,
+            shards,
+            seed,
+            rng_mode,
+            model_arrivals,
+            ingress_capacity,
+            max_admit_per_round,
+        } = config;
+        if capped.choices() != 1 {
+            return Err(ConfigError::OutOfDomain {
+                name: "choices",
+                domain: "the serving layer implements the 1-choice process",
+            });
+        }
+        if capped.policy() != AcceptancePolicy::OldestFirst {
+            return Err(ConfigError::OutOfDomain {
+                name: "policy",
+                domain: "the serving layer implements oldest-first acceptance",
+            });
+        }
+        if shards == 0 || shards > capped.bins() {
+            return Err(ConfigError::OutOfDomain {
+                name: "shards",
+                domain: "1..=n",
+            });
+        }
+
+        let (driver_rng, mut shard_rngs): (SimRng, Vec<Option<SimRng>>) = match rng_mode {
+            RngMode::Central => (SimRng::seed_from(seed), (0..shards).map(|_| None).collect()),
+            RngMode::PerShard => {
+                let mut family = SimRng::family(seed, shards + 1);
+                let driver = family.pop().expect("family has shards + 1 streams");
+                (driver, family.into_iter().map(Some).collect())
+            }
+        };
+
+        let ranges: Vec<Range<usize>> = (0..shards)
+            .map(|s| shard_range(capped.bins(), shards, s))
+            .collect();
+        let (reply_tx, replies) = channel();
+        let mut workers = Vec::with_capacity(shards);
+        for (s, range) in ranges.iter().enumerate() {
+            let bins = BinShard::new(&capped, range.clone());
+            let rng = shard_rngs[s].take();
+            let (cmd_tx, cmd_rx) = channel();
+            let reply_tx = reply_tx.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("iba-serve-shard-{s}"))
+                .spawn(move || worker_loop(s, bins, rng, cmd_rx, reply_tx))
+                .expect("spawn shard worker thread");
+            workers.push(Worker { cmds: cmd_tx, join });
+        }
+
+        let (ingress_tx, ingress) = sync_channel(ingress_capacity.max(1));
+        let dispatcher = Dispatcher::new(ingress_tx);
+        let (completions_tx, completions_rx) = channel();
+
+        Ok(CappedService {
+            shards,
+            ranges,
+            rng_mode,
+            model_arrivals,
+            max_admit: max_admit_per_round,
+            driver_rng,
+            workers,
+            replies,
+            ingress,
+            dispatcher,
+            completions_tx,
+            completions_rx: Some(completions_rx),
+            plan: FaultPlan::new(),
+            bursts: Vec::new(),
+            pool: Pool::with_capacity(capped.predicted_stationary_pool()),
+            pending: HashMap::new(),
+            round: 0,
+            total_generated: 0,
+            total_admitted: 0,
+            total_served: 0,
+            shard_buffered: vec![0; shards],
+            shard_max_load: vec![0; shards],
+            wait_hist: Histogram::new(),
+            stopped: false,
+            config: capped,
+        })
+    }
+
+    /// A cloneable client handle for submitting requests.
+    pub fn dispatcher(&self) -> Dispatcher {
+        self.dispatcher.clone()
+    }
+
+    /// Takes the completion-notification receiver. Callable once; later
+    /// calls return `None`. If never taken, completions are discarded.
+    pub fn take_completions(&mut self) -> Option<Receiver<Completion>> {
+        self.completions_rx.take()
+    }
+
+    /// Schedules `plan`'s fault events against the service's round
+    /// counter, merging with any previously scheduled events
+    /// (same-round events keep insertion order; already-past rounds never
+    /// fire — [`FaultedProcess`](iba_sim::faults::FaultedProcess)
+    /// semantics).
+    pub fn schedule(&mut self, plan: FaultPlan) {
+        for (round, events) in plan.iter() {
+            for event in events {
+                self.plan.insert(round, event.clone());
+            }
+        }
+    }
+
+    /// The CAPPED configuration the service runs.
+    pub fn config(&self) -> &CappedConfig {
+        &self.config
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Last completed round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Current pool size (balls awaiting allocation).
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Total balls buffered across all shards (as of the last round).
+    pub fn buffered(&self) -> u64 {
+        self.shard_buffered.iter().sum()
+    }
+
+    /// Lifetime count of balls that entered the system (model arrivals +
+    /// admitted requests + fault surges).
+    pub fn total_generated(&self) -> u64 {
+        self.total_generated
+    }
+
+    /// Lifetime count of admitted client requests.
+    pub fn total_admitted(&self) -> u64 {
+        self.total_admitted
+    }
+
+    /// Lifetime count of served balls.
+    pub fn total_served(&self) -> u64 {
+        self.total_served
+    }
+
+    /// Number of admitted requests not yet served.
+    pub fn pending_tickets(&self) -> usize {
+        self.pending.values().map(VecDeque::len).sum()
+    }
+
+    /// Ball conservation: everything that entered the system is served,
+    /// pooled, or buffered.
+    pub fn conserves_balls(&self) -> bool {
+        self.total_generated == self.total_served + self.pool.len() as u64 + self.buffered()
+    }
+
+    /// Exact waiting-time quantiles over every ball served so far.
+    pub fn wait_quantiles(&self) -> Option<WaitQuantiles> {
+        WaitQuantiles::from_histogram(&self.wait_hist)
+    }
+
+    /// Captures a metrics snapshot (see [`ServeSnapshot`]).
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            round: self.round,
+            pool_size: self.pool.len() as u64,
+            buffered: self.buffered(),
+            shard_max_load: self.shard_max_load.clone(),
+            total_generated: self.total_generated,
+            total_admitted: self.total_admitted,
+            total_served: self.total_served,
+            wait: self.wait_quantiles(),
+        }
+    }
+
+    /// Executes one round of Algorithm 1 across the shards and returns
+    /// the same [`RoundReport`] the bare process would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was shut down, or if a worker thread died.
+    pub fn run_round(&mut self) -> RoundReport {
+        assert!(!self.stopped, "service was shut down");
+        let n = self.config.bins();
+        let round = self.round + 1;
+
+        // 1. Faults scheduled for this round (surge balls keep the
+        // pre-round label, matching FaultedProcess + inject_pool).
+        self.apply_faults(round);
+        self.round = round;
+
+        // 2. Arrivals: model generation first, then admitted requests —
+        // all labeled with the new round.
+        let model = if self.model_arrivals {
+            let generated = self.config.arrivals().sample(&mut self.driver_rng);
+            self.pool.push_generation(round, generated);
+            generated
+        } else {
+            0
+        };
+        let admitted = self.admit(round);
+        self.total_generated += model + admitted;
+        let thrown = self.pool.len() as u64;
+
+        // 3. Allocation broadcast: route every pooled ball (oldest-first)
+        // to the shard owning its uniformly drawn bin.
+        let balls = self.pool.take();
+        match self.rng_mode {
+            RngMode::Central => {
+                let mut routed: Vec<Vec<(u32, Ball)>> =
+                    (0..self.shards).map(|_| Vec::new()).collect();
+                for ball in balls {
+                    let bin = self.driver_rng.uniform_bin(n);
+                    let s = shard_of(n, self.shards, bin);
+                    routed[s].push(((bin - self.ranges[s].start) as u32, ball));
+                }
+                for (worker, requests) in self.workers.iter().zip(routed) {
+                    worker
+                        .cmds
+                        .send(ShardCmd::RoundRouted { round, requests })
+                        .expect("shard worker alive");
+                }
+            }
+            RngMode::PerShard => {
+                // The driver picks the owning shard (probability
+                // proportional to shard size); the worker draws the local
+                // bin from its own stream. The composition is uniform
+                // over all n bins.
+                let mut assigned: Vec<Vec<Ball>> = (0..self.shards).map(|_| Vec::new()).collect();
+                for ball in balls {
+                    let s = shard_of(n, self.shards, self.driver_rng.uniform_bin(n));
+                    assigned[s].push(ball);
+                }
+                for (worker, balls) in self.workers.iter().zip(assigned) {
+                    worker
+                        .cmds
+                        .send(ShardCmd::RoundDraw { round, balls })
+                        .expect("shard worker alive");
+                }
+            }
+        }
+
+        // 4. Collect and merge the shard replies.
+        let mut slots: Vec<Option<ShardReply>> = (0..self.shards).map(|_| None).collect();
+        for _ in 0..self.shards {
+            let reply = self.replies.recv().expect("shard worker alive");
+            debug_assert_eq!(reply.round, round);
+            let shard = reply.shard;
+            slots[shard] = Some(reply);
+        }
+
+        let mut accepted = 0u64;
+        let mut failed_deletions = 0u64;
+        let mut buffered = 0u64;
+        let mut max_load = 0u64;
+        let mut rejected: Vec<Ball> = Vec::new();
+        let mut waiting_times: Vec<u64> = Vec::new();
+        for (s, slot) in slots.into_iter().enumerate() {
+            let reply = slot.expect("every shard replied exactly once");
+            accepted += reply.accepted;
+            failed_deletions += reply.failed_deletions;
+            buffered += reply.buffered;
+            max_load = max_load.max(reply.max_load);
+            self.shard_buffered[s] = reply.buffered;
+            self.shard_max_load[s] = reply.max_load;
+            rejected.extend_from_slice(&reply.rejected);
+            for (ball, &wait) in reply.served.iter().zip(&reply.waits) {
+                self.complete(ball.label(), round, wait);
+            }
+            // Shards own contiguous bin ranges, so concatenating in shard
+            // order reproduces the bare process's bin-order vector.
+            waiting_times.extend_from_slice(&reply.waits);
+        }
+        self.total_served += waiting_times.len() as u64;
+        self.wait_hist.extend(waiting_times.iter().copied());
+
+        // Per-shard reject lists are age-sorted; balls are ordered by
+        // label only, so one sort reproduces the merged oldest-first pool.
+        rejected.sort();
+        self.pool.restore(rejected);
+
+        RoundReport {
+            round,
+            generated: model + admitted,
+            thrown,
+            accepted,
+            deleted: waiting_times.len() as u64,
+            failed_deletions,
+            pool_size: self.pool.len() as u64,
+            buffered,
+            max_load,
+            waiting_times,
+        }
+    }
+
+    /// Runs `count` rounds back-to-back, returning the last report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` (there would be no report to return).
+    pub fn run_rounds(&mut self, count: u64) -> RoundReport {
+        assert!(count > 0, "must run at least one round");
+        let mut last = None;
+        for _ in 0..count {
+            last = Some(self.run_round());
+        }
+        last.expect("count >= 1")
+    }
+
+    /// Stops the workers and joins their threads. Statistics accessors
+    /// remain usable; further `run_round` calls panic.
+    pub fn shutdown(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        for worker in &self.workers {
+            let _ = worker.cmds.send(ShardCmd::Stop);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join.join();
+        }
+    }
+
+    fn apply_faults(&mut self, round: u64) {
+        let n = self.config.bins();
+        let events = self.plan.events_at(round).to_vec();
+        for event in events {
+            match event {
+                FaultEvent::CrashBins { bins } => {
+                    for i in bins.into_iter().filter(|&i| i < n) {
+                        self.send_fault(i, FaultOp::Offline(true));
+                    }
+                }
+                FaultEvent::RecoverBins { bins } => {
+                    for i in bins.into_iter().filter(|&i| i < n) {
+                        self.send_fault(i, FaultOp::Offline(false));
+                    }
+                }
+                FaultEvent::DegradeCapacity { bins, capacity } => {
+                    if capacity == Some(0) {
+                        continue; // malformed: capacities are >= 1 or unbounded
+                    }
+                    for i in bins.into_iter().filter(|&i| i < n) {
+                        self.send_fault(i, FaultOp::Capacity(capacity));
+                    }
+                }
+                FaultEvent::ArrivalBurst {
+                    extra_per_round,
+                    rounds,
+                } => {
+                    if extra_per_round > 0 && rounds > 0 {
+                        self.bursts.push((round + rounds - 1, extra_per_round));
+                    }
+                }
+                FaultEvent::PoolSurge { extra } => {
+                    if extra > 0 {
+                        self.surge(extra);
+                    }
+                }
+            }
+        }
+        if !self.bursts.is_empty() {
+            self.bursts.retain(|&(until, _)| until >= round);
+            let extras: Vec<u64> = self.bursts.iter().map(|&(_, extra)| extra).collect();
+            for extra in extras {
+                self.surge(extra);
+            }
+        }
+    }
+
+    /// Injects unticketed balls labeled with the *current* (pre-step)
+    /// round — `CappedProcess::inject_pool` semantics.
+    fn surge(&mut self, extra: u64) {
+        self.pool.push_generation(self.round, extra);
+        self.total_generated += extra;
+    }
+
+    /// Drains the ingress queue (up to the per-round cap) into the pool.
+    fn admit(&mut self, round: u64) -> u64 {
+        let mut admitted = 0u64;
+        while self.max_admit.is_none_or(|cap| admitted < cap) {
+            let Ok(id) = self.ingress.try_recv() else {
+                break;
+            };
+            self.pool.push_generation(round, 1);
+            self.pending.entry(round).or_default().push_back(id);
+            admitted += 1;
+        }
+        self.total_admitted += admitted;
+        admitted
+    }
+
+    /// Matches a served ball to the longest-waiting ticket of its label
+    /// (balls with equal labels are interchangeable) and notifies the
+    /// completion channel. Model-arrival and surge balls have no ticket.
+    fn complete(&mut self, label: u64, served_round: u64, waiting_rounds: u64) {
+        let Some(queue) = self.pending.get_mut(&label) else {
+            return;
+        };
+        if let Some(id) = queue.pop_front() {
+            let _ = self.completions_tx.send(Completion {
+                ticket: Ticket::from_id(id),
+                admitted_round: label,
+                served_round,
+                waiting_rounds,
+            });
+        }
+        if queue.is_empty() {
+            self.pending.remove(&label);
+        }
+    }
+
+    fn send_fault(&self, bin: usize, op: FaultOp) {
+        let s = shard_of(self.config.bins(), self.shards, bin);
+        let local = (bin - self.ranges[s].start) as u32;
+        self.workers[s]
+            .cmds
+            .send(ShardCmd::Fault { local, op })
+            .expect("shard worker alive");
+    }
+}
+
+impl Drop for CappedService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iba_sim::faults::FaultEvent;
+
+    fn config(n: usize, c: u32, lambda: f64) -> CappedConfig {
+        CappedConfig::new(n, c, lambda).unwrap()
+    }
+
+    fn model_service(n: usize, c: u32, lambda: f64, shards: usize, mode: RngMode) -> CappedService {
+        CappedService::spawn(
+            ServiceConfig::new(config(n, c, lambda), shards, 42)
+                .with_rng_mode(mode)
+                .with_model_arrivals(true),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spawn_rejects_invalid_configs() {
+        let base = config(8, 2, 0.75);
+        assert!(CappedService::spawn(ServiceConfig::new(base.clone(), 0, 1)).is_err());
+        assert!(CappedService::spawn(ServiceConfig::new(base.clone(), 9, 1)).is_err());
+        let d2 = base.clone().with_choices(2).unwrap();
+        assert!(CappedService::spawn(ServiceConfig::new(d2, 2, 1)).is_err());
+        let random = base.with_policy(AcceptancePolicy::Random);
+        assert!(CappedService::spawn(ServiceConfig::new(random, 2, 1)).is_err());
+    }
+
+    #[test]
+    fn model_rounds_conserve_and_report() {
+        for mode in [RngMode::Central, RngMode::PerShard] {
+            let mut service = model_service(32, 2, 0.75, 4, mode);
+            for _ in 0..100 {
+                let report = service.run_round();
+                assert!(report.conserves_balls(), "{mode:?}");
+                assert!(service.conserves_balls(), "{mode:?}");
+                assert!(report.max_load <= 2, "{mode:?}");
+                assert_eq!(report.generated, 24, "{mode:?}");
+            }
+            assert_eq!(service.round(), 100);
+            assert!(service.total_served() > 0);
+            service.shutdown();
+            assert!(service.conserves_balls());
+        }
+    }
+
+    #[test]
+    fn submitted_requests_complete_with_waiting_times() {
+        let mut service =
+            CappedService::spawn(ServiceConfig::new(config(16, 2, 0.0), 2, 7)).unwrap();
+        let completions = service.take_completions().unwrap();
+        assert!(service.take_completions().is_none(), "receiver taken once");
+        let dispatcher = service.dispatcher();
+        let tickets: Vec<Ticket> = (0..10).map(|_| dispatcher.submit().unwrap()).collect();
+        let report = service.run_round();
+        assert_eq!(report.generated, 10);
+        assert_eq!(service.total_admitted(), 10);
+        // Drain until everything is served.
+        let mut done = Vec::new();
+        while done.len() < 10 {
+            while let Ok(completion) = completions.try_recv() {
+                done.push(completion);
+            }
+            if done.len() < 10 {
+                service.run_round();
+            }
+        }
+        assert_eq!(service.pending_tickets(), 0);
+        let mut served_ids: Vec<u64> = done.iter().map(|c| c.ticket.id()).collect();
+        served_ids.sort_unstable();
+        let mut expected: Vec<u64> = tickets.iter().map(Ticket::id).collect();
+        expected.sort_unstable();
+        assert_eq!(served_ids, expected);
+        for completion in &done {
+            assert_eq!(completion.admitted_round, 1);
+            assert_eq!(
+                completion.waiting_rounds,
+                completion.served_round - completion.admitted_round
+            );
+        }
+        assert!(service.conserves_balls());
+    }
+
+    #[test]
+    fn admission_cap_defers_excess_to_later_rounds() {
+        let mut service = CappedService::spawn(
+            ServiceConfig::new(config(16, 2, 0.0), 2, 7).with_max_admit_per_round(Some(3)),
+        )
+        .unwrap();
+        let dispatcher = service.dispatcher();
+        for _ in 0..8 {
+            dispatcher.submit().unwrap();
+        }
+        assert_eq!(service.run_round().generated, 3);
+        assert_eq!(service.run_round().generated, 3);
+        assert_eq!(service.run_round().generated, 2);
+        assert_eq!(service.total_admitted(), 8);
+    }
+
+    #[test]
+    fn ingress_backpressure_saturates() {
+        let mut service = CappedService::spawn(
+            ServiceConfig::new(config(16, 2, 0.0), 2, 7).with_ingress_capacity(4),
+        )
+        .unwrap();
+        let dispatcher = service.dispatcher();
+        for _ in 0..4 {
+            dispatcher.submit().unwrap();
+        }
+        assert_eq!(
+            dispatcher.submit(),
+            Err(crate::dispatch::SubmitError::Saturated)
+        );
+        // Admission drains the queue; submission works again.
+        service.run_round();
+        assert!(dispatcher.submit().is_ok());
+    }
+
+    #[test]
+    fn scheduled_crash_rejects_that_bins_requests() {
+        // n = 2, 2 shards: bin 0 is shard 0's only bin. Crash it; model
+        // arrivals (λ = 0.5 → 1 ball/round) can then only land in bin 1.
+        let mut service = CappedService::spawn(
+            ServiceConfig::new(config(2, 1, 0.5), 2, 11)
+                .with_rng_mode(RngMode::Central)
+                .with_model_arrivals(true),
+        )
+        .unwrap();
+        service.schedule(FaultPlan::new().with(1, FaultEvent::CrashBins { bins: vec![0] }));
+        let mut served_total = 0;
+        for _ in 0..50 {
+            let report = service.run_round();
+            assert!(report.conserves_balls());
+            assert!(service.conserves_balls());
+            served_total += report.deleted;
+        }
+        // Bin 1 can serve at most one ball per round; with bin 0 down the
+        // pool backs up rather than losing balls.
+        assert!(served_total <= 50);
+        assert!(service.pool_size() > 0 || service.buffered() > 0 || served_total == 50);
+    }
+
+    #[test]
+    fn pool_surge_enters_with_pre_round_label() {
+        let mut service = model_service(8, 1, 0.5, 2, RngMode::Central);
+        service.run_round();
+        service.schedule(FaultPlan::new().with(2, FaultEvent::PoolSurge { extra: 5 }));
+        let report = service.run_round();
+        // 4 model balls + 5 surged (labeled round 1) all compete.
+        assert_eq!(report.generated, 4);
+        assert!(report.thrown >= 9);
+        assert!(service.conserves_balls());
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let mut service = model_service(32, 2, 0.75, 4, RngMode::PerShard);
+        for _ in 0..20 {
+            service.run_round();
+        }
+        let snap = service.snapshot();
+        assert_eq!(snap.round, 20);
+        assert_eq!(snap.total_generated, 20 * 24);
+        assert_eq!(snap.shard_max_load.len(), 4);
+        assert_eq!(snap.pool_size, service.pool_size() as u64);
+        assert!(snap.wait.is_some());
+        let line = snap.to_json_line();
+        assert!(line.contains("\"round\":20"));
+    }
+
+    #[test]
+    #[should_panic(expected = "shut down")]
+    fn run_after_shutdown_panics() {
+        let mut service = model_service(8, 1, 0.5, 2, RngMode::PerShard);
+        service.shutdown();
+        service.run_round();
+    }
+}

@@ -1,0 +1,136 @@
+//! Worker-thread internals: the per-shard command loop.
+//!
+//! Each worker owns one [`BinShard`] (a contiguous range of bins) and, in
+//! per-shard RNG mode, its own [`SimRng`] stream. The driver broadcasts
+//! one command per round on the worker's private channel; because mpsc
+//! channels deliver in send order, fault commands sent before a round
+//! command are guaranteed to apply before that round executes.
+
+use std::sync::mpsc::{Receiver, Sender};
+
+use iba_core::shard::BinShard;
+use iba_core::{Ball, Capacity};
+use iba_sim::SimRng;
+
+/// A fault operation targeting one local bin of a shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FaultOp {
+    /// Take the bin offline (`true`) or bring it back (`false`).
+    Offline(bool),
+    /// Change the bin's live capacity (`None` = unbounded).
+    Capacity(Option<u32>),
+}
+
+/// One command from the driver to a shard worker.
+#[derive(Debug)]
+pub(crate) enum ShardCmd {
+    /// Apply a fault operation to local bin `local` before the next round.
+    Fault { local: u32, op: FaultOp },
+    /// Execute one round on requests already routed to local bins
+    /// (central RNG mode). Requests are ordered oldest-first.
+    RoundRouted {
+        round: u64,
+        requests: Vec<(u32, Ball)>,
+    },
+    /// Execute one round, drawing a uniform local bin per ball from the
+    /// worker's own RNG stream (per-shard RNG mode). Balls are ordered
+    /// oldest-first.
+    RoundDraw { round: u64, balls: Vec<Ball> },
+    /// Terminate the worker loop.
+    Stop,
+}
+
+/// A worker's answer to one round command.
+#[derive(Debug)]
+pub(crate) struct ShardReply {
+    pub shard: usize,
+    pub round: u64,
+    /// Balls accepted into this shard's bins this round.
+    pub accepted: u64,
+    /// Rejected balls, in request order (hence oldest-first).
+    pub rejected: Vec<Ball>,
+    /// Balls served this round, in bin order.
+    pub served: Vec<Ball>,
+    /// Waiting times of the served balls, in bin order.
+    pub waits: Vec<u64>,
+    /// Online bins whose deletion attempt found an empty buffer.
+    pub failed_deletions: u64,
+    /// Balls left buffered in this shard after the deletion stage.
+    pub buffered: u64,
+    /// Maximum bin load in this shard after the deletion stage.
+    pub max_load: u64,
+}
+
+/// The worker loop: owns the shard state for its whole lifetime and
+/// executes commands until `Stop` or the driver disappears.
+pub(crate) fn worker_loop(
+    shard_id: usize,
+    mut bins: BinShard,
+    mut rng: Option<SimRng>,
+    cmds: Receiver<ShardCmd>,
+    replies: Sender<ShardReply>,
+) {
+    let local_n = bins.len();
+    for cmd in cmds {
+        match cmd {
+            ShardCmd::Fault { local, op } => match op {
+                FaultOp::Offline(offline) => bins.set_offline(local as usize, offline),
+                FaultOp::Capacity(capacity) => {
+                    let capacity = match capacity {
+                        None => Capacity::Infinite,
+                        Some(c) => match Capacity::finite(c) {
+                            Ok(cap) => cap,
+                            Err(_) => continue, // malformed (0): skip, like FaultedProcess
+                        },
+                    };
+                    bins.set_capacity(local as usize, capacity);
+                }
+            },
+            ShardCmd::RoundRouted { round, requests } => {
+                if run_round(shard_id, &mut bins, round, &requests, &replies).is_err() {
+                    return; // driver gone
+                }
+            }
+            ShardCmd::RoundDraw { round, balls } => {
+                let rng = rng
+                    .as_mut()
+                    .expect("RoundDraw requires a per-shard RNG stream");
+                let requests: Vec<(u32, Ball)> = balls
+                    .into_iter()
+                    .map(|ball| (rng.uniform_bin(local_n) as u32, ball))
+                    .collect();
+                if run_round(shard_id, &mut bins, round, &requests, &replies).is_err() {
+                    return;
+                }
+            }
+            ShardCmd::Stop => return,
+        }
+    }
+}
+
+fn run_round(
+    shard_id: usize,
+    bins: &mut BinShard,
+    round: u64,
+    requests: &[(u32, Ball)],
+    replies: &Sender<ShardReply>,
+) -> Result<(), ()> {
+    let mut rejected = Vec::new();
+    let accepted = bins.accept(requests, &mut rejected);
+    let mut served = Vec::new();
+    let mut waits = Vec::new();
+    let stats = bins.serve(round, &mut served, &mut waits);
+    replies
+        .send(ShardReply {
+            shard: shard_id,
+            round,
+            accepted,
+            rejected,
+            served,
+            waits,
+            failed_deletions: stats.failed_deletions,
+            buffered: stats.buffered,
+            max_load: stats.max_load,
+        })
+        .map_err(|_| ())
+}

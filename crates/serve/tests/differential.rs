@@ -1,0 +1,152 @@
+//! Differential validation: in [`RngMode::Central`] the sharded service's
+//! round-by-round trajectory is **bit-identical** to the bare
+//! [`CappedProcess`] (and, under a fault plan, to [`FaultedProcess`])
+//! driven by the same seed — every field of every [`RoundReport`],
+//! including the waiting-time vectors, for any shard count.
+//!
+//! This is the serving layer's correctness anchor: if routing, merging,
+//! or the worker protocol ever drops, duplicates, or reorders a ball, one
+//! of these comparisons breaks on the first divergent round.
+
+use iba_core::{CappedConfig, CappedProcess};
+use iba_serve::{CappedService, RngMode, ServiceConfig};
+use iba_sim::faults::{FaultEvent, FaultPlan, FaultedProcess};
+use iba_sim::process::AllocationProcess;
+use iba_sim::SimRng;
+
+/// The (n, c, λ) cells exercised by every differential test. λn must be
+/// integral; the cells cover tight (c = 1), paper-typical (c = 2..4), and
+/// high-λ regimes.
+const CELLS: &[(usize, u32, f64)] = &[(64, 2, 0.75), (128, 1, 0.5), (96, 3, 0.875), (50, 4, 0.6)];
+
+const SEEDS: &[u64] = &[1, 42, 0xDEAD_BEEF];
+
+fn spawn_central(config: CappedConfig, shards: usize, seed: u64) -> CappedService {
+    CappedService::spawn(
+        ServiceConfig::new(config, shards, seed)
+            .with_rng_mode(RngMode::Central)
+            .with_model_arrivals(true),
+    )
+    .expect("valid service config")
+}
+
+/// Runs the service and the bare process side by side and asserts every
+/// report is equal, field for field.
+fn assert_matches_bare(n: usize, c: u32, lambda: f64, shards: usize, seed: u64, rounds: u64) {
+    let config = CappedConfig::new(n, c, lambda).expect("valid cell");
+    let mut reference = CappedProcess::new(config.clone());
+    let mut rng = SimRng::seed_from(seed);
+    let mut service = spawn_central(config, shards, seed);
+    for _ in 0..rounds {
+        let expected = reference.step(&mut rng);
+        let actual = service.run_round();
+        assert_eq!(
+            actual, expected,
+            "trajectory diverged: n={n} c={c} lambda={lambda} shards={shards} seed={seed}"
+        );
+    }
+    assert_eq!(service.pool_size(), reference.pool_size());
+    assert!(service.conserves_balls());
+}
+
+#[test]
+fn single_shard_is_bit_identical_to_capped_process() {
+    for &(n, c, lambda) in CELLS {
+        for &seed in SEEDS {
+            assert_matches_bare(n, c, lambda, 1, seed, 150);
+        }
+    }
+}
+
+#[test]
+fn multi_shard_is_bit_identical_to_capped_process() {
+    for &(n, c, lambda) in CELLS {
+        for shards in [2, 4, 7, 8] {
+            assert_matches_bare(n, c, lambda, shards, 42, 150);
+        }
+    }
+}
+
+#[test]
+fn shard_count_does_not_change_the_trajectory() {
+    // Transitivity check run directly: S = 3 and S = 5 services agree
+    // with each other round by round (both already agree with the bare
+    // process above, but this pins the service-vs-service statement).
+    let config = CappedConfig::new(60, 2, 0.8).expect("valid");
+    let mut a = spawn_central(config.clone(), 3, 7);
+    let mut b = spawn_central(config, 5, 7);
+    for _ in 0..200 {
+        assert_eq!(a.run_round(), b.run_round());
+    }
+}
+
+/// A scenario touching every fault type: crashes, recoveries, capacity
+/// degradation and restoration, an arrival burst, and a pool surge.
+fn scenario() -> FaultPlan {
+    FaultPlan::new()
+        .with(
+            5,
+            FaultEvent::CrashBins {
+                bins: vec![0, 3, 17],
+            },
+        )
+        .with(
+            8,
+            FaultEvent::DegradeCapacity {
+                bins: vec![4, 5, 6],
+                capacity: Some(1),
+            },
+        )
+        .with(
+            10,
+            FaultEvent::ArrivalBurst {
+                extra_per_round: 9,
+                rounds: 4,
+            },
+        )
+        .with(12, FaultEvent::PoolSurge { extra: 30 })
+        .with(15, FaultEvent::RecoverBins { bins: vec![0, 3] })
+        .with(
+            18,
+            FaultEvent::DegradeCapacity {
+                bins: vec![4, 5, 6],
+                capacity: None,
+            },
+        )
+        .with(20, FaultEvent::RecoverBins { bins: vec![17] })
+}
+
+#[test]
+fn faulted_trajectory_is_bit_identical_to_faulted_process() {
+    for shards in [1, 4, 6] {
+        let config = CappedConfig::new(48, 2, 0.75).expect("valid");
+        let mut reference = FaultedProcess::new(CappedProcess::new(config.clone()), scenario());
+        let mut rng = SimRng::seed_from(99);
+        let mut service = spawn_central(config, shards, 99);
+        service.schedule(scenario());
+        for _ in 0..120 {
+            let expected = reference.step(&mut rng);
+            let actual = service.run_round();
+            assert_eq!(actual, expected, "faulted divergence at shards={shards}");
+        }
+        assert!(service.conserves_balls());
+    }
+}
+
+#[test]
+fn central_mode_runs_identically_after_restart_of_reference() {
+    // The differential holds from any prefix: running the reference 50
+    // rounds, then comparing the next 50, still matches a service that
+    // ran the same 100 — i.e. divergence cannot hide in early rounds.
+    let config = CappedConfig::new(64, 2, 0.75).expect("valid");
+    let mut reference = CappedProcess::new(config.clone());
+    let mut rng = SimRng::seed_from(5);
+    let mut service = spawn_central(config, 4, 5);
+    for _ in 0..50 {
+        reference.step(&mut rng);
+        service.run_round();
+    }
+    for _ in 0..50 {
+        assert_eq!(service.run_round(), reference.step(&mut rng));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the sharded service: ball conservation and
+//! ticket accounting under arbitrary fault plans, per-shard RNG mode, and
+//! open-loop client traffic.
+//!
+//! The laws pinned here hold for *any* fault sequence:
+//!
+//! - lifetime conservation — everything that entered the system is
+//!   served, pooled, or buffered (`admitted = completed + pending` on the
+//!   ticket side);
+//! - per-round report conservation (`thrown = accepted + pool`);
+//! - the capacity invariant, whenever the plan never alters capacities.
+
+use proptest::prelude::*;
+
+use iba_core::CappedConfig;
+use iba_serve::workload::{run_open_loop, OpenLoop};
+use iba_serve::{CappedService, RngMode, ServiceConfig};
+use iba_sim::faults::{FaultEvent, FaultPlan};
+
+const N: usize = 24;
+
+fn fault_event() -> BoxedStrategy<FaultEvent> {
+    // Bin indices deliberately range past n so out-of-range sanitization
+    // is exercised; capacity 0 encodes "unbounded" here (the service
+    // separately skips the malformed Some(0)).
+    prop_oneof![
+        prop::collection::vec(0usize..N + 8, 1..6).prop_map(|bins| FaultEvent::CrashBins { bins }),
+        prop::collection::vec(0usize..N + 8, 1..6)
+            .prop_map(|bins| FaultEvent::RecoverBins { bins }),
+        (prop::collection::vec(0usize..N + 8, 1..6), 0u32..5).prop_map(|(bins, c)| {
+            FaultEvent::DegradeCapacity {
+                bins,
+                capacity: (c > 0).then_some(c),
+            }
+        }),
+        (1u64..20, 1u64..8).prop_map(|(extra_per_round, rounds)| FaultEvent::ArrivalBurst {
+            extra_per_round,
+            rounds,
+        }),
+        (1u64..60).prop_map(|extra| FaultEvent::PoolSurge { extra }),
+    ]
+    .boxed()
+}
+
+fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    prop::collection::vec((1u64..40, fault_event()), 0..12).prop_map(|events| {
+        let mut plan = FaultPlan::new();
+        for (round, event) in events {
+            plan.insert(round, event);
+        }
+        plan
+    })
+}
+
+fn alters_capacity(plan: &FaultPlan) -> bool {
+    plan.iter().any(|(_, events)| {
+        events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::DegradeCapacity { .. }))
+    })
+}
+
+fn service(c: u32, shards: usize, seed: u64, mode: RngMode) -> CappedService {
+    CappedService::spawn(
+        ServiceConfig::new(
+            CappedConfig::new(N, c, 0.5).expect("valid config"),
+            shards,
+            seed,
+        )
+        .with_rng_mode(mode)
+        .with_model_arrivals(true),
+    )
+    .expect("valid service config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under an arbitrary fault plan, every round of a sharded service
+    /// conserves balls — the per-round report law and the service-lifetime
+    /// law — for any shard count and either RNG mode.
+    #[test]
+    fn sharded_rounds_conserve_under_arbitrary_plans(
+        plan in fault_plan(),
+        c in 1u32..4,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+        central in any::<bool>(),
+    ) {
+        let mode = if central { RngMode::Central } else { RngMode::PerShard };
+        let rounds = plan.last_round().unwrap_or(0) + 10;
+        let capacity_fixed = !alters_capacity(&plan);
+        let mut svc = service(c, shards, seed, mode);
+        svc.schedule(plan);
+        for _ in 0..rounds {
+            let report = svc.run_round();
+            prop_assert!(report.conserves_balls(), "round report law broke");
+            prop_assert!(svc.conserves_balls(), "lifetime law broke");
+            if capacity_fixed {
+                prop_assert!(report.max_load <= u64::from(c), "capacity exceeded");
+            }
+        }
+    }
+
+    /// Ticket accounting under open-loop traffic and arbitrary faults:
+    /// admitted = completion notifications + still-pending tickets, and
+    /// offered = submitted + shed. No request is lost or double-served.
+    #[test]
+    fn tickets_balance_under_open_loop_traffic(
+        plan in fault_plan(),
+        rate in 0u64..30,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let rounds = plan.last_round().unwrap_or(0) + 10;
+        let mut svc = service(2, shards, seed, RngMode::PerShard);
+        let completions = svc.take_completions().expect("fresh service");
+        let load = OpenLoop::new(rate).with_plan(plan);
+        let summary = run_open_loop(&mut svc, &load, rounds);
+
+        prop_assert_eq!(summary.offered, summary.submitted + summary.shed);
+        prop_assert_eq!(summary.submitted, svc.total_admitted());
+        let notified = completions.try_iter().count() as u64;
+        prop_assert_eq!(
+            svc.total_admitted(),
+            notified + svc.pending_tickets() as u64,
+            "a ticket was lost or double-completed"
+        );
+        prop_assert!(svc.conserves_balls());
+    }
+
+    /// Central and per-shard RNG modes agree on the conservation
+    /// aggregates (not the trajectory): after the same number of rounds,
+    /// both have generated exactly `rounds · λn` model balls and conserve
+    /// them.
+    #[test]
+    fn rng_modes_agree_on_aggregate_laws(
+        shards in 1usize..9,
+        seed in any::<u64>(),
+        rounds in 1u64..40,
+    ) {
+        let mut central = service(2, shards, seed, RngMode::Central);
+        let mut pershard = service(2, shards, seed, RngMode::PerShard);
+        for _ in 0..rounds {
+            central.run_round();
+            pershard.run_round();
+        }
+        // λn = 12 is deterministic per round for the paper's arrival model.
+        prop_assert_eq!(central.total_generated(), rounds * 12);
+        prop_assert_eq!(pershard.total_generated(), rounds * 12);
+        prop_assert!(central.conserves_balls());
+        prop_assert!(pershard.conserves_balls());
+    }
+}

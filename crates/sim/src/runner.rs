@@ -49,6 +49,27 @@ impl PointEstimate {
     }
 }
 
+/// Name of the environment variable overriding the worker-thread count
+/// used by [`replicate`]. See [`thread_budget`].
+pub const THREADS_ENV: &str = "IBA_THREADS";
+
+/// The number of worker threads [`replicate`] will use: the value of the
+/// `IBA_THREADS` environment variable if set to a positive integer
+/// (clamped up to 1; non-numeric or empty values are ignored), otherwise
+/// [`std::thread::available_parallelism`]. Useful to pin experiments to a
+/// fixed core budget (`IBA_THREADS=2 cargo bench …`) or to serialize them
+/// entirely (`IBA_THREADS=1`) for debugging.
+pub fn thread_budget() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(threads) = raw.trim().parse::<usize>() {
+            return threads.max(1);
+        }
+    }
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Runs `count` replications of `job` in parallel and returns their results
 /// in replication order.
 ///
@@ -56,7 +77,10 @@ impl PointEstimate {
 /// `master_seed` (see [`SimRng::family`]), so the full experiment is a pure
 /// function of `(master_seed, count, job)`.
 ///
-/// The closure receives `(replication_index, rng)`.
+/// The closure receives `(replication_index, rng)`. The degree of
+/// parallelism is [`thread_budget`] (the `IBA_THREADS` override, else the
+/// detected core count) capped at `count`; thread count never affects the
+/// results, only the wall-clock time.
 ///
 /// # Panics
 ///
@@ -68,10 +92,7 @@ where
 {
     assert!(count > 0, "need at least one replication");
     let rngs = SimRng::family(master_seed, count);
-    let threads = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(count);
+    let threads = thread_budget().min(count);
 
     if threads <= 1 {
         return rngs
@@ -122,6 +143,32 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_budget_honors_env_override() {
+        // A single test owns the variable (concurrent tests would race on
+        // process-global state): set → parse, junk → fallback, zero →
+        // clamp, unset → detection. Thread count never changes
+        // replicate()'s results, only its schedule, so the other runner
+        // tests are unaffected whatever value they observe mid-test.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(thread_budget(), 3);
+        std::env::set_var(THREADS_ENV, " 5 ");
+        assert_eq!(thread_budget(), 5, "whitespace is trimmed");
+        std::env::set_var(THREADS_ENV, "0");
+        assert_eq!(thread_budget(), 1, "zero clamps to one thread");
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(thread_budget() >= 1, "junk falls back to detection");
+
+        std::env::set_var(THREADS_ENV, "1");
+        let serial = replicate(11, 12, |_i, mut rng| rng.next_u64());
+        std::env::set_var(THREADS_ENV, "4");
+        let parallel = replicate(11, 12, |_i, mut rng| rng.next_u64());
+        assert_eq!(serial, parallel, "budget must not change results");
+
+        std::env::remove_var(THREADS_ENV);
+        assert!(thread_budget() >= 1);
+    }
 
     #[test]
     fn replicate_preserves_order_and_count() {

@@ -16,6 +16,8 @@
 //!   THRESHOLD\[T\], sequential GREEDY\[d\].
 //! - [`analysis`] (`iba-analysis`) — Theorems 1–2, Section-V fits, tail
 //!   bounds, sweet-spot capacity.
+//! - [`serve`] (`iba-serve`) — the sharded, multi-threaded CAPPED
+//!   dispatch service (workers, round clock, admission, live metrics).
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@
 pub use iba_analysis as analysis;
 pub use iba_baselines as baselines;
 pub use iba_core as core;
+pub use iba_serve as serve;
 pub use iba_sim as sim;
 
 /// Convenient re-exports for the common simulation workflow.

@@ -33,9 +33,14 @@ pub struct BinBuffer {
 
 impl BinBuffer {
     /// Creates an empty buffer with the given capacity.
+    ///
+    /// Finite capacities reserve `min(c, 4096)` slots up front so buffers
+    /// at realistic capacities never reallocate mid-run; the 4096 clamp
+    /// keeps pathological capacities from pre-committing memory that would
+    /// almost never be used.
     pub fn new(capacity: Capacity) -> Self {
         let reserve = match capacity {
-            Capacity::Finite(c) => (c.get() as usize).min(64),
+            Capacity::Finite(c) => (c.get() as usize).min(4096),
             Capacity::Infinite => 4,
         };
         BinBuffer {
@@ -44,17 +49,23 @@ impl BinBuffer {
         }
     }
 
-    /// Rebuilds a buffer from checkpointed contents, in FIFO order.
+    /// Rebuilds a buffer from checkpointed contents, in FIFO order. The
+    /// queue is pre-reserved to the restored length (and to the capacity,
+    /// under the same `min(c, 4096)` clamp as [`new`](Self::new)) so a
+    /// restored run does not reallocate as the buffer refills.
     ///
     /// Unlike [`try_accept`](Self::try_accept), this does **not** enforce
     /// `len ≤ capacity`: a bin whose capacity was degraded mid-run (see
     /// `iba_sim::faults`) legally holds more balls than its current
     /// capacity allows and must round-trip through a checkpoint unchanged.
     pub fn restore(capacity: Capacity, balls: impl IntoIterator<Item = Ball>) -> Self {
-        BinBuffer {
-            queue: balls.into_iter().collect(),
-            capacity,
-        }
+        let reserve = match capacity {
+            Capacity::Finite(c) => (c.get() as usize).min(4096),
+            Capacity::Infinite => 4,
+        };
+        let mut queue = VecDeque::with_capacity(reserve);
+        queue.extend(balls);
+        BinBuffer { queue, capacity }
     }
 
     /// The buffer's capacity.
@@ -109,6 +120,12 @@ impl BinBuffer {
     /// Iterates over stored balls in FIFO order.
     pub fn iter(&self) -> impl Iterator<Item = &Ball> {
         self.queue.iter()
+    }
+
+    /// The stored balls as a pair of slices in FIFO order (front slice
+    /// first), mirroring [`VecDeque::as_slices`].
+    pub fn as_slices(&self) -> (&[Ball], &[Ball]) {
+        self.queue.as_slices()
     }
 
     /// Removes every ball (used by chaos/recovery experiments).
@@ -217,6 +234,46 @@ mod tests {
         // FIFO order preserved.
         assert_eq!(buf.serve(), Some(Ball::generated_in(0)));
         assert_eq!(buf.serve(), Some(Ball::generated_in(1)));
+    }
+
+    #[test]
+    fn new_reserves_full_finite_capacity_up_to_clamp() {
+        // A c = 1000 buffer must hold c balls without reallocating: the old
+        // 64-slot clamp forced mid-run growth on every large-capacity bin.
+        let mut buf = finite(1000);
+        let before = buf.queue.capacity();
+        assert!(before >= 1000, "reserve {before} below capacity");
+        for label in 0..1000 {
+            assert!(buf.try_accept(Ball::generated_in(label)));
+        }
+        assert_eq!(buf.queue.capacity(), before, "filling must not reallocate");
+        // The clamp still bounds absurd capacities.
+        let huge = finite(1_000_000);
+        assert!(huge.queue.capacity() < 10_000);
+    }
+
+    #[test]
+    fn restore_reserves_for_refill() {
+        let balls: Vec<Ball> = (0..5).map(Ball::generated_in).collect();
+        let buf = BinBuffer::restore(Capacity::finite(200).unwrap(), balls);
+        assert_eq!(buf.len(), 5);
+        assert!(
+            buf.queue.capacity() >= 200,
+            "restored buffer must be able to refill to capacity without reallocating"
+        );
+    }
+
+    #[test]
+    fn as_slices_concatenate_to_fifo_order() {
+        let mut buf = finite(3);
+        for label in [7, 8, 9] {
+            buf.try_accept(Ball::generated_in(label));
+        }
+        buf.serve();
+        buf.try_accept(Ball::generated_in(10)); // forces ring wrap-around
+        let (a, b) = buf.as_slices();
+        let labels: Vec<u64> = a.iter().chain(b).map(Ball::label).collect();
+        assert_eq!(labels, vec![8, 9, 10]);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod ball;
 pub mod buffer;
 pub mod checkpoint;
@@ -57,6 +58,7 @@ pub mod process;
 pub mod shard;
 pub mod spec;
 
+pub use arena::{BinArena, BinView};
 pub use ball::Ball;
 pub use buffer::BinBuffer;
 pub use config::{AcceptancePolicy, Capacity, CappedConfig};
@@ -65,4 +67,5 @@ pub use metrics::WaitQuantiles;
 pub use modcapped::ModCappedProcess;
 pub use pool::Pool;
 pub use process::CappedProcess;
+pub use process::KernelMode;
 pub use shard::{shard_of, shard_range, BinShard};

@@ -5,10 +5,47 @@ use iba_sim::process::{AllocationProcess, RoundReport};
 use iba_sim::rng::SimRng;
 use iba_sim::stats::Histogram;
 
+use crate::arena::{counting_accept, fast_accept, BinStore, BinView};
 use crate::ball::Ball;
-use crate::buffer::BinBuffer;
 use crate::config::{AcceptancePolicy, Capacity, CappedConfig};
 use crate::pool::Pool;
+
+/// Which implementation of the round's acceptance/deletion stages a
+/// [`CappedProcess`] runs.
+///
+/// Both kernels compute **bit-identical** trajectories (same RNG
+/// consumption, same [`RoundReport`]s, same waiting times) — the scalar
+/// kernel exists as the in-tree reference for differential tests and
+/// old-vs-new benchmarks. Checkpoints do not record the kernel mode;
+/// restored processes run the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Flat-arena storage with the counting-sort acceptance pass and bulk
+    /// RNG (the default). Used for the 1-choice oldest-first paper process
+    /// on finite capacities; other policies fall back to the scalar walk
+    /// over the same arena storage.
+    #[default]
+    Arena,
+    /// The legacy layout and loop: one `VecDeque` buffer per bin, one
+    /// RNG draw and one random-access push per ball.
+    Scalar,
+}
+
+/// Round-persistent scratch buffers of the arena kernel, so steady-state
+/// rounds allocate nothing.
+#[derive(Debug, Clone, Default)]
+struct KernelScratch {
+    /// This round's pre-drawn bin choices, one per pooled ball.
+    choices: Vec<u32>,
+    /// Per-bin request histogram, reused as the scatter cursor
+    /// (exact-histogram fallback path only).
+    counts: Vec<u32>,
+    /// Per-bin acceptance quotas `min{c − ℓ, ν}`.
+    quotas: Vec<u32>,
+    /// Packed per-bin `(remaining quota, ring cursor)` registers of the
+    /// single-pass scatter (see [`fast_accept`]).
+    state: Vec<u32>,
+}
 
 /// The CAPPED(c, λ) process.
 ///
@@ -44,7 +81,7 @@ use crate::pool::Pool;
 pub struct CappedProcess {
     config: CappedConfig,
     pool: Pool,
-    bins: Vec<BinBuffer>,
+    store: BinStore,
     /// Fault-injection mask: an offline bin rejects every request and
     /// stops serving; its buffered balls are frozen until it comes back.
     offline: Vec<bool>,
@@ -52,6 +89,14 @@ pub struct CappedProcess {
     total_generated: u64,
     total_deleted: u64,
     scratch: Vec<Ball>,
+    kernel: KernelMode,
+    kscratch: KernelScratch,
+    /// Whether `kscratch.state` already holds valid per-bin acceptance
+    /// registers for the *next* round (written by the previous round's
+    /// deletion sweep under a uniform capacity profile). Cleared by every
+    /// mutation that can change a bin's room or ring offset behind the
+    /// kernel's back.
+    kernel_primed: bool,
 }
 
 enum ChoiceSource<'a> {
@@ -65,21 +110,35 @@ enum ChoiceSource<'a> {
 
 impl CappedProcess {
     /// Creates the process in the paper's initial state: empty pool, empty
-    /// bins, round 0.
+    /// bins, round 0, running the default (arena) kernel.
     pub fn new(config: CappedConfig) -> Self {
-        let bins = (0..config.bins())
-            .map(|i| BinBuffer::new(config.capacity_of(i)))
-            .collect();
+        Self::with_kernel(config, KernelMode::default())
+    }
+
+    /// Creates the process with an explicit [`KernelMode`]. Both modes are
+    /// bit-exact; `Scalar` pins the legacy per-ball loop for differential
+    /// tests and old-vs-new benchmarks.
+    pub fn with_kernel(config: CappedConfig, kernel: KernelMode) -> Self {
+        let caps: Vec<Capacity> = (0..config.bins()).map(|i| config.capacity_of(i)).collect();
+        let store = BinStore::from_capacities(caps, kernel == KernelMode::Scalar);
         CappedProcess {
             pool: Pool::with_capacity(config.predicted_stationary_pool()),
-            bins,
+            store,
             offline: vec![false; config.bins()],
             round: 0,
             total_generated: 0,
             total_deleted: 0,
             scratch: Vec::new(),
+            kernel,
+            kscratch: KernelScratch::default(),
+            kernel_primed: false,
             config,
         }
+    }
+
+    /// The kernel mode this process runs.
+    pub fn kernel(&self) -> KernelMode {
+        self.kernel
     }
 
     /// Fault injection: takes bin `i` offline (`true`) or back online
@@ -100,6 +159,7 @@ impl CappedProcess {
             self.offline.len()
         );
         self.offline[i] = offline;
+        self.kernel_primed = false;
     }
 
     /// Fallible [`set_bin_offline`](Self::set_bin_offline) for indices
@@ -121,6 +181,7 @@ impl CappedProcess {
             });
         }
         self.offline[i] = offline;
+        self.kernel_primed = false;
         Ok(())
     }
 
@@ -149,11 +210,12 @@ impl CappedProcess {
     /// Panics if `i ≥ n`.
     pub fn set_bin_capacity(&mut self, i: usize, capacity: crate::config::Capacity) {
         assert!(
-            i < self.bins.len(),
+            i < self.config.bins(),
             "bin index {i} out of range for a process with n = {} bins",
-            self.bins.len()
+            self.config.bins()
         );
-        self.bins[i].set_capacity(capacity);
+        self.store.set_capacity(i, capacity);
+        self.kernel_primed = false;
     }
 
     /// The configuration this process runs with.
@@ -187,28 +249,30 @@ impl CappedProcess {
         }
     }
 
-    /// Read access to bin `i`'s buffer.
+    /// Read access to bin `i`'s buffer, as a storage-independent view.
     ///
     /// # Panics
     ///
     /// Panics if `i ≥ n`.
-    pub fn bin(&self, i: usize) -> &BinBuffer {
-        &self.bins[i]
+    pub fn bin(&self, i: usize) -> BinView<'_> {
+        self.store.view(i)
     }
 
     /// Current loads of all bins.
     pub fn loads(&self) -> Vec<usize> {
-        self.bins.iter().map(BinBuffer::len).collect()
+        (0..self.config.bins()).map(|i| self.store.len(i)).collect()
     }
 
     /// Histogram of current bin loads (values `0..=c`).
     pub fn load_histogram(&self) -> Histogram {
-        self.bins.iter().map(|b| b.len() as u64).collect()
+        (0..self.config.bins())
+            .map(|i| self.store.len(i) as u64)
+            .collect()
     }
 
     /// Total number of balls stored in bin buffers.
     pub fn buffered(&self) -> usize {
-        self.bins.iter().map(BinBuffer::len).sum()
+        self.store.buffered()
     }
 
     /// The pool.
@@ -245,8 +309,9 @@ impl CappedProcess {
         enc.u64(self.total_deleted);
         let pool_labels: Vec<u64> = self.pool.iter().map(Ball::label).collect();
         enc.u64_seq(pool_labels.into_iter());
-        enc.usize(self.bins.len());
-        for bin in &self.bins {
+        enc.usize(self.config.bins());
+        for i in 0..self.config.bins() {
+            let bin = self.store.view(i);
             // Live capacity, which fault injection may have diverged from
             // the configured profile; 0 encodes "unbounded".
             enc.u64(match bin.capacity() {
@@ -285,7 +350,8 @@ impl CappedProcess {
         if bin_count != config.bins() {
             return Err(CodecError::Invalid { what: "bin count" });
         }
-        let mut bins = Vec::with_capacity(bin_count);
+        let mut caps = Vec::with_capacity(bin_count);
+        let mut contents = Vec::with_capacity(bin_count);
         for _ in 0..bin_count {
             let raw = dec.u64("bin capacity")?;
             let capacity = if raw == 0 {
@@ -300,26 +366,47 @@ impl CappedProcess {
             };
             let labels = dec.u64_seq("bin queue")?;
             // No load-vs-capacity check: a degraded bin legally holds more
-            // balls than its live capacity (see `BinBuffer::restore`);
+            // balls than its live capacity (capacity degradation);
             // conservation is verified below.
-            bins.push(BinBuffer::restore(
-                capacity,
-                labels.iter().map(|&l| Ball::generated_in(l)),
-            ));
+            caps.push(capacity);
+            contents.push(
+                labels
+                    .iter()
+                    .map(|&l| Ball::generated_in(l))
+                    .collect::<Vec<Ball>>(),
+            );
         }
         let mut offline = Vec::with_capacity(bin_count);
         for _ in 0..bin_count {
             offline.push(dec.bool("offline flag")?);
         }
+        // Checkpoints never record the kernel mode: restores always run the
+        // default kernel. The choice of storage mirrors `with_kernel`,
+        // keyed on the *configured* base capacity so a finite configuration
+        // restores to the arena even when faults degraded some live
+        // capacities to unbounded (the arena grows those on demand).
+        let store = if config.capacity() == Capacity::Infinite {
+            BinStore::Buffers(
+                caps.into_iter()
+                    .zip(contents)
+                    .map(|(cap, balls)| crate::buffer::BinBuffer::restore(cap, balls))
+                    .collect(),
+            )
+        } else {
+            BinStore::Arena(crate::arena::BinArena::from_bins(caps, contents))
+        };
         let process = CappedProcess {
             config,
             pool,
-            bins,
+            store,
             offline,
             round,
             total_generated,
             total_deleted,
             scratch: Vec::new(),
+            kernel: KernelMode::default(),
+            kscratch: KernelScratch::default(),
+            kernel_primed: false,
         };
         if !process.conserves_balls() {
             return Err(CodecError::Invalid {
@@ -378,10 +465,42 @@ impl CappedProcess {
         self.run_round(batch, ChoiceSource::Slice(choices))
     }
 
-    fn run_round(&mut self, generated: u64, mut source: ChoiceSource<'_>) -> RoundReport {
+    /// Whether this round can run through the counting-sort kernel: the
+    /// paper's 1-choice oldest-first process over arena storage (pre-drawn
+    /// choice slices are by definition 1-choice). The d-choice and ablation
+    /// policies keep the scalar walk — their acceptance depends on loads or
+    /// priorities evolving *during* the request stream, which a batched
+    /// pass cannot reproduce. The `u32::MAX` guard keeps the per-bin
+    /// request histogram's `u32` counters from overflowing.
+    fn kernel_eligible(&self, source: &ChoiceSource<'_>, thrown: usize) -> bool {
+        self.config.policy() == AcceptancePolicy::OldestFirst
+            && matches!(self.store, BinStore::Arena(_))
+            && thrown <= u32::MAX as usize
+            && match source {
+                ChoiceSource::Rng(_, d) => *d == 1,
+                ChoiceSource::Slice(_) => true,
+            }
+    }
+
+    fn run_round(&mut self, generated: u64, source: ChoiceSource<'_>) -> RoundReport {
+        let mut report = RoundReport::default();
+        self.run_round_into(generated, source, &mut report);
+        report
+    }
+
+    fn run_round_into(
+        &mut self,
+        generated: u64,
+        mut source: ChoiceSource<'_>,
+        report: &mut RoundReport,
+    ) {
         let n = self.config.bins();
         self.round += 1;
         let round = self.round;
+        // Consume the priming flag up front: whatever path this round
+        // takes, the registers it leaves behind are only valid if the
+        // uniform deletion sweep below re-arms them.
+        let was_primed = std::mem::take(&mut self.kernel_primed);
 
         // 1. Ball generation.
         self.pool.push_generation(round, generated);
@@ -397,7 +516,92 @@ impl CappedProcess {
         rejected.clear();
         let mut accepted = 0u64;
         let policy = self.config.policy();
-        if policy == AcceptancePolicy::OldestFirst {
+        // Set when the fast path ran: its scatter leaves the ring lengths
+        // uncommitted, and the deletion stage below folds the per-bin
+        // accepted counts in while it serves (one meta pass, not two).
+        let mut commit_pending = false;
+        if self.kernel_eligible(&source, balls.len()) {
+            // Counting-sort kernel. Pre-drawing every choice in pool order
+            // consumes the RNG exactly as the scalar per-ball loop does
+            // (acceptance itself draws nothing), and the quota/scatter pass
+            // is bit-exactly the oldest-first greedy walk — see
+            // `arena::counting_accept`.
+            let BinStore::Arena(arena) = &mut self.store else {
+                unreachable!("kernel_eligible checked the storage variant");
+            };
+            let KernelScratch {
+                choices,
+                counts,
+                quotas,
+                state,
+            } = &mut self.kscratch;
+            // Single-pass fast path first; it bails out (without touching
+            // the stream) only when a fault-raised capacity could overflow
+            // the ring, in which case the exact-histogram pass sizes the
+            // growth. Both are bit-exactly the scalar greedy rule.
+            accepted = match &mut source {
+                ChoiceSource::Rng(rng, _) => {
+                    choices.resize(balls.len(), 0);
+                    rng.fill_uniform_bins(n, choices);
+                    let stream = || {
+                        balls
+                            .iter()
+                            .zip(choices.iter())
+                            .map(|(&ball, &c)| (c as usize, ball))
+                    };
+                    match fast_accept(
+                        arena,
+                        &self.offline,
+                        state,
+                        quotas,
+                        balls.len(),
+                        stream(),
+                        &mut rejected,
+                        was_primed,
+                    ) {
+                        Some(a) => {
+                            commit_pending = true;
+                            a
+                        }
+                        None => counting_accept(
+                            arena,
+                            &self.offline,
+                            counts,
+                            quotas,
+                            stream(),
+                            &mut rejected,
+                        ),
+                    }
+                }
+                ChoiceSource::Slice(slice) => {
+                    let stream = || balls.iter().zip(slice.iter()).map(|(&ball, &c)| (c, ball));
+                    match fast_accept(
+                        arena,
+                        &self.offline,
+                        state,
+                        quotas,
+                        balls.len(),
+                        stream(),
+                        &mut rejected,
+                        was_primed,
+                    ) {
+                        Some(a) => {
+                            commit_pending = true;
+                            a
+                        }
+                        None => counting_accept(
+                            arena,
+                            &self.offline,
+                            counts,
+                            quotas,
+                            stream(),
+                            &mut rejected,
+                        ),
+                    }
+                }
+            };
+            balls.clear();
+        } else if policy == AcceptancePolicy::OldestFirst {
             for (i, ball) in balls.drain(..).enumerate() {
                 let bin_idx = match &mut source {
                     ChoiceSource::Rng(rng, 1) => rng.uniform_bin(n),
@@ -407,7 +611,7 @@ impl CappedProcess {
                         let mut best = rng.uniform_bin(n);
                         for _ in 1..*d {
                             let candidate = rng.uniform_bin(n);
-                            if self.bins[candidate].len() < self.bins[best].len() {
+                            if self.store.len(candidate) < self.store.len(best) {
                                 best = candidate;
                             }
                         }
@@ -415,7 +619,7 @@ impl CappedProcess {
                     }
                     ChoiceSource::Slice(choices) => choices[i],
                 };
-                if !self.offline[bin_idx] && self.bins[bin_idx].try_accept(ball) {
+                if !self.offline[bin_idx] && self.store.try_accept(bin_idx, ball) {
                     accepted += 1;
                 } else {
                     rejected.push(ball);
@@ -444,11 +648,11 @@ impl CappedProcess {
                 let mut best = rng.uniform_bin(n);
                 for _ in 1..*d {
                     let candidate = rng.uniform_bin(n);
-                    if self.bins[candidate].len() < self.bins[best].len() {
+                    if self.store.len(candidate) < self.store.len(best) {
                         best = candidate;
                     }
                 }
-                if !self.offline[best] && self.bins[best].try_accept(ball) {
+                if !self.offline[best] && self.store.try_accept(best, ball) {
                     accepted += 1;
                 } else {
                     rejected.push(ball);
@@ -462,43 +666,143 @@ impl CappedProcess {
         self.scratch = balls;
         self.pool.restore(rejected);
 
-        // 4. FIFO deletion; collect waiting times and load statistics.
-        let mut waiting_times = Vec::with_capacity(n.min(thrown as usize));
+        // 4. FIFO deletion; collect waiting times and load statistics. The
+        // waiting times land in the caller's (reused) report buffer, so
+        // steady-state rounds allocate nothing.
+        let waiting_times = &mut report.waiting_times;
+        waiting_times.clear();
         let mut failed_deletions = 0u64;
         let mut buffered = 0u64;
         let mut max_load = 0u64;
-        for (bin, &offline) in self.bins.iter_mut().zip(&self.offline) {
-            if offline {
-                // A crashed bin neither serves nor counts as a failed
-                // deletion *attempt* — it makes none.
-                buffered += bin.len() as u64;
-                max_load = max_load.max(bin.len() as u64);
-                continue;
-            }
-            match bin.serve() {
-                Some(ball) => {
-                    waiting_times.push(ball.age_at(round));
-                    self.total_deleted += 1;
+        match &mut self.store {
+            BinStore::Arena(arena) if commit_pending => {
+                // Fused commit + serve: fold each bin's accepted count
+                // (left uncommitted by the fast path's scatter) into its
+                // ring length and FIFO-serve in the same meta pass.
+                match arena.uniform_cap() {
+                    Some(c0) => {
+                        // Uniform capacity profile: the accepted count is
+                        // recoverable from the register's remaining room
+                        // alone (no quota array), and the same sweep writes
+                        // next round's register — (room << 16) | tail — so
+                        // the next acceptance pass skips its init sweep
+                        // entirely ("priming").
+                        let state = &mut self.kscratch.state;
+                        debug_assert_eq!(state.len(), n);
+                        for (b, s) in state.iter_mut().enumerate() {
+                            if self.offline[b] {
+                                // A crashed bin neither serves nor counts
+                                // as a failed deletion *attempt* — it makes
+                                // none. Its register had zero room, so
+                                // there is nothing to commit; re-arm it
+                                // with zero room again.
+                                debug_assert_eq!(*s >> 16, 0);
+                                let (len, tail) = arena.len_tail(b);
+                                *s = tail;
+                                let load = u64::from(len);
+                                buffered += load;
+                                max_load = max_load.max(load);
+                                continue;
+                            }
+                            let (served, len, tail) = arena.commit_serve_uniform(b, c0, *s >> 16);
+                            match served {
+                                Some(ball) => {
+                                    waiting_times.push(ball.age_at(round));
+                                    self.total_deleted += 1;
+                                }
+                                None => failed_deletions += 1,
+                            }
+                            *s = ((c0 - len) << 16) | tail;
+                            let load = u64::from(len);
+                            buffered += load;
+                            max_load = max_load.max(load);
+                        }
+                        self.kernel_primed = true;
+                    }
+                    None => {
+                        let quotas = &self.kscratch.quotas;
+                        let state = &self.kscratch.state;
+                        for b in 0..n {
+                            let taken = (quotas[b] - (state[b] >> 16)) as usize;
+                            if self.offline[b] {
+                                // A crashed bin neither serves nor counts
+                                // as a failed deletion *attempt* — it makes
+                                // none. Its quota was 0, so there is
+                                // nothing to commit.
+                                debug_assert_eq!(taken, 0);
+                                let load = arena.len(b) as u64;
+                                buffered += load;
+                                max_load = max_load.max(load);
+                                continue;
+                            }
+                            match arena.commit_serve(b, taken) {
+                                Some(ball) => {
+                                    waiting_times.push(ball.age_at(round));
+                                    self.total_deleted += 1;
+                                }
+                                None => failed_deletions += 1,
+                            }
+                            let load = arena.len(b) as u64;
+                            buffered += load;
+                            max_load = max_load.max(load);
+                        }
+                    }
                 }
-                None => failed_deletions += 1,
             }
-            let load = bin.len() as u64;
-            buffered += load;
-            max_load = max_load.max(load);
+            BinStore::Arena(arena) => {
+                for b in 0..n {
+                    if self.offline[b] {
+                        // A crashed bin neither serves nor counts as a
+                        // failed deletion *attempt* — it makes none.
+                        let load = arena.len(b) as u64;
+                        buffered += load;
+                        max_load = max_load.max(load);
+                        continue;
+                    }
+                    match arena.serve(b) {
+                        Some(ball) => {
+                            waiting_times.push(ball.age_at(round));
+                            self.total_deleted += 1;
+                        }
+                        None => failed_deletions += 1,
+                    }
+                    let load = arena.len(b) as u64;
+                    buffered += load;
+                    max_load = max_load.max(load);
+                }
+            }
+            BinStore::Buffers(bins) => {
+                for (bin, &offline) in bins.iter_mut().zip(&self.offline) {
+                    if offline {
+                        // A crashed bin neither serves nor counts as a
+                        // failed deletion *attempt* — it makes none.
+                        buffered += bin.len() as u64;
+                        max_load = max_load.max(bin.len() as u64);
+                        continue;
+                    }
+                    match bin.serve() {
+                        Some(ball) => {
+                            waiting_times.push(ball.age_at(round));
+                            self.total_deleted += 1;
+                        }
+                        None => failed_deletions += 1,
+                    }
+                    let load = bin.len() as u64;
+                    buffered += load;
+                    max_load = max_load.max(load);
+                }
+            }
         }
 
-        RoundReport {
-            round,
-            generated,
-            thrown,
-            accepted,
-            deleted: waiting_times.len() as u64,
-            failed_deletions,
-            pool_size: self.pool.len() as u64,
-            buffered,
-            max_load,
-            waiting_times,
-        }
+        report.round = round;
+        report.generated = generated;
+        report.thrown = thrown;
+        report.accepted = accepted;
+        report.deleted = report.waiting_times.len() as u64;
+        report.failed_deletions = failed_deletions;
+        report.pool_size = self.pool.len() as u64;
+        report.buffered = buffered;
+        report.max_load = max_load;
     }
 }
 
@@ -519,6 +823,12 @@ impl AllocationProcess for CappedProcess {
         let generated = self.config.arrivals().sample(rng);
         let d = self.config.choices();
         self.run_round(generated, ChoiceSource::Rng(rng, d))
+    }
+
+    fn step_into(&mut self, rng: &mut SimRng, report: &mut RoundReport) {
+        let generated = self.config.arrivals().sample(rng);
+        let d = self.config.choices();
+        self.run_round_into(generated, ChoiceSource::Rng(rng, d), report);
     }
 
     fn label(&self) -> String {

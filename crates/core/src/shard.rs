@@ -19,8 +19,10 @@
 
 use std::ops::Range;
 
+use crate::arena::{
+    commit_accepts, commit_accepts_uniform, counting_accept, fast_accept, BinStore, BinView,
+};
 use crate::ball::Ball;
-use crate::buffer::BinBuffer;
 use crate::config::{Capacity, CappedConfig};
 
 /// The contiguous bin range owned by shard `shard` when `bins` bins are
@@ -106,13 +108,23 @@ pub struct ShardServeStats {
 #[derive(Debug, Clone)]
 pub struct BinShard {
     first_bin: usize,
-    bins: Vec<BinBuffer>,
+    store: BinStore,
+    bin_count: usize,
     offline: Vec<bool>,
+    /// Counting-sort scratch (request histogram / scatter cursor,
+    /// acceptance quotas, and the fast path's packed per-bin registers),
+    /// persisted across rounds so the steady state allocates nothing.
+    counts: Vec<u32>,
+    quotas: Vec<u32>,
+    state: Vec<u32>,
 }
 
 impl BinShard {
     /// Creates the shard owning `range`, with per-bin capacities taken
-    /// from `config` (heterogeneous profiles respected).
+    /// from `config` (heterogeneous profiles respected). Finite-capacity
+    /// configurations store their bins in a flat [`crate::arena::BinArena`]
+    /// and accept through the counting-sort kernel; an unbounded
+    /// configuration keeps one `VecDeque` buffer per bin.
     ///
     /// # Panics
     ///
@@ -124,15 +136,18 @@ impl BinShard {
             config.bins()
         );
         assert!(!range.is_empty(), "a shard must own at least one bin");
-        let bins: Vec<BinBuffer> = range
-            .clone()
-            .map(|i| BinBuffer::new(config.capacity_of(i)))
-            .collect();
-        let offline = vec![false; bins.len()];
+        let caps: Vec<Capacity> = range.clone().map(|i| config.capacity_of(i)).collect();
+        let bin_count = caps.len();
+        let store = BinStore::from_capacities(caps, false);
+        let offline = vec![false; bin_count];
         BinShard {
             first_bin: range.start,
-            bins,
+            store,
+            bin_count,
             offline,
+            counts: Vec::new(),
+            quotas: Vec::new(),
+            state: Vec::new(),
         }
     }
 
@@ -143,31 +158,32 @@ impl BinShard {
 
     /// Number of bins this shard owns.
     pub fn len(&self) -> usize {
-        self.bins.len()
+        self.bin_count
     }
 
     /// Whether the shard owns no bins (never true for a constructed shard).
     pub fn is_empty(&self) -> bool {
-        self.bins.is_empty()
+        self.bin_count == 0
     }
 
-    /// Read access to the local bin `i` (0-based within the shard).
+    /// Read access to the local bin `i` (0-based within the shard), as a
+    /// storage-independent view.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn bin(&self, i: usize) -> &BinBuffer {
-        &self.bins[i]
+    pub fn bin(&self, i: usize) -> BinView<'_> {
+        self.store.view(i)
     }
 
     /// Current loads of this shard's bins, in bin order.
     pub fn loads(&self) -> Vec<usize> {
-        self.bins.iter().map(BinBuffer::len).collect()
+        (0..self.bin_count).map(|i| self.store.len(i)).collect()
     }
 
     /// Total balls stored in this shard's buffers.
     pub fn buffered(&self) -> usize {
-        self.bins.iter().map(BinBuffer::len).sum()
+        self.store.buffered()
     }
 
     /// Takes local bin `i` offline (`true`) or back online (`false`):
@@ -197,7 +213,8 @@ impl BinShard {
     ///
     /// Panics if `i` is out of range.
     pub fn set_capacity(&mut self, i: usize, capacity: Capacity) {
-        self.bins[i].set_capacity(capacity);
+        assert!(i < self.bin_count, "local bin index {i} out of range");
+        self.store.set_capacity(i, capacity);
     }
 
     /// The acceptance stage for this shard: processes `requests` —
@@ -211,16 +228,61 @@ impl BinShard {
     /// an age-ordered routed stream is exactly Algorithm 1's acceptance
     /// rule (see [`Pool`](crate::pool::Pool) for the equivalence).
     pub fn accept(&mut self, requests: &[(u32, Ball)], rejected: &mut Vec<Ball>) -> u64 {
-        let mut accepted = 0u64;
-        for &(local, ball) in requests {
-            let local = local as usize;
-            if !self.offline[local] && self.bins[local].try_accept(ball) {
-                accepted += 1;
-            } else {
-                rejected.push(ball);
+        match &mut self.store {
+            // Counting-sort kernel over the flat arena: bit-exactly the
+            // scalar greedy walk (see `arena::fast_accept`), one sequential
+            // write per accepted ball. The single-pass fast path bails out
+            // only when a fault-raised capacity could overflow the ring;
+            // the exact-histogram pass then sizes the growth. The
+            // `u32::MAX` guard keeps the quota counters from overflowing.
+            BinStore::Arena(arena) if requests.len() <= u32::MAX as usize => {
+                let stream = || requests.iter().map(|&(local, ball)| (local as usize, ball));
+                match fast_accept(
+                    arena,
+                    &self.offline,
+                    &mut self.state,
+                    &mut self.quotas,
+                    requests.len(),
+                    stream(),
+                    rejected,
+                    false,
+                ) {
+                    Some(accepted) => {
+                        // The shard's accept and serve stages are separate
+                        // calls with observable state in between, so the
+                        // scatter's lengths are committed here rather than
+                        // fused into `serve`.
+                        match arena.uniform_cap() {
+                            Some(c0) => {
+                                commit_accepts_uniform(arena, &self.offline, &self.state, c0)
+                            }
+                            None => commit_accepts(arena, &self.state, &self.quotas),
+                        }
+                        accepted
+                    }
+                    None => counting_accept(
+                        arena,
+                        &self.offline,
+                        &mut self.counts,
+                        &mut self.quotas,
+                        stream(),
+                        rejected,
+                    ),
+                }
+            }
+            store => {
+                let mut accepted = 0u64;
+                for &(local, ball) in requests {
+                    let local = local as usize;
+                    if !self.offline[local] && store.try_accept(local, ball) {
+                        accepted += 1;
+                    } else {
+                        rejected.push(ball);
+                    }
+                }
+                accepted
             }
         }
-        accepted
     }
 
     /// The deletion stage for this shard: every online non-empty bin
@@ -236,22 +298,46 @@ impl BinShard {
         waits: &mut Vec<u64>,
     ) -> ShardServeStats {
         let mut stats = ShardServeStats::default();
-        for (bin, &offline) in self.bins.iter_mut().zip(&self.offline) {
-            if offline {
-                stats.buffered += bin.len() as u64;
-                stats.max_load = stats.max_load.max(bin.len() as u64);
-                continue;
-            }
-            match bin.serve() {
-                Some(ball) => {
-                    waits.push(ball.age_at(round));
-                    served.push(ball);
+        match &mut self.store {
+            BinStore::Arena(arena) => {
+                for b in 0..self.bin_count {
+                    if self.offline[b] {
+                        let load = arena.len(b) as u64;
+                        stats.buffered += load;
+                        stats.max_load = stats.max_load.max(load);
+                        continue;
+                    }
+                    match arena.serve(b) {
+                        Some(ball) => {
+                            waits.push(ball.age_at(round));
+                            served.push(ball);
+                        }
+                        None => stats.failed_deletions += 1,
+                    }
+                    let load = arena.len(b) as u64;
+                    stats.buffered += load;
+                    stats.max_load = stats.max_load.max(load);
                 }
-                None => stats.failed_deletions += 1,
             }
-            let load = bin.len() as u64;
-            stats.buffered += load;
-            stats.max_load = stats.max_load.max(load);
+            BinStore::Buffers(bins) => {
+                for (bin, &offline) in bins.iter_mut().zip(&self.offline) {
+                    if offline {
+                        stats.buffered += bin.len() as u64;
+                        stats.max_load = stats.max_load.max(bin.len() as u64);
+                        continue;
+                    }
+                    match bin.serve() {
+                        Some(ball) => {
+                            waits.push(ball.age_at(round));
+                            served.push(ball);
+                        }
+                        None => stats.failed_deletions += 1,
+                    }
+                    let load = bin.len() as u64;
+                    stats.buffered += load;
+                    stats.max_load = stats.max_load.max(load);
+                }
+            }
         }
         stats
     }

@@ -1,0 +1,317 @@
+//! Differential validation of the flat-arena round kernel: the arena
+//! kernel (SoA [`iba_core::BinArena`] storage + counting-sort acceptance +
+//! bulk RNG) must be **bit-exact** against the legacy scalar kernel — the
+//! same [`RoundReport`] every round, including the waiting-time vectors,
+//! the same RNG consumption, and the same state after any prefix — across
+//! `(n, c, λ)` cells, seeds, pre-drawn choice slices, checkpoint/resume
+//! round-trips, and fault injection.
+//!
+//! [`KernelMode::Scalar`] pins the pre-kernel implementation (one
+//! `VecDeque` per bin, one RNG draw and one random-access push per ball),
+//! so these tests are an executable statement of the old-vs-new
+//! equivalence, not a fixture comparison.
+
+use iba_core::checkpoint;
+use iba_core::process::KernelMode;
+use iba_core::{Capacity, CappedConfig, CappedProcess};
+use iba_sim::faults::{FaultEvent, FaultPlan, FaultedProcess};
+use iba_sim::process::{AllocationProcess, RoundReport};
+use iba_sim::{SimRng, Simulation};
+
+/// The `(n, c, λ)` cells every differential test sweeps: tight (c = 1),
+/// paper-typical (c ∈ {2, 3}), wide-buffer (c = 8), and high-λ regimes.
+/// λn must be integral for the deterministic arrival model.
+const CELLS: &[(usize, u32, f64)] = &[
+    (64, 2, 0.75),
+    (128, 1, 0.5),
+    (96, 3, 0.875),
+    (256, 8, 0.9375),
+];
+
+const SEEDS: &[u64] = &[1, 42, 0xDEAD_BEEF];
+
+fn pair(n: usize, c: u32, lambda: f64) -> (CappedProcess, CappedProcess) {
+    let config = CappedConfig::new(n, c, lambda).expect("valid cell");
+    let arena = CappedProcess::with_kernel(config.clone(), KernelMode::Arena);
+    let scalar = CappedProcess::with_kernel(config, KernelMode::Scalar);
+    assert_eq!(arena.kernel(), KernelMode::Arena);
+    assert_eq!(scalar.kernel(), KernelMode::Scalar);
+    (arena, scalar)
+}
+
+/// Steps both kernels `rounds` times on identically seeded RNG streams and
+/// asserts every report (and the final observable state) is equal.
+fn assert_lockstep(
+    arena: &mut CappedProcess,
+    scalar: &mut CappedProcess,
+    seed: u64,
+    rounds: u64,
+    what: &str,
+) {
+    let mut rng_a = SimRng::seed_from(seed);
+    let mut rng_s = SimRng::seed_from(seed);
+    for round in 0..rounds {
+        let a = arena.step(&mut rng_a);
+        let s = scalar.step(&mut rng_s);
+        assert_eq!(a, s, "{what}: reports diverged at round {round}");
+        assert_eq!(
+            rng_a.state(),
+            rng_s.state(),
+            "{what}: RNG consumption diverged at round {round}"
+        );
+    }
+    assert_eq!(arena.loads(), scalar.loads(), "{what}: final loads");
+    assert_eq!(arena.pool_size(), scalar.pool_size(), "{what}: final pool");
+    assert!(arena.conserves_balls() && scalar.conserves_balls());
+}
+
+#[test]
+fn arena_kernel_is_bit_exact_across_cells_and_seeds() {
+    for &(n, c, lambda) in CELLS {
+        for &seed in SEEDS {
+            let (mut arena, mut scalar) = pair(n, c, lambda);
+            let what = format!("n={n} c={c} lambda={lambda} seed={seed}");
+            assert_lockstep(&mut arena, &mut scalar, seed, 300, &what);
+        }
+    }
+}
+
+#[test]
+fn arena_kernel_is_bit_exact_from_warm_start() {
+    // Warm-started processes begin mid-regime, so the kernel is exercised
+    // at stationary pool sizes from the first round.
+    for &(n, c, lambda) in &[(128, 2, 0.75), (64, 4, 0.9375)] {
+        let (mut arena, mut scalar) = pair(n, c, lambda);
+        arena.warm_start();
+        scalar.warm_start();
+        let what = format!("warm n={n} c={c} lambda={lambda}");
+        assert_lockstep(&mut arena, &mut scalar, 7, 200, &what);
+    }
+}
+
+#[test]
+fn arena_kernel_is_bit_exact_under_pre_drawn_choices() {
+    // `step_with_choices` drives the kernel's slice path — the hook the
+    // Lemma-1/6 coupling uses. Choices are drawn once and fed to both.
+    for &(n, c, lambda) in &[(32, 2, 0.75), (48, 3, 0.875), (16, 1, 0.5)] {
+        let (mut arena, mut scalar) = pair(n, c, lambda);
+        let mut rng = SimRng::seed_from(1234);
+        for round in 0..150 {
+            let thrown = arena.next_throw_count();
+            assert_eq!(thrown, scalar.next_throw_count());
+            let choices: Vec<usize> = (0..thrown).map(|_| rng.uniform_bin(n)).collect();
+            let a = arena.step_with_choices(&choices);
+            let s = scalar.step_with_choices(&choices);
+            assert_eq!(a, s, "n={n} c={c} slice path diverged at round {round}");
+        }
+    }
+}
+
+#[test]
+fn arena_kernel_is_bit_exact_on_heterogeneous_capacities() {
+    let n = 96;
+    let profile: Vec<u32> = (0..n as u32).map(|i| 1 + (i % 4)).collect();
+    let config = CappedConfig::new(n, 2, 0.75)
+        .expect("valid")
+        .with_capacity_profile(profile)
+        .expect("valid profile");
+    let mut arena = CappedProcess::with_kernel(config.clone(), KernelMode::Arena);
+    let mut scalar = CappedProcess::with_kernel(config, KernelMode::Scalar);
+    assert_lockstep(&mut arena, &mut scalar, 9, 250, "heterogeneous profile");
+}
+
+/// A fault scenario covering every event the kernel must survive: bins
+/// going offline mid-run, capacity degradation below current load,
+/// restoration to the configured bound, a raise to *unbounded* (which
+/// forces the arena to grow its stride), bursts, and surges.
+fn scenario() -> FaultPlan {
+    FaultPlan::new()
+        .with(
+            5,
+            FaultEvent::CrashBins {
+                bins: vec![0, 7, 13],
+            },
+        )
+        .with(
+            8,
+            FaultEvent::DegradeCapacity {
+                bins: vec![2, 3],
+                capacity: Some(1),
+            },
+        )
+        .with(
+            10,
+            FaultEvent::ArrivalBurst {
+                extra_per_round: 11,
+                rounds: 3,
+            },
+        )
+        .with(12, FaultEvent::PoolSurge { extra: 40 })
+        .with(
+            14,
+            FaultEvent::DegradeCapacity {
+                bins: vec![4],
+                capacity: None, // raised to unbounded: the arena must grow
+            },
+        )
+        .with(18, FaultEvent::RecoverBins { bins: vec![0, 7] })
+        .with(
+            22,
+            FaultEvent::DegradeCapacity {
+                bins: vec![2, 3, 4],
+                capacity: Some(2),
+            },
+        )
+        .with(25, FaultEvent::RecoverBins { bins: vec![13] })
+}
+
+#[test]
+fn arena_kernel_is_bit_exact_under_fault_injection() {
+    for &seed in SEEDS {
+        let config = CappedConfig::new(48, 2, 0.75).expect("valid");
+        let mut arena = FaultedProcess::new(
+            CappedProcess::with_kernel(config.clone(), KernelMode::Arena),
+            scenario(),
+        );
+        let mut scalar = FaultedProcess::new(
+            CappedProcess::with_kernel(config, KernelMode::Scalar),
+            scenario(),
+        );
+        let mut rng_a = SimRng::seed_from(seed);
+        let mut rng_s = SimRng::seed_from(seed);
+        for round in 0..120 {
+            let a = arena.step(&mut rng_a);
+            let s = scalar.step(&mut rng_s);
+            assert_eq!(a, s, "faulted divergence at round {round} (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn degraded_arena_bin_rejects_and_keeps_overflow() {
+    // Direct (non-plan) capacity degradation on the arena path: a bin
+    // holding more balls than its degraded capacity keeps them, rejects
+    // new requests, and drains FIFO — same semantics as `BinBuffer`.
+    let config = CappedConfig::new(4, 3, 0.5).expect("valid");
+    let mut p = CappedProcess::with_kernel(config, KernelMode::Arena);
+    p.inject_pool(1);
+    p.step_with_choices(&[0, 0, 0]);
+    assert_eq!(p.bin(0).len(), 2);
+    p.set_bin_capacity(0, Capacity::finite(1).unwrap());
+    let r = p.step_with_choices(&[0, 0]);
+    assert_eq!(r.accepted, 0);
+    assert_eq!(p.bin(0).len(), 1);
+    assert!(p.conserves_balls());
+}
+
+#[test]
+fn checkpoint_round_trip_resumes_bit_exactly() {
+    // Arena process → checkpoint v2 → restore → both continuations agree
+    // with an uninterrupted scalar run from the same seed. This pins all
+    // three at once: arena vs scalar, and arena vs its own round-trip.
+    for &(n, c, lambda) in &[(64, 2, 0.75), (96, 3, 0.875), (128, 1, 0.5)] {
+        for &seed in &[3u64, 77] {
+            let config = CappedConfig::new(n, c, lambda).expect("valid cell");
+            let mut sim = Simulation::new(
+                CappedProcess::with_kernel(config.clone(), KernelMode::Arena),
+                SimRng::seed_from(seed),
+            );
+            let mut scalar = CappedProcess::with_kernel(config, KernelMode::Scalar);
+            let mut scalar_rng = SimRng::seed_from(seed);
+            for _ in 0..80 {
+                let a = sim.step();
+                let s = scalar.step(&mut scalar_rng);
+                assert_eq!(a, s, "pre-checkpoint divergence (n={n} c={c})");
+            }
+            let bytes = checkpoint::save(&sim);
+            let mut restored = checkpoint::restore(&bytes).expect("valid checkpoint");
+            assert_eq!(
+                restored.process().kernel(),
+                KernelMode::Arena,
+                "finite-capacity restores run the arena kernel"
+            );
+            for round in 0..80 {
+                let a = sim.step();
+                let r = restored.step();
+                let s = scalar.step(&mut scalar_rng);
+                assert_eq!(a, r, "restored run diverged at round {round}");
+                assert_eq!(a, s, "post-checkpoint scalar divergence at {round}");
+            }
+        }
+    }
+}
+
+#[test]
+fn scalar_checkpoint_restores_to_arena_and_continues_identically() {
+    // Checkpoints don't record the kernel mode: a scalar-kernel run's
+    // checkpoint restores onto arena storage and must continue the exact
+    // same trajectory as the uninterrupted scalar original.
+    let config = CappedConfig::new(64, 4, 0.875).expect("valid");
+    let mut sim = Simulation::new(
+        CappedProcess::with_kernel(config, KernelMode::Scalar),
+        SimRng::seed_from(11),
+    );
+    sim.run_rounds(60);
+    let bytes = checkpoint::save(&sim);
+    let mut restored = checkpoint::restore(&bytes).expect("valid checkpoint");
+    assert_eq!(restored.process().kernel(), KernelMode::Arena);
+    for round in 0..100 {
+        assert_eq!(
+            sim.step(),
+            restored.step(),
+            "cross-kernel resume diverged at round {round}"
+        );
+    }
+}
+
+#[test]
+fn faulted_checkpoint_round_trips_through_the_arena() {
+    // Degrade capacities (including a raise to unbounded) before the
+    // checkpoint, so the restore must rebuild an arena whose live
+    // capacities diverge from the configured profile — over-full bins and
+    // all — then continue bit-exactly.
+    let config = CappedConfig::new(32, 2, 0.75).expect("valid");
+    let mut sim = Simulation::new(
+        CappedProcess::with_kernel(config, KernelMode::Arena),
+        SimRng::seed_from(23),
+    );
+    sim.run_rounds(30);
+    sim.process_mut()
+        .set_bin_capacity(1, Capacity::finite(1).unwrap());
+    sim.process_mut().set_bin_capacity(5, Capacity::Infinite);
+    sim.process_mut().set_bin_offline(9, true);
+    sim.run_rounds(30);
+
+    let bytes = checkpoint::save(&sim);
+    let mut restored = checkpoint::restore(&bytes).expect("valid checkpoint");
+    assert_eq!(
+        restored.process().bin(1).capacity(),
+        Capacity::finite(1).unwrap()
+    );
+    assert_eq!(restored.process().bin(5).capacity(), Capacity::Infinite);
+    assert!(restored.process().is_bin_offline(9));
+    for round in 0..80 {
+        assert_eq!(
+            sim.step(),
+            restored.step(),
+            "degraded resume diverged at round {round}"
+        );
+    }
+}
+
+#[test]
+fn step_into_refills_the_report_without_divergence() {
+    // The engine's allocation-free loop (`step_into` with one reused
+    // report) must observe the same trajectory as fresh-report `step`.
+    let config = CappedConfig::new(64, 2, 0.75).expect("valid");
+    let mut a = CappedProcess::with_kernel(config.clone(), KernelMode::Arena);
+    let mut b = CappedProcess::with_kernel(config, KernelMode::Arena);
+    let mut rng_a = SimRng::seed_from(31);
+    let mut rng_b = SimRng::seed_from(31);
+    let mut reused = RoundReport::default();
+    for round in 0..200 {
+        b.step_into(&mut rng_b, &mut reused);
+        let fresh = a.step(&mut rng_a);
+        assert_eq!(reused, fresh, "step_into diverged at round {round}");
+    }
+}

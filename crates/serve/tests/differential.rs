@@ -8,7 +8,7 @@
 //! or the worker protocol ever drops, duplicates, or reorders a ball, one
 //! of these comparisons breaks on the first divergent round.
 
-use iba_core::{CappedConfig, CappedProcess};
+use iba_core::{CappedConfig, CappedProcess, KernelMode};
 use iba_serve::{CappedService, RngMode, ServiceConfig};
 use iba_sim::faults::{FaultEvent, FaultPlan, FaultedProcess};
 use iba_sim::process::AllocationProcess;
@@ -128,6 +128,62 @@ fn faulted_trajectory_is_bit_identical_to_faulted_process() {
             let expected = reference.step(&mut rng);
             let actual = service.run_round();
             assert_eq!(actual, expected, "faulted divergence at shards={shards}");
+        }
+        assert!(service.conserves_balls());
+    }
+}
+
+#[test]
+fn sharded_arena_kernel_is_bit_identical_to_scalar_reference() {
+    // The service's `BinShard` workers accept through the flat-arena
+    // counting-sort kernel; the reference here is pinned to the legacy
+    // scalar kernel (`KernelMode::Scalar`), so this differential proves
+    // old-kernel process == new-kernel sharded service end to end, for
+    // every shard count.
+    for &(n, c, lambda) in CELLS {
+        for shards in [1usize, 3, 8] {
+            for &seed in SEEDS {
+                let config = CappedConfig::new(n, c, lambda).expect("valid cell");
+                let mut reference = CappedProcess::with_kernel(config.clone(), KernelMode::Scalar);
+                let mut rng = SimRng::seed_from(seed);
+                let mut service = spawn_central(config, shards, seed);
+                for round in 0..150 {
+                    let expected = reference.step(&mut rng);
+                    let actual = service.run_round();
+                    assert_eq!(
+                        actual, expected,
+                        "arena service diverged from scalar reference: n={n} c={c} \
+                         lambda={lambda} shards={shards} seed={seed} round={round}"
+                    );
+                }
+                assert!(service.conserves_balls());
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_sharded_arena_kernel_matches_faulted_scalar_reference() {
+    // Same statement under fault injection: offline bins and capacity
+    // degradation (including the raise back to the configured bound) flow
+    // through the shards' arena storage and must not perturb a single
+    // report relative to the scalar-kernel faulted process.
+    for shards in [1usize, 4, 6] {
+        let config = CappedConfig::new(48, 2, 0.75).expect("valid");
+        let mut reference = FaultedProcess::new(
+            CappedProcess::with_kernel(config.clone(), KernelMode::Scalar),
+            scenario(),
+        );
+        let mut rng = SimRng::seed_from(99);
+        let mut service = spawn_central(config, shards, 99);
+        service.schedule(scenario());
+        for round in 0..120 {
+            let expected = reference.step(&mut rng);
+            let actual = service.run_round();
+            assert_eq!(
+                actual, expected,
+                "faulted arena-vs-scalar divergence at shards={shards} round={round}"
+            );
         }
         assert!(service.conserves_balls());
     }

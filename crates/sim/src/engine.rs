@@ -67,16 +67,23 @@ impl<P: AllocationProcess> Simulation<P> {
     }
 
     /// Runs `rounds` rounds, discarding reports.
+    ///
+    /// One [`RoundReport`] is reused across all rounds (via
+    /// [`AllocationProcess::step_into`]), so processes with a reusing
+    /// override allocate nothing per round in steady state.
     pub fn run_rounds(&mut self, rounds: u64) {
+        let mut report = RoundReport::default();
         for _ in 0..rounds {
-            self.process.step(&mut self.rng);
+            self.process.step_into(&mut self.rng, &mut report);
         }
     }
 
-    /// Runs `rounds` rounds, feeding every report to `observer`.
+    /// Runs `rounds` rounds, feeding every report to `observer`. The report
+    /// buffer is reused across rounds, like [`run_rounds`](Self::run_rounds).
     pub fn run_observed(&mut self, rounds: u64, observer: &mut dyn Observer) {
+        let mut report = RoundReport::default();
         for _ in 0..rounds {
-            let report = self.process.step(&mut self.rng);
+            self.process.step_into(&mut self.rng, &mut report);
             observer.on_round(&report);
         }
     }
@@ -90,8 +97,9 @@ impl<P: AllocationProcess> Simulation<P> {
         observer: &mut dyn Observer,
         mut stop: impl FnMut(&RoundReport) -> bool,
     ) -> u64 {
+        let mut report = RoundReport::default();
         for i in 0..max_rounds {
-            let report = self.process.step(&mut self.rng);
+            self.process.step_into(&mut self.rng, &mut report);
             observer.on_round(&report);
             if stop(&report) {
                 return i + 1;
@@ -104,11 +112,12 @@ impl<P: AllocationProcess> Simulation<P> {
     /// completion, up to `max_rounds`. Returns the number of rounds used, or
     /// `None` if the process did not finish within the bound.
     pub fn run_to_completion(&mut self, max_rounds: u64) -> Option<u64> {
+        let mut report = RoundReport::default();
         for i in 0..max_rounds {
             if self.process.is_finished() {
                 return Some(i);
             }
-            self.process.step(&mut self.rng);
+            self.process.step_into(&mut self.rng, &mut report);
         }
         if self.process.is_finished() {
             Some(max_rounds)

@@ -508,6 +508,19 @@ impl<P: FaultTolerant> FaultedProcess<P> {
             }
         }
     }
+
+    /// Applies everything scheduled before the upcoming round: the plan's
+    /// events for that round, then any arrival bursts still active.
+    fn apply_pre_round_faults(&mut self) {
+        let round = self.inner.round() + 1;
+        self.apply_events(round);
+        if !self.bursts.is_empty() {
+            self.bursts.retain(|&(until, _)| until >= round);
+            for &(_, extra) in &self.bursts {
+                self.inner.surge_pool(extra);
+            }
+        }
+    }
 }
 
 impl<P: FaultTolerant> AllocationProcess for FaultedProcess<P> {
@@ -524,15 +537,13 @@ impl<P: FaultTolerant> AllocationProcess for FaultedProcess<P> {
     }
 
     fn step(&mut self, rng: &mut SimRng) -> RoundReport {
-        let round = self.inner.round() + 1;
-        self.apply_events(round);
-        if !self.bursts.is_empty() {
-            self.bursts.retain(|&(until, _)| until >= round);
-            for &(_, extra) in &self.bursts {
-                self.inner.surge_pool(extra);
-            }
-        }
+        self.apply_pre_round_faults();
         self.inner.step(rng)
+    }
+
+    fn step_into(&mut self, rng: &mut SimRng, report: &mut RoundReport) {
+        self.apply_pre_round_faults();
+        self.inner.step_into(rng, report);
     }
 
     fn label(&self) -> String {

@@ -95,6 +95,19 @@ pub trait AllocationProcess {
     /// Executes one synchronous round and reports what happened.
     fn step(&mut self, rng: &mut SimRng) -> RoundReport;
 
+    /// Executes one synchronous round, writing the outcome into `report`
+    /// in place.
+    ///
+    /// Semantically identical to `*report = self.step(rng)`, which is the
+    /// default implementation. Processes that track per-ball waiting times
+    /// should override this to refill `report.waiting_times` without
+    /// reallocating, so that driver loops holding one report across rounds
+    /// (the engine's `run_*` family, benchmark kernels) allocate nothing in
+    /// steady state.
+    fn step_into(&mut self, rng: &mut SimRng, report: &mut RoundReport) {
+        *report = self.step(rng);
+    }
+
     /// A short human-readable identifier, e.g. `"capped(c=3, λ=0.75)"`.
     /// Used in tables and bench labels.
     fn label(&self) -> String {

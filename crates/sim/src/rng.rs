@@ -245,6 +245,79 @@ impl SimRng {
         self.uniform_below(n as u64) as usize
     }
 
+    /// Fills `out` with bin indices sampled uniformly from `0..n`, one per
+    /// slot — the bulk counterpart of calling [`uniform_bin`](Self::uniform_bin)
+    /// `out.len()` times.
+    ///
+    /// The bulk path is **consumption-identical** to the per-call path: it
+    /// draws exactly the same raw 64-bit outputs in the same order (including
+    /// Lemire rejection re-draws), so interleaving bulk and scalar sampling
+    /// on two clones of the same generator yields bit-identical streams.
+    /// This is what lets the flat-arena round kernel pre-draw all of a
+    /// round's bin choices without perturbing any seeded trajectory.
+    ///
+    /// Power-of-two `n` never rejects (the Lemire threshold is zero), so that
+    /// case takes a branch-free shift path with provably identical output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 2³²` (bin indices must fit in `u32`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iba_sim::rng::SimRng;
+    /// let mut bulk = SimRng::seed_from(9);
+    /// let mut scalar = SimRng::seed_from(9);
+    /// let mut out = [0u32; 32];
+    /// bulk.fill_uniform_bins(10, &mut out);
+    /// for &v in &out {
+    ///     assert_eq!(v as usize, scalar.uniform_bin(10));
+    /// }
+    /// assert_eq!(bulk.state(), scalar.state());
+    /// ```
+    pub fn fill_uniform_bins(&mut self, n: usize, out: &mut [u32]) {
+        assert!(n > 0, "fill_uniform_bins requires a positive bin count");
+        assert!(
+            n as u64 <= 1 << 32,
+            "fill_uniform_bins bin indices must fit in u32 (n = {n})"
+        );
+        let bound = n as u64;
+        if bound.is_power_of_two() {
+            // threshold = (-2^k) mod 2^k = 0: the rejection loop can never
+            // run, and the candidate high word reduces to a shift.
+            let k = bound.trailing_zeros();
+            if k == 0 {
+                // n = 1: uniform_below still consumes one draw per call.
+                for slot in out {
+                    self.next_u64();
+                    *slot = 0;
+                }
+            } else {
+                let shift = 64 - k;
+                for slot in out {
+                    *slot = (self.next_u64() >> shift) as u32;
+                }
+            }
+            return;
+        }
+        // Exact replica of `uniform_below`'s Lemire loop; hoisting the
+        // threshold out of the loop changes no draw (it is a pure function
+        // of `bound`).
+        let threshold = bound.wrapping_neg() % bound;
+        for slot in out {
+            let mut m = (self.next_u64() as u128) * (bound as u128);
+            let mut lo = m as u64;
+            if lo < bound {
+                while lo < threshold {
+                    m = (self.next_u64() as u128) * (bound as u128);
+                    lo = m as u64;
+                }
+            }
+            *slot = (m >> 64) as u32;
+        }
+    }
+
     /// Samples a double uniformly from `[0, 1)` with 53 bits of precision.
     #[inline]
     pub fn unit_f64(&mut self) -> f64 {
@@ -394,6 +467,46 @@ mod tests {
                 "count {c} too far from {expected}"
             );
         }
+    }
+
+    #[test]
+    fn fill_uniform_bins_matches_scalar_draws() {
+        // Power-of-two, small odd, large non-power-of-two, and n = 1.
+        for n in [1usize, 2, 3, 7, 10, 64, 1000, 1 << 20, (1 << 20) + 17] {
+            let mut bulk = SimRng::seed_from(4242);
+            let mut scalar = SimRng::seed_from(4242);
+            let mut out = vec![0u32; 257];
+            bulk.fill_uniform_bins(n, &mut out);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v as usize, scalar.uniform_bin(n), "n={n} draw {i}");
+            }
+            assert_eq!(bulk.state(), scalar.state(), "n={n} consumption diverged");
+        }
+    }
+
+    #[test]
+    fn fill_uniform_bins_supports_the_full_u32_range() {
+        let n = 1usize << 32;
+        let mut bulk = SimRng::seed_from(5);
+        let mut scalar = SimRng::seed_from(5);
+        let mut out = [0u32; 16];
+        bulk.fill_uniform_bins(n, &mut out);
+        for &v in &out {
+            assert_eq!(v as usize, scalar.uniform_bin(n));
+        }
+        assert_eq!(bulk.state(), scalar.state());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bin count")]
+    fn fill_uniform_bins_zero_panics() {
+        SimRng::seed_from(0).fill_uniform_bins(0, &mut [0u32; 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in u32")]
+    fn fill_uniform_bins_oversized_bound_panics() {
+        SimRng::seed_from(0).fill_uniform_bins((1usize << 32) + 1, &mut [0u32; 1]);
     }
 
     #[test]

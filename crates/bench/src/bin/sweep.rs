@@ -14,6 +14,9 @@
 //! pure function of `(n, c, λ, window, seeds, master seed)`, a killed and
 //! resumed sweep prints a table identical to an uninterrupted run; a
 //! corrupted checkpoint falls back to the previous rotation.
+//!
+//! `--jsonl PATH` additionally writes the result table as JSON lines (one
+//! schema-stamped object per grid cell, via [`Table::to_jsonl`]).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -35,6 +38,7 @@ struct Args {
     master_seed: u64,
     checkpoint: Option<PathBuf>,
     resume: bool,
+    jsonl: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -47,6 +51,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         master_seed: 0x5eed,
         checkpoint: None,
         resume: false,
+        jsonl: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -90,10 +95,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             }
             "--checkpoint" => out.checkpoint = Some(PathBuf::from(value(&mut iter)?)),
             "--resume" => out.resume = true,
+            "--jsonl" => out.jsonl = Some(PathBuf::from(value(&mut iter)?)),
             other => {
                 return Err(format!(
                     "unknown flag {other}\nusage: sweep [--n N] [--c 1,2,3] [--lambda 0.75,0.9] \
-                     [--window W] [--seeds S] [--seed SEED] [--checkpoint PATH] [--resume]"
+                     [--window W] [--seeds S] [--seed SEED] [--checkpoint PATH] [--resume] \
+                     [--jsonl PATH]"
                 ))
             }
         }
@@ -347,5 +354,16 @@ fn main() -> ExitCode {
         }
     }
     println!("{}", table.render());
+    if let Some(path) = &args.jsonl {
+        let mut body = table.to_jsonl();
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} JSONL row(s) to {}", table.len(), path.display());
+    }
     ExitCode::SUCCESS
 }

@@ -37,6 +37,7 @@
 use crate::ball::Ball;
 use crate::buffer::BinBuffer;
 use crate::config::Capacity;
+use crate::obs;
 
 /// Strides are initially clamped to this many slots; bins whose capacity
 /// exceeds the clamp grow the arena lazily on first overflow, exactly like
@@ -361,6 +362,9 @@ impl BinArena {
     /// Re-lays the arena out with a stride of at least `needed` (at least
     /// doubled, kept a power of two), unwrapping every ring to `head = 0`.
     fn grow(&mut self, needed: usize) {
+        if let Some(p) = obs::probes() {
+            p.arena_grows.inc();
+        }
         let new_stride = needed.max(self.stride * 2).next_power_of_two();
         assert!(new_stride <= u32::MAX as usize, "stride exceeds u32 range");
         let bins = self.bins();
@@ -568,7 +572,7 @@ where
     debug_assert_eq!(n, arena.bins());
     let stride = arena.stride;
     if stride > 1 << 15 {
-        return None; // register fields are u16; only fault growth gets here
+        return bail(); // register fields are u16; only fault growth gets here
     }
     let mask = stride - 1;
 
@@ -595,7 +599,7 @@ where
             } else if let Some(c0) = uniform {
                 let r = (c0 as usize).saturating_sub(len);
                 if r > avail {
-                    return None; // capacity above the clamped stride
+                    return bail(); // capacity above the clamped stride
                 }
                 r
             } else {
@@ -603,13 +607,13 @@ where
                     Capacity::Finite(c) => {
                         let r = (c.get() as usize).saturating_sub(len);
                         if r > avail {
-                            return None;
+                            return bail();
                         }
                         r
                     }
                     Capacity::Infinite => {
                         if max_requests > avail {
-                            return None; // unbounded bin could outgrow the ring
+                            return bail(); // unbounded bin could outgrow the ring
                         }
                         max_requests
                     }
@@ -638,7 +642,20 @@ where
             rejected.push(ball);
         }
     }
+    if let Some(p) = obs::probes() {
+        p.fast_accept_rounds.inc();
+    }
     Some(accepted)
+}
+
+/// The shared fast-path bail-out: counts the event (telemetry only) and
+/// yields the `None` that sends the caller to [`counting_accept`].
+#[cold]
+fn bail() -> Option<u64> {
+    if let Some(p) = obs::probes() {
+        p.fast_accept_bailouts.inc();
+    }
+    None
 }
 
 /// Folds the per-bin accepted counts of a successful [`fast_accept`] into
@@ -706,6 +723,9 @@ where
 {
     let n = offline.len();
     debug_assert_eq!(n, arena.bins());
+    if let Some(p) = obs::probes() {
+        p.fallback_rounds.inc();
+    }
 
     // Pass 1: per-bin request histogram ν.
     counts.clear();

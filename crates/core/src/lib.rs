@@ -53,6 +53,7 @@ pub mod continuous;
 pub mod coupling;
 pub mod metrics;
 pub mod modcapped;
+mod obs;
 pub mod pool;
 pub mod process;
 pub mod shard;

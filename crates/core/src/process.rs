@@ -503,14 +503,19 @@ impl CappedProcess {
         let was_primed = std::mem::take(&mut self.kernel_primed);
 
         // 1. Ball generation.
+        let gen_timer = iba_obs::PhaseTimer::start();
         self.pool.push_generation(round, generated);
         self.total_generated += generated;
         let thrown = self.pool.len() as u64;
+        if let Some(p) = crate::obs::probes() {
+            gen_timer.observe(&p.phase_generate_nanos);
+        }
 
         // 2 + 3. Random choices and priority-ordered greedy acceptance.
         // The default (paper) policy processes balls oldest-first, which
         // realizes "accept the oldest min{c − ℓ, ν} requests"; the ablation
         // policies permute the acceptance priority.
+        let accept_timer = iba_obs::PhaseTimer::start();
         let mut balls = self.pool.take();
         let mut rejected = std::mem::take(&mut self.scratch);
         rejected.clear();
@@ -665,10 +670,16 @@ impl CappedProcess {
         }
         self.scratch = balls;
         self.pool.restore(rejected);
+        if let Some(p) = crate::obs::probes() {
+            accept_timer.observe(&p.phase_accept_nanos);
+            p.accepted_balls.add(accepted);
+            p.rejected_balls.add(thrown - accepted);
+        }
 
         // 4. FIFO deletion; collect waiting times and load statistics. The
         // waiting times land in the caller's (reused) report buffer, so
         // steady-state rounds allocate nothing.
+        let serve_timer = iba_obs::PhaseTimer::start();
         let waiting_times = &mut report.waiting_times;
         waiting_times.clear();
         let mut failed_deletions = 0u64;
@@ -803,6 +814,20 @@ impl CappedProcess {
         report.pool_size = self.pool.len() as u64;
         report.buffered = buffered;
         report.max_load = max_load;
+
+        if let Some(p) = crate::obs::probes() {
+            serve_timer.observe(&p.phase_serve_nanos);
+            iba_obs::flight::recorder().record_round(iba_obs::flight::RoundSample {
+                round,
+                generated,
+                accepted,
+                deleted: report.deleted,
+                failed_deletions,
+                pool_size: report.pool_size,
+                buffered,
+                max_load,
+            });
+        }
     }
 }
 

@@ -24,6 +24,7 @@ use crate::arena::{
 };
 use crate::ball::Ball;
 use crate::config::{Capacity, CappedConfig};
+use crate::obs;
 
 /// The contiguous bin range owned by shard `shard` when `bins` bins are
 /// partitioned across `shards` shards as evenly as possible (the first
@@ -228,7 +229,7 @@ impl BinShard {
     /// an age-ordered routed stream is exactly Algorithm 1's acceptance
     /// rule (see [`Pool`](crate::pool::Pool) for the equivalence).
     pub fn accept(&mut self, requests: &[(u32, Ball)], rejected: &mut Vec<Ball>) -> u64 {
-        match &mut self.store {
+        let accepted = match &mut self.store {
             // Counting-sort kernel over the flat arena: bit-exactly the
             // scalar greedy walk (see `arena::fast_accept`), one sequential
             // write per accepted ball. The single-pass fast path bails out
@@ -282,7 +283,12 @@ impl BinShard {
                 }
                 accepted
             }
+        };
+        if let Some(p) = obs::probes() {
+            p.shard_accepted_balls.add(accepted);
+            p.shard_rejected_balls.add(requests.len() as u64 - accepted);
         }
+        accepted
     }
 
     /// The deletion stage for this shard: every online non-empty bin
@@ -298,6 +304,7 @@ impl BinShard {
         waits: &mut Vec<u64>,
     ) -> ShardServeStats {
         let mut stats = ShardServeStats::default();
+        let served_before = served.len();
         match &mut self.store {
             BinStore::Arena(arena) => {
                 for b in 0..self.bin_count {
@@ -338,6 +345,10 @@ impl BinShard {
                     stats.max_load = stats.max_load.max(load);
                 }
             }
+        }
+        if let Some(p) = obs::probes() {
+            p.shard_served_balls
+                .add((served.len() - served_before) as u64);
         }
         stats
     }

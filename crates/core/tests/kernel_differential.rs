@@ -188,6 +188,53 @@ fn arena_kernel_is_bit_exact_under_fault_injection() {
 }
 
 #[test]
+fn telemetry_toggle_does_not_perturb_the_trajectory() {
+    // Telemetry probes consume no RNG and never branch on process state,
+    // so toggling the registry on must leave the faulted arena trajectory
+    // bit-identical — reports and RNG consumption both — while the
+    // counters actually move. This test owns the global flag: it is the
+    // only test in this binary that calls `set_enabled`, and it restores
+    // the flag before returning.
+    let run = |enabled: bool| {
+        iba_obs::set_enabled(enabled);
+        let config = CappedConfig::new(48, 2, 0.75).expect("valid");
+        let mut process = FaultedProcess::new(
+            CappedProcess::with_kernel(config, KernelMode::Arena),
+            scenario(),
+        );
+        let mut rng = SimRng::seed_from(42);
+        let reports: Vec<RoundReport> = (0..120).map(|_| process.step(&mut rng)).collect();
+        (reports, rng.state())
+    };
+
+    let registry = iba_obs::global();
+    let probes = [
+        registry.counter("iba_core_accepted_balls_total"),
+        registry.counter("iba_core_arena_fast_accept_rounds_total"),
+        registry.counter("iba_core_arena_fallback_rounds_total"),
+        registry.counter("iba_core_arena_grow_total"),
+    ];
+    let total = |probes: &[std::sync::Arc<iba_obs::Counter>]| -> u64 {
+        probes.iter().map(|c| c.get()).sum()
+    };
+
+    let before = total(&probes);
+    let off = run(false);
+    assert_eq!(
+        total(&probes),
+        before,
+        "disabled probes must not move counters"
+    );
+    let on = run(true);
+    iba_obs::set_enabled(false);
+    assert_eq!(off, on, "enabling telemetry perturbed the trajectory");
+    assert!(
+        total(&probes) > before,
+        "enabled probes should have recorded the run"
+    );
+}
+
+#[test]
 fn degraded_arena_bin_rejects_and_keeps_overflow() {
     // Direct (non-plan) capacity degradation on the arena path: a bin
     // holding more balls than its degraded capacity keeps them, rejects

@@ -1,0 +1,302 @@
+//! Prometheus-style text exposition of a [`Registry`] snapshot, plus a
+//! strict parser for it (used by the golden tests and the CI smoke check,
+//! and handy for scraping a dumped exposition back into numbers).
+//!
+//! The format follows the Prometheus text exposition conventions:
+//! `# TYPE` comment per metric family, `name value` samples, histograms
+//! expanded into cumulative `_bucket{le="..."}` samples plus `_sum` and
+//! `_count`. Only the subset the registry produces is supported — no
+//! arbitrary labels, timestamps or `# HELP` lines.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::registry::{bucket_bound, Registry, RegistrySnapshot, HISTOGRAM_BUCKETS};
+
+/// Renders the snapshot in the Prometheus text exposition format.
+///
+/// Output is deterministic: families appear counters-first, then gauges,
+/// then histograms, each name-sorted.
+pub fn render(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in hist.buckets.iter().enumerate() {
+            cumulative += count;
+            // Collapse empty interior buckets: emit a bucket line only
+            // when it holds observations or is the +Inf terminator.
+            // Cumulative counts keep the output well-formed regardless.
+            if count == 0 && i != HISTOGRAM_BUCKETS - 1 {
+                continue;
+            }
+            let le = if i == HISTOGRAM_BUCKETS - 1 {
+                "+Inf".to_string()
+            } else {
+                bucket_bound(i).to_string()
+            };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+/// Renders the global registry's current state (convenience for binaries).
+pub fn render_registry(registry: &Registry) -> String {
+    render(&registry.snapshot())
+}
+
+/// One parsed sample line: metric name, optional `le` label, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The sample name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// The `le` label for histogram bucket samples.
+    pub le: Option<String>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition: declared metric families and their samples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations: family name → kind (`counter` / `gauge` /
+    /// `histogram`).
+    pub families: BTreeMap<String, String>,
+    /// All samples in input order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The value of the sample named `name` (first match).
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.le.is_none())
+            .map(|s| s.value)
+    }
+}
+
+/// An exposition parse error: line number plus message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpoError {
+    /// 1-based line number where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ExpoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exposition parse error on line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ExpoError {}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses the subset of the text exposition format that [`render`] emits.
+///
+/// Strict by design — the CI smoke job uses this to assert that what the
+/// service exposes is well-formed: unknown comment forms, malformed
+/// labels, non-numeric values and samples without a family declaration
+/// are all errors.
+pub fn parse(input: &str) -> Result<Exposition, ExpoError> {
+    let mut out = Exposition::default();
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let err = |message: &str| ExpoError {
+            line: lineno,
+            message: message.to_string(),
+        };
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or_else(|| err("missing family name"))?;
+            let kind = parts.next().ok_or_else(|| err("missing family kind"))?;
+            if parts.next().is_some() {
+                return Err(err("trailing tokens after family kind"));
+            }
+            if !valid_name(name) {
+                return Err(err("invalid family name"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(err("unknown family kind"));
+            }
+            out.families.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(err("unsupported comment (only '# TYPE' is emitted)"));
+        }
+        // Sample: name[{le="bound"}] value
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("sample line needs 'name value'"))?;
+        let value: f64 = match value_part {
+            "+Inf" => f64::INFINITY,
+            v => v.parse().map_err(|_| err("non-numeric sample value"))?,
+        };
+        let (name, le) = match name_part.split_once('{') {
+            None => (name_part.to_string(), None),
+            Some((name, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set"))?;
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| err("only the le=\"...\" label is emitted"))?;
+                (name.to_string(), Some(le.to_string()))
+            }
+        };
+        if !valid_name(&name) {
+            return Err(err("invalid sample name"));
+        }
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| out.families.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or(&name);
+        if !out.families.contains_key(family) {
+            return Err(err("sample without a preceding # TYPE declaration"));
+        }
+        out.samples.push(Sample { name, le, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{set_enabled, Registry};
+    use std::sync::Mutex;
+
+    fn with_telemetry<R>(f: impl FnOnce() -> R) -> R {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        out
+    }
+
+    /// The exposition golden test: exact expected text for a small
+    /// registry.
+    #[test]
+    fn golden_exposition() {
+        with_telemetry(|| {
+            let r = Registry::new();
+            r.counter("iba_balls_total").add(12);
+            r.gauge("iba_pool_size").set(7);
+            let h = r.histogram("iba_round_nanos");
+            h.record(0);
+            h.record(1);
+            h.record(5);
+            h.record(5);
+            let text = render(&r.snapshot());
+            let expected = "\
+# TYPE iba_balls_total counter
+iba_balls_total 12
+# TYPE iba_pool_size gauge
+iba_pool_size 7
+# TYPE iba_round_nanos histogram
+iba_round_nanos_bucket{le=\"0\"} 1
+iba_round_nanos_bucket{le=\"1\"} 2
+iba_round_nanos_bucket{le=\"7\"} 4
+iba_round_nanos_bucket{le=\"+Inf\"} 4
+iba_round_nanos_sum 11
+iba_round_nanos_count 4
+";
+            assert_eq!(text, expected);
+        });
+    }
+
+    #[test]
+    fn render_parses_back() {
+        with_telemetry(|| {
+            let r = Registry::new();
+            r.counter("a_total").add(3);
+            r.gauge("depth").set(9);
+            let h = r.histogram("lat_nanos");
+            for v in [1u64, 2, 3, 1_000_000] {
+                h.record(v);
+            }
+            let text = render(&r.snapshot());
+            let expo = parse(&text).unwrap();
+            assert_eq!(expo.families.get("a_total").unwrap(), "counter");
+            assert_eq!(expo.families.get("depth").unwrap(), "gauge");
+            assert_eq!(expo.families.get("lat_nanos").unwrap(), "histogram");
+            assert_eq!(expo.value("a_total"), Some(3.0));
+            assert_eq!(expo.value("depth"), Some(9.0));
+            assert_eq!(expo.value("lat_nanos_count"), Some(4.0));
+            assert_eq!(expo.value("lat_nanos_sum"), Some(1_000_006.0));
+            // The +Inf bucket carries the total count.
+            let inf = expo
+                .samples
+                .iter()
+                .find(|s| s.le.as_deref() == Some("+Inf"))
+                .unwrap();
+            assert_eq!(inf.value, 4.0);
+        });
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let r = Registry::new();
+        assert_eq!(render_registry(&r), "");
+        assert_eq!(parse("").unwrap(), Exposition::default());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "# HELP x something",
+            "# TYPE x widget",
+            "# TYPE 9bad counter",
+            "x 1",                                       // no family
+            "# TYPE x counter\nx",                       // no value
+            "# TYPE x counter\nx one",                   // non-numeric
+            "# TYPE x histogram\nx_bucket{le=\"1\" 2",   // unterminated labels
+            "# TYPE x histogram\nx_bucket{foo=\"1\"} 2", // non-le label
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_suffixes_resolve_to_family() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 5\nh_count 1\n";
+        let expo = parse(text).unwrap();
+        assert_eq!(expo.samples.len(), 3);
+        assert_eq!(expo.value("h_sum"), Some(5.0));
+    }
+}

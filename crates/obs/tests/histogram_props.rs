@@ -1,0 +1,118 @@
+//! Property tests for the fixed-bucket [`Histogram`]: bucketization must
+//! match a naive per-value reference, merging snapshots must equal
+//! recording the concatenation, quantiles must bracket the true order
+//! statistic within the documented 2x bucket error, and concurrent
+//! recording from multiple threads must lose nothing.
+
+use std::sync::Arc;
+use std::thread;
+
+use iba_obs::registry::{bucket_bound, HISTOGRAM_BUCKETS};
+use iba_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Reference bucket index: 0 for 0, otherwise the bit width of the value,
+/// capped at the final (+Inf) bucket.
+fn naive_bucket(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Records `values` into a fresh histogram and snapshots it. Recording is
+/// globally gated, so the flag is forced on; no test here turns it off.
+fn recorded(values: &[u64]) -> HistogramSnapshot {
+    iba_obs::set_enabled(true);
+    let hist = Histogram::default();
+    for &v in values {
+        hist.record(v);
+    }
+    hist.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn record_matches_naive_bucketization(
+        values in prop::collection::vec(any::<u64>(), 0..200)
+    ) {
+        let snap = recorded(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        // The sum accumulates via atomic fetch_add, which wraps.
+        let expected_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expected_sum);
+        let mut expected = [0u64; HISTOGRAM_BUCKETS];
+        for &v in &values {
+            expected[naive_bucket(v)] += 1;
+        }
+        prop_assert_eq!(snap.buckets, expected);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        // Bounded values so neither the recorded (wrapping) nor the merged
+        // (saturating) sum can overflow and make the two paths diverge.
+        a in prop::collection::vec(0u64..(1 << 40), 0..150),
+        b in prop::collection::vec(0u64..(1 << 40), 0..150),
+    ) {
+        let mut merged = recorded(&a);
+        merged.merge(&recorded(&b));
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged, recorded(&concat));
+    }
+
+    #[test]
+    fn quantile_brackets_the_true_order_statistic(
+        // Below 2^63 every value lands in a bounded bucket, so the
+        // documented "upper bound within 2x" contract applies.
+        values in prop::collection::vec(0u64..(1 << 63), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let snap = recorded(&values);
+        let bound = snap.quantile(q).expect("non-empty histogram");
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let truth = sorted[rank - 1];
+        prop_assert!(bound >= truth, "bound {} < true quantile {}", bound, truth);
+        if truth >= 1 {
+            prop_assert!(
+                bound < 2 * truth,
+                "bound {} not within 2x of true quantile {}",
+                bound,
+                truth
+            );
+        } else {
+            // A true quantile of 0 must resolve to the zero bucket exactly.
+            prop_assert_eq!(bound, 0);
+        }
+        let max = snap.max_bound().expect("non-empty histogram");
+        prop_assert_eq!(max, bucket_bound(naive_bucket(*sorted.last().unwrap())));
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    iba_obs::set_enabled(true);
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+    let hist = Arc::new(Histogram::default());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                // Thread t records the value 2^t, so every thread owns a
+                // distinct bucket and the per-bucket totals are checkable.
+                for _ in 0..PER_THREAD {
+                    hist.record(1 << t);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread panicked");
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.sum, PER_THREAD * (1 + 2 + 4 + 8));
+    for t in 0..THREADS {
+        assert_eq!(snap.buckets[naive_bucket(1 << t)], PER_THREAD);
+    }
+}

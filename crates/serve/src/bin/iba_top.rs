@@ -1,0 +1,313 @@
+//! `iba-top`: a live terminal dashboard over a running CAPPED(c, λ)
+//! dispatch service.
+//!
+//! Spawns a sharded [`CappedService`] under the configured model arrival
+//! load with telemetry force-enabled, drives it round by round, and
+//! refreshes a `top`-style dashboard: pool size against the paper's
+//! Theorem 1 bound `4·c⁻¹·ln(1/(1−λ))·n + O(c·n)`, exact waiting-time
+//! quantiles, per-shard max loads, and the phase-timing breakdown from
+//! the telemetry registry's histograms.
+//!
+//! ```text
+//! cargo run --release -p iba-serve --bin iba-top -- \
+//!     --n 16384 --c 4 --lambda 0.95 --shards 8 --rounds 2000
+//! ```
+//!
+//! When stdout is a terminal the dashboard redraws in place (ANSI cursor
+//! homing); otherwise (CI, pipes) each refresh is printed as a plain
+//! frame. `--rounds 0` runs until interrupted.
+
+use std::fmt::Write as _;
+use std::io::{IsTerminal, Write as _};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use iba_analysis::bounds::theorem2_pool_bound;
+use iba_core::CappedConfig;
+use iba_obs::HistogramSnapshot;
+use iba_serve::{CappedService, Pacing, RngMode, RoundClock, ServiceConfig};
+
+struct Options {
+    n: usize,
+    c: u32,
+    lambda: f64,
+    shards: usize,
+    rounds: u64,
+    seed: u64,
+    refresh_ms: u64,
+    pace_us: u64,
+    mode: RngMode,
+}
+
+impl Options {
+    fn defaults() -> Self {
+        Options {
+            // lambda * n must be integral for the deterministic arrival
+            // model, hence 16 000 rather than a power of two.
+            n: 16_000,
+            c: 4,
+            lambda: 0.95,
+            shards: 8,
+            rounds: 2_000,
+            seed: 2021,
+            refresh_ms: 250,
+            pace_us: 1_000,
+            mode: RngMode::PerShard,
+        }
+    }
+}
+
+const USAGE: &str = "iba-top: live dashboard over a sharded CAPPED(c, lambda) service
+
+USAGE: iba-top [--n BINS] [--c CAP] [--lambda L] [--shards S] [--rounds N]
+               [--seed SEED] [--refresh-ms MS] [--pace-us MICROS]
+               [--mode central|pershard]
+
+Runs the service under model arrivals with telemetry enabled and refreshes
+a top-style dashboard: pool vs the Theorem 1 bound, waiting-time quantiles,
+per-shard max loads, and the registry's phase-timing breakdown.
+--rounds 0 runs until interrupted; otherwise the final frame is printed and
+the process exits 0.";
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value for {flag}: {value}"))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::defaults();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--n" => opts.n = parse_value(&flag, &value)?,
+            "--c" => opts.c = parse_value(&flag, &value)?,
+            "--lambda" => opts.lambda = parse_value(&flag, &value)?,
+            "--shards" => opts.shards = parse_value(&flag, &value)?,
+            "--rounds" => opts.rounds = parse_value(&flag, &value)?,
+            "--seed" => opts.seed = parse_value(&flag, &value)?,
+            "--refresh-ms" => opts.refresh_ms = parse_value(&flag, &value)?,
+            "--pace-us" => opts.pace_us = parse_value(&flag, &value)?,
+            "--mode" => {
+                opts.mode = match value.as_str() {
+                    "central" => RngMode::Central,
+                    "pershard" => RngMode::PerShard,
+                    _ => return Err(format!("--mode must be central or pershard, got {value}")),
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One phase-timing row: p50/p99/max of a nanosecond histogram, in µs.
+fn timing_row(name: &str, snap: &HistogramSnapshot) -> String {
+    if snap.count == 0 {
+        return format!("  {name:<12} (no samples)");
+    }
+    let us = |v: Option<u64>| v.map_or(0.0, |v| v as f64 / 1_000.0);
+    format!(
+        "  {name:<12} p50 {:>9.1} us   p99 {:>9.1} us   max {:>9.1} us   ({} samples)",
+        us(snap.quantile(0.50)),
+        us(snap.quantile(0.99)),
+        us(snap.max_bound()),
+        snap.count
+    )
+}
+
+/// A `[####----]` utilization bar of `width` cells.
+fn bar(fraction: f64, width: usize) -> String {
+    let filled = ((fraction.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut out = String::with_capacity(width + 2);
+    out.push('[');
+    for i in 0..width {
+        out.push(if i < filled { '#' } else { '-' });
+    }
+    out.push(']');
+    out
+}
+
+fn render_frame(
+    opts: &Options,
+    service: &CappedService,
+    bound: f64,
+    served_per_s: f64,
+    started: Instant,
+) -> String {
+    let snap = service.snapshot();
+    let registry = iba_obs::global();
+    let mut frame = String::new();
+
+    let total = if opts.rounds == 0 {
+        "inf".to_string()
+    } else {
+        opts.rounds.to_string()
+    };
+    let _ = writeln!(
+        frame,
+        "iba-top — CAPPED(c={}, lambda={}) n={} shards={} mode={:?}  round {}/{}  up {:.1}s",
+        opts.c,
+        opts.lambda,
+        opts.n,
+        opts.shards,
+        opts.mode,
+        snap.round,
+        total,
+        started.elapsed().as_secs_f64()
+    );
+
+    let fraction = snap.pool_size as f64 / bound;
+    let _ = writeln!(
+        frame,
+        "pool   {:>10} balls  {} {:>5.1}% of Thm-1 bound {:.0}",
+        snap.pool_size,
+        bar(fraction, 40),
+        fraction * 100.0,
+        bound
+    );
+    let _ = writeln!(
+        frame,
+        "flow   generated {}  served {}  buffered {}  throughput {:.0} served/s",
+        snap.total_generated, snap.total_served, snap.buffered, served_per_s
+    );
+    match &snap.wait {
+        Some(wait) => {
+            let _ = writeln!(
+                frame,
+                "wait   p50 {}  p99 {}  p999 {}  max {}  mean {:.2}  (rounds, {} served)",
+                wait.p50, wait.p99, wait.p999, wait.max, wait.mean, wait.count
+            );
+        }
+        None => {
+            let _ = writeln!(frame, "wait   (no balls served yet)");
+        }
+    }
+
+    // Per-shard max loads, elided in the middle past 16 shards.
+    let loads = &snap.shard_max_load;
+    let rendered: Vec<String> = if loads.len() <= 16 {
+        loads.iter().map(u64::to_string).collect()
+    } else {
+        let mut v: Vec<String> = loads[..8].iter().map(u64::to_string).collect();
+        v.push(format!("... {} more ...", loads.len() - 16));
+        v.extend(loads[loads.len() - 8..].iter().map(u64::to_string));
+        v
+    };
+    let _ = writeln!(
+        frame,
+        "shards max load [{}]  (capacity {})",
+        rendered.join(" "),
+        opts.c
+    );
+
+    let _ = writeln!(frame, "phase timings (from telemetry registry):");
+    for (label, metric) in [
+        ("route", "iba_serve_phase_route_nanos"),
+        ("merge", "iba_serve_phase_merge_nanos"),
+        ("shard round", "iba_serve_shard_round_nanos"),
+        ("full round", "iba_serve_round_nanos"),
+    ] {
+        let _ = writeln!(
+            frame,
+            "{}",
+            timing_row(label, &registry.histogram(metric).snapshot())
+        );
+    }
+    frame
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    iba_obs::set_enabled(true);
+    iba_obs::flight::install_panic_hook();
+
+    let capped = CappedConfig::new(opts.n, opts.c, opts.lambda)
+        .map_err(|e| format!("invalid CAPPED parameters: {e}"))?;
+    let bound = theorem2_pool_bound(opts.n, opts.c, opts.lambda);
+    let mut service = CappedService::spawn(
+        ServiceConfig::new(capped, opts.shards, opts.seed)
+            .with_rng_mode(opts.mode)
+            .with_model_arrivals(true),
+    )
+    .map_err(|e| format!("invalid service configuration: {e}"))?;
+
+    let interactive = std::io::stdout().is_terminal();
+    let refresh = Duration::from_millis(opts.refresh_ms.max(1));
+    let pacing = if opts.pace_us == 0 {
+        Pacing::Immediate
+    } else {
+        Pacing::Interval(Duration::from_micros(opts.pace_us))
+    };
+    let mut clock = RoundClock::new(pacing);
+
+    let started = Instant::now();
+    let mut next_refresh = started + refresh;
+    let mut last_served = 0u64;
+    let mut last_frame_at = started;
+    loop {
+        clock.wait();
+        let report = service.run_round();
+        if !report.conserves_balls() || !service.conserves_balls() {
+            iba_obs::flight::fault_triggered(report.round, "invariant-violation");
+            eprintln!(
+                "{}",
+                iba_obs::flight::PostMortem::capture("iba-top conservation violation").to_json()
+            );
+            return Err(format!("round {} violates conservation", report.round));
+        }
+        let done = opts.rounds != 0 && report.round >= opts.rounds;
+        if Instant::now() >= next_refresh || done {
+            let now = Instant::now();
+            let dt = now.duration_since(last_frame_at).as_secs_f64().max(1e-9);
+            let served_per_s = (service.total_served() - last_served) as f64 / dt;
+            last_served = service.total_served();
+            last_frame_at = now;
+            next_refresh = now + refresh;
+            let frame = render_frame(opts, &service, bound, served_per_s, started);
+            let mut stdout = std::io::stdout().lock();
+            if interactive {
+                // Home the cursor and clear to end of screen, then redraw.
+                let _ = write!(stdout, "\x1b[H\x1b[J{frame}");
+            } else {
+                let _ = writeln!(stdout, "{frame}");
+            }
+            let _ = stdout.flush();
+        }
+        if done {
+            break;
+        }
+    }
+    if interactive {
+        println!();
+    }
+    service.shutdown();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("iba-top FAILED: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -34,6 +34,7 @@ struct Options {
     metrics_every: u64,
     mode: RngMode,
     ingress_capacity: usize,
+    telemetry: bool,
 }
 
 impl Options {
@@ -50,6 +51,7 @@ impl Options {
             metrics_every: 0,
             mode: RngMode::PerShard,
             ingress_capacity: 1 << 16,
+            telemetry: false,
         }
     }
 }
@@ -60,10 +62,14 @@ const USAGE: &str =
 USAGE: serve_demo [--rounds N] [--shards S] [--n BINS] [--c CAP] [--lambda L]
                   [--seed SEED] [--generators G] [--pace-us MICROS]
                   [--metrics-every K] [--mode central|pershard] [--ingress-cap Q]
+                  [--telemetry]
 
 The demo submits rounds x lambda*n requests total, runs rounds until all of
 them are served (bounded by a safety cap), verifies conservation and
-capacity invariants every round, and prints a throughput/latency report.";
+capacity invariants every round, and prints a throughput/latency report.
+--telemetry (or IBA_TELEMETRY=1) additionally enables the iba-obs registry
+and flight recorder, prints the Prometheus exposition at exit (self-checked
+through the strict parser), and dumps a post-mortem on invariant violation.";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value
@@ -77,6 +83,10 @@ fn parse_args() -> Result<Options, String> {
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" {
             return Err(String::new());
+        }
+        if flag == "--telemetry" {
+            opts.telemetry = true;
+            continue;
         }
         let value = args
             .next()
@@ -152,7 +162,28 @@ fn spawn_collector(
         .expect("spawn collector thread")
 }
 
+/// Reports an invariant violation: with telemetry on, marks the flight
+/// recorder and dumps a post-mortem (last rounds + registry snapshot) to
+/// stderr before failing the run.
+fn violation(round: u64, message: String) -> String {
+    if iba_obs::enabled() {
+        iba_obs::flight::fault_triggered(round, "invariant-violation");
+        eprintln!(
+            "{}",
+            iba_obs::flight::PostMortem::capture(&message).to_json()
+        );
+    }
+    message
+}
+
 fn run(opts: &Options) -> Result<(), String> {
+    iba_obs::init_from_env();
+    if opts.telemetry {
+        iba_obs::set_enabled(true);
+    }
+    if iba_obs::enabled() {
+        iba_obs::flight::install_panic_hook();
+    }
     let capped = CappedConfig::new(opts.n, opts.c, opts.lambda)
         .map_err(|e| format!("invalid CAPPED parameters: {e}"))?;
     let per_round = (opts.lambda * opts.n as f64).round() as u64;
@@ -197,21 +228,24 @@ fn run(opts: &Options) -> Result<(), String> {
         let report = service.run_round();
         rounds_run += 1;
         if !report.conserves_balls() {
-            return Err(format!(
-                "round {} violates report conservation",
-                report.round
+            return Err(violation(
+                report.round,
+                format!("round {} violates report conservation", report.round),
             ));
         }
         if !service.conserves_balls() {
-            return Err(format!(
-                "round {} violates service conservation",
-                report.round
+            return Err(violation(
+                report.round,
+                format!("round {} violates service conservation", report.round),
             ));
         }
         if report.max_load > u64::from(opts.c) {
-            return Err(format!(
-                "round {}: max load {} exceeds capacity {}",
-                report.round, report.max_load, opts.c
+            return Err(violation(
+                report.round,
+                format!(
+                    "round {}: max load {} exceeds capacity {}",
+                    report.round, report.max_load, opts.c
+                ),
             ));
         }
         if opts.metrics_every > 0 && rounds_run % opts.metrics_every == 0 {
@@ -264,6 +298,27 @@ fn run(opts: &Options) -> Result<(), String> {
         snapshot.pool_size, snapshot.buffered, snapshot.shard_max_load
     );
     println!("invariants: conservation and capacity held every round");
+
+    if iba_obs::enabled() {
+        // Print the Prometheus exposition and round-trip it through the
+        // strict parser — the CI observability smoke job keys off this.
+        let exposition = iba_obs::expo::render_registry(iba_obs::global());
+        let parsed = iba_obs::expo::parse(&exposition)
+            .map_err(|e| format!("telemetry exposition failed to parse: {e}"))?;
+        let dump = iba_obs::flight::PostMortem::capture("serve_demo exit");
+        let round_trip = iba_obs::flight::PostMortem::from_json(&dump.to_json())
+            .map_err(|e| format!("post-mortem dump failed to round-trip: {e}"))?;
+        if round_trip.events.len() != dump.events.len() {
+            return Err("post-mortem round-trip lost flight events".into());
+        }
+        println!("--- telemetry ---");
+        print!("{exposition}");
+        println!(
+            "telemetry self-check: {} samples parsed, {} flight events round-tripped",
+            parsed.samples.len(),
+            dump.events.len()
+        );
+    }
     Ok(())
 }
 

@@ -16,6 +16,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::Arc;
 
+use crate::obs;
+
 /// Identifies one submitted request. Ids are unique per service and
 /// monotonically assigned in submission order (ids of submissions rejected
 /// for backpressure are skipped, never reused).
@@ -109,11 +111,20 @@ impl Dispatcher {
     /// the service is gone.
     pub fn submit(&self) -> Result<Ticket, SubmitError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        match self.ingress.try_send(id) {
+        let result = match self.ingress.try_send(id) {
             Ok(()) => Ok(Ticket::from_id(id)),
             Err(TrySendError::Full(_)) => Err(SubmitError::Saturated),
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+        };
+        if let Some(p) = obs::probes() {
+            p.submits.inc();
+            match result {
+                Err(SubmitError::Saturated) => p.submits_saturated.inc(),
+                Err(SubmitError::Closed) => p.submits_closed.inc(),
+                Ok(_) => {}
+            }
         }
+        result
     }
 
     /// Submits one request, blocking while the ingress queue is full —
@@ -124,10 +135,18 @@ impl Dispatcher {
     /// [`SubmitError::Closed`] if the service is gone.
     pub fn submit_blocking(&self) -> Result<Ticket, SubmitError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.ingress
+        let result = self
+            .ingress
             .send(id)
             .map(|()| Ticket::from_id(id))
-            .map_err(|_| SubmitError::Closed)
+            .map_err(|_| SubmitError::Closed);
+        if let Some(p) = obs::probes() {
+            p.submits.inc();
+            if result.is_err() {
+                p.submits_closed.inc();
+            }
+        }
+        result
     }
 }
 

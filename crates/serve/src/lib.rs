@@ -64,6 +64,7 @@
 pub mod clock;
 pub mod dispatch;
 pub mod metrics;
+mod obs;
 pub mod service;
 mod shard;
 pub mod workload;

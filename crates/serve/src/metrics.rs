@@ -4,13 +4,13 @@
 //! The service accumulates an exact waiting-time histogram and per-shard
 //! load statistics as rounds execute; [`ServeSnapshot`] captures them at
 //! one instant and [`ServeSnapshot::to_json_line`] renders the snapshot
-//! as one line of JSON (hand-rolled — the build environment is std-only)
-//! suitable for appending to a metrics log and ingesting with any JSONL
-//! tool.
-
-use std::fmt::Write as _;
+//! as one line of JSON through the workspace's shared writer
+//! ([`iba_obs::json`]), stamped with the current
+//! [`schema version`](iba_obs::json::SCHEMA_VERSION), suitable for
+//! appending to a metrics log and ingesting with any JSONL tool.
 
 use iba_core::metrics::WaitQuantiles;
+use iba_obs::json::JsonObjWriter;
 
 /// A point-in-time view of a running [`CappedService`]
 /// (see [`CappedService::snapshot`]).
@@ -40,7 +40,8 @@ pub struct ServeSnapshot {
 }
 
 impl ServeSnapshot {
-    /// Renders the snapshot as one JSON line (no trailing newline).
+    /// Renders the snapshot as one JSON line (no trailing newline),
+    /// leading with the shared `schema` version field.
     ///
     /// # Examples
     ///
@@ -56,37 +57,31 @@ impl ServeSnapshot {
     ///     total_served: 36,
     ///     wait: None,
     /// };
-    /// assert!(snap.to_json_line().starts_with("{\"round\":3,"));
+    /// assert!(snap.to_json_line().starts_with("{\"schema\":1,\"round\":3,"));
     /// ```
     pub fn to_json_line(&self) -> String {
-        let mut out = String::with_capacity(192);
-        let _ = write!(
-            out,
-            "{{\"round\":{},\"pool_size\":{},\"buffered\":{},\"shard_max_load\":[",
-            self.round, self.pool_size, self.buffered
-        );
-        for (i, load) in self.shard_max_load.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "{load}");
-        }
-        let _ = write!(
-            out,
-            "],\"total_generated\":{},\"total_admitted\":{},\"total_served\":{}",
-            self.total_generated, self.total_admitted, self.total_served
-        );
+        let mut w = JsonObjWriter::with_schema();
+        w.field_u64("round", self.round);
+        w.field_u64("pool_size", self.pool_size);
+        w.field_u64("buffered", self.buffered);
+        w.field_u64_array("shard_max_load", &self.shard_max_load);
+        w.field_u64("total_generated", self.total_generated);
+        w.field_u64("total_admitted", self.total_admitted);
+        w.field_u64("total_served", self.total_served);
         match &self.wait {
-            None => out.push_str(",\"wait\":null}"),
+            None => w.field_null("wait"),
             Some(q) => {
-                let _ = write!(
-                    out,
-                    ",\"wait\":{{\"count\":{},\"mean\":{:.6},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{}}}}}",
-                    q.count, q.mean, q.p50, q.p99, q.p999, q.max
-                );
+                let mut wait = JsonObjWriter::new();
+                wait.field_u64("count", q.count);
+                wait.field_f64_fixed("mean", q.mean, 6);
+                wait.field_u64("p50", q.p50);
+                wait.field_u64("p99", q.p99);
+                wait.field_u64("p999", q.p999);
+                wait.field_u64("max", q.max);
+                w.field_raw("wait", &wait.finish());
             }
         }
-        out
+        w.finish()
     }
 }
 
@@ -113,28 +108,28 @@ mod tests {
         let line = snapshot(None).to_json_line();
         assert_eq!(
             line,
-            "{\"round\":12,\"pool_size\":345,\"buffered\":67,\
+            "{\"schema\":1,\"round\":12,\"pool_size\":345,\"buffered\":67,\
              \"shard_max_load\":[2,0,1],\"total_generated\":1000,\
              \"total_admitted\":900,\"total_served\":800,\"wait\":null}"
         );
     }
 
     #[test]
-    fn json_line_with_quantiles_is_balanced() {
+    fn json_line_with_quantiles_parses() {
         let hist: Histogram = (0..100).collect();
         let q = WaitQuantiles::from_histogram(&hist).unwrap();
         let line = snapshot(Some(q)).to_json_line();
         assert!(line.contains("\"p999\":"));
         assert!(line.contains("\"mean\":49.5"));
-        // Structurally valid: braces and brackets balance, line ends the
-        // object it opened.
-        assert_eq!(
-            line.matches('{').count(),
-            line.matches('}').count(),
-            "{line}"
-        );
-        assert_eq!(line.matches('[').count(), line.matches(']').count());
-        assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(!line.contains('\n'));
+        // Structurally valid per the shared parser, with the schema stamp.
+        let v = iba_obs::json::parse(&line).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_u64()),
+            Some(iba_obs::json::SCHEMA_VERSION)
+        );
+        let wait = v.get("wait").unwrap();
+        assert_eq!(wait.get("count").and_then(|c| c.as_u64()), Some(100));
+        assert_eq!(wait.get("mean").and_then(|m| m.as_f64()), Some(49.5));
     }
 }

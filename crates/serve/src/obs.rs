@@ -1,0 +1,78 @@
+//! Telemetry probes for the dispatch service.
+//!
+//! Same pattern as the core crate's probes: every handle is registered
+//! once in the global [`iba_obs`] registry and cached behind a
+//! `OnceLock`, and [`probes`] costs a single relaxed load (returning
+//! `None`) while telemetry is disabled. Driver-side probes fire once per
+//! round; worker-side probes once per shard round; dispatcher counters
+//! once per submission attempt.
+
+use std::sync::{Arc, OnceLock};
+
+use iba_obs::{global, Counter, Gauge, Histogram};
+
+/// The serve crate's registered metrics.
+#[derive(Debug)]
+pub(crate) struct ServeProbes {
+    /// Full driver round duration (faults + arrivals + route + merge).
+    pub round_nanos: Arc<Histogram>,
+    /// Routing/broadcast phase duration per driver round.
+    pub phase_route_nanos: Arc<Histogram>,
+    /// Reply collection + merge phase duration per driver round.
+    pub phase_merge_nanos: Arc<Histogram>,
+    /// One shard worker's round duration (accept + serve).
+    pub shard_round_nanos: Arc<Histogram>,
+    /// Pool size after the last round.
+    pub pool_size: Arc<Gauge>,
+    /// Balls buffered across all shards after the last round.
+    pub buffered: Arc<Gauge>,
+    /// Admitted-but-unserved tickets after the last round.
+    pub pending_tickets: Arc<Gauge>,
+    /// Largest per-bin load observed across all rounds so far.
+    pub max_load_high_water: Arc<Gauge>,
+    /// Client requests admitted from the ingress queue, lifetime.
+    pub admitted: Arc<Counter>,
+    /// Balls served (tickets completed + model balls), lifetime.
+    pub served: Arc<Counter>,
+    /// Submission attempts through any `Dispatcher` handle, lifetime.
+    pub submits: Arc<Counter>,
+    /// Submissions shed for ingress backpressure, lifetime.
+    pub submits_saturated: Arc<Counter>,
+    /// Submissions refused because the service was gone, lifetime.
+    pub submits_closed: Arc<Counter>,
+    /// Balls injected by pool surges and arrival bursts, lifetime.
+    pub surge_balls: Arc<Counter>,
+}
+
+impl ServeProbes {
+    fn register() -> Self {
+        let r = global();
+        ServeProbes {
+            round_nanos: r.histogram("iba_serve_round_nanos"),
+            phase_route_nanos: r.histogram("iba_serve_phase_route_nanos"),
+            phase_merge_nanos: r.histogram("iba_serve_phase_merge_nanos"),
+            shard_round_nanos: r.histogram("iba_serve_shard_round_nanos"),
+            pool_size: r.gauge("iba_serve_pool_size"),
+            buffered: r.gauge("iba_serve_buffered"),
+            pending_tickets: r.gauge("iba_serve_pending_tickets"),
+            max_load_high_water: r.gauge("iba_serve_max_load_high_water"),
+            admitted: r.counter("iba_serve_admitted_total"),
+            served: r.counter("iba_serve_served_total"),
+            submits: r.counter("iba_serve_submits_total"),
+            submits_saturated: r.counter("iba_serve_submits_saturated_total"),
+            submits_closed: r.counter("iba_serve_submits_closed_total"),
+            surge_balls: r.counter("iba_serve_surge_balls_total"),
+        }
+    }
+}
+
+/// The probe gate: `None` (after one relaxed load) while telemetry is
+/// disabled, the cached handles otherwise.
+#[inline]
+pub(crate) fn probes() -> Option<&'static ServeProbes> {
+    if !iba_obs::enabled() {
+        return None;
+    }
+    static PROBES: OnceLock<ServeProbes> = OnceLock::new();
+    Some(PROBES.get_or_init(ServeProbes::register))
+}

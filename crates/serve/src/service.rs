@@ -36,6 +36,7 @@ use iba_sim::SimRng;
 
 use crate::dispatch::{Completion, Dispatcher, Ticket};
 use crate::metrics::ServeSnapshot;
+use crate::obs;
 use crate::shard::{worker_loop, FaultOp, ShardCmd, ShardReply};
 
 /// How randomness is distributed between the driver and the workers.
@@ -378,6 +379,7 @@ impl CappedService {
     /// Panics if the service was shut down, or if a worker thread died.
     pub fn run_round(&mut self) -> RoundReport {
         assert!(!self.stopped, "service was shut down");
+        let round_timer = iba_obs::PhaseTimer::start();
         let n = self.config.bins();
         let round = self.round + 1;
 
@@ -401,6 +403,7 @@ impl CappedService {
 
         // 3. Allocation broadcast: route every pooled ball (oldest-first)
         // to the shard owning its uniformly drawn bin.
+        let route_timer = iba_obs::PhaseTimer::start();
         let balls = self.pool.take();
         match self.rng_mode {
             RngMode::Central => {
@@ -438,6 +441,10 @@ impl CappedService {
         }
 
         // 4. Collect and merge the shard replies.
+        let merge_timer = iba_obs::PhaseTimer::start();
+        if let Some(p) = obs::probes() {
+            route_timer.observe(&p.phase_route_nanos);
+        }
         let mut slots: Vec<Option<ShardReply>> = (0..self.shards).map(|_| None).collect();
         for _ in 0..self.shards {
             let reply = self.replies.recv().expect("shard worker alive");
@@ -450,6 +457,7 @@ impl CappedService {
         let mut failed_deletions = 0u64;
         let mut buffered = 0u64;
         let mut max_load = 0u64;
+        let served_before = self.total_served;
         let mut rejected: Vec<Ball> = Vec::new();
         let mut waiting_times: Vec<u64> = Vec::new();
         for (s, slot) in slots.into_iter().enumerate() {
@@ -475,6 +483,26 @@ impl CappedService {
         // label only, so one sort reproduces the merged oldest-first pool.
         rejected.sort();
         self.pool.restore(rejected);
+
+        if let Some(p) = obs::probes() {
+            merge_timer.observe(&p.phase_merge_nanos);
+            round_timer.observe(&p.round_nanos);
+            p.pool_size.set(self.pool.len() as u64);
+            p.buffered.set(buffered);
+            p.pending_tickets.set(self.pending_tickets() as u64);
+            p.max_load_high_water.record_max(max_load);
+            p.served.add(self.total_served - served_before);
+            iba_obs::flight::recorder().record_round(iba_obs::flight::RoundSample {
+                round,
+                generated: model + admitted,
+                accepted,
+                deleted: waiting_times.len() as u64,
+                failed_deletions,
+                pool_size: self.pool.len() as u64,
+                buffered,
+                max_load,
+            });
+        }
 
         RoundReport {
             round,
@@ -571,6 +599,9 @@ impl CappedService {
     fn surge(&mut self, extra: u64) {
         self.pool.push_generation(self.round, extra);
         self.total_generated += extra;
+        if let Some(p) = obs::probes() {
+            p.surge_balls.add(extra);
+        }
     }
 
     /// Drains the ingress queue (up to the per-round cap) into the pool.
@@ -585,6 +616,9 @@ impl CappedService {
             admitted += 1;
         }
         self.total_admitted += admitted;
+        if let Some(p) = obs::probes() {
+            p.admitted.add(admitted);
+        }
         admitted
     }
 

@@ -12,6 +12,8 @@ use iba_core::shard::BinShard;
 use iba_core::{Ball, Capacity};
 use iba_sim::SimRng;
 
+use crate::obs;
+
 /// A fault operation targeting one local bin of a shard.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum FaultOp {
@@ -115,11 +117,15 @@ fn run_round(
     requests: &[(u32, Ball)],
     replies: &Sender<ShardReply>,
 ) -> Result<(), ()> {
+    let timer = iba_obs::PhaseTimer::start();
     let mut rejected = Vec::new();
     let accepted = bins.accept(requests, &mut rejected);
     let mut served = Vec::new();
     let mut waits = Vec::new();
     let stats = bins.serve(round, &mut served, &mut waits);
+    if let Some(p) = obs::probes() {
+        timer.observe(&p.shard_round_nanos);
+    }
     replies
         .send(ShardReply {
             shard: shard_id,

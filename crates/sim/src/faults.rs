@@ -31,6 +31,7 @@
 use std::collections::BTreeMap;
 
 use crate::codec::{CodecError, Decoder, Encoder};
+use crate::obs;
 use crate::process::{AllocationProcess, RoundReport};
 use crate::rng::SimRng;
 use crate::runner::{replicate, PointEstimate};
@@ -475,21 +476,39 @@ impl<P: FaultTolerant> FaultedProcess<P> {
         for event in events {
             match event {
                 FaultEvent::CrashBins { bins } => {
+                    let mut hit = 0u64;
                     for i in bins.into_iter().filter(|&i| i < n) {
                         self.inner.crash_bin(i);
+                        hit += 1;
+                    }
+                    if let Some(p) = obs::probes() {
+                        p.crashed_bins.add(hit);
+                        iba_obs::flight::fault_triggered(round, "crash-bins");
                     }
                 }
                 FaultEvent::RecoverBins { bins } => {
+                    let mut hit = 0u64;
                     for i in bins.into_iter().filter(|&i| i < n) {
                         self.inner.recover_bin(i);
+                        hit += 1;
+                    }
+                    if let Some(p) = obs::probes() {
+                        p.recovered_bins.add(hit);
+                        iba_obs::flight::fault_triggered(round, "recover-bins");
                     }
                 }
                 FaultEvent::DegradeCapacity { bins, capacity } => {
                     if capacity == Some(0) {
                         continue; // malformed: capacities are >= 1 or unbounded
                     }
+                    let mut hit = 0u64;
                     for i in bins.into_iter().filter(|&i| i < n) {
                         self.inner.set_bin_capacity(i, capacity);
+                        hit += 1;
+                    }
+                    if let Some(p) = obs::probes() {
+                        p.degraded_bins.add(hit);
+                        iba_obs::flight::fault_triggered(round, "degrade-capacity");
                     }
                 }
                 FaultEvent::ArrivalBurst {
@@ -498,11 +517,19 @@ impl<P: FaultTolerant> FaultedProcess<P> {
                 } => {
                     if extra_per_round > 0 && rounds > 0 {
                         self.bursts.push((round + rounds - 1, extra_per_round));
+                        if let Some(p) = obs::probes() {
+                            p.bursts.inc();
+                            iba_obs::flight::fault_triggered(round, "arrival-burst");
+                        }
                     }
                 }
                 FaultEvent::PoolSurge { extra } => {
                     if extra > 0 {
                         self.inner.surge_pool(extra);
+                        if let Some(p) = obs::probes() {
+                            p.surge_balls.add(extra);
+                            iba_obs::flight::fault_triggered(round, "pool-surge");
+                        }
                     }
                 }
             }
@@ -516,8 +543,13 @@ impl<P: FaultTolerant> FaultedProcess<P> {
         self.apply_events(round);
         if !self.bursts.is_empty() {
             self.bursts.retain(|&(until, _)| until >= round);
+            let mut surged = 0u64;
             for &(_, extra) in &self.bursts {
                 self.inner.surge_pool(extra);
+                surged += extra;
+            }
+            if let Some(p) = obs::probes() {
+                p.surge_balls.add(surged);
             }
         }
     }
@@ -725,6 +757,19 @@ pub fn run_recovery<P: FaultTolerant>(
         } else {
             stable_streak = 0;
         }
+    }
+
+    if let Some(p) = obs::probes() {
+        // Record the measurement into the registry so experiment harnesses
+        // (the `chaos` ablation) can report fleet-wide recovery totals
+        // without re-accumulating the per-replication reports.
+        p.recovery_runs.inc();
+        match rounds_to_restabilize {
+            Some(rounds) => p.recovery_rounds.record(rounds),
+            None => p.recovery_unrecovered.inc(),
+        }
+        p.recovery_peak_pool.record_max(peak_pool);
+        p.recovery_peak_backlog.record_max(peak_backlog);
     }
 
     RecoveryReport {

@@ -67,6 +67,7 @@ pub mod engine;
 pub mod error;
 pub mod events;
 pub mod faults;
+mod obs;
 pub mod output;
 pub mod plot;
 pub mod process;

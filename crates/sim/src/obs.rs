@@ -1,0 +1,66 @@
+//! Telemetry probes for fault injection and recovery measurement.
+//!
+//! Same pattern as the other crates' probes: handles registered once in
+//! the global [`iba_obs`] registry, cached behind a `OnceLock`, gated by
+//! [`probes`] at the cost of a single relaxed load when telemetry is
+//! disabled. The recovery gauges use `record_max`, so they aggregate
+//! correctly across the parallel replications of
+//! [`measure_recovery`](crate::faults::measure_recovery).
+
+use std::sync::{Arc, OnceLock};
+
+use iba_obs::{global, Counter, Gauge, Histogram};
+
+/// The sim crate's registered metrics.
+#[derive(Debug)]
+pub(crate) struct SimProbes {
+    /// Bins taken offline by `CrashBins` events, lifetime.
+    pub crashed_bins: Arc<Counter>,
+    /// Bins brought back by `RecoverBins` events, lifetime.
+    pub recovered_bins: Arc<Counter>,
+    /// Bins whose capacity a `DegradeCapacity` event changed, lifetime.
+    pub degraded_bins: Arc<Counter>,
+    /// `ArrivalBurst` events that started, lifetime.
+    pub bursts: Arc<Counter>,
+    /// Balls injected by `PoolSurge` events and active bursts, lifetime.
+    pub surge_balls: Arc<Counter>,
+    /// Completed `run_recovery` measurements, lifetime.
+    pub recovery_runs: Arc<Counter>,
+    /// Recovery runs whose pool never re-entered the baseline band.
+    pub recovery_unrecovered: Arc<Counter>,
+    /// Rounds-to-restabilize of recovered runs.
+    pub recovery_rounds: Arc<Histogram>,
+    /// Largest peak pool size any recovery run observed.
+    pub recovery_peak_pool: Arc<Gauge>,
+    /// Largest peak backlog (pool + buffered) any recovery run observed.
+    pub recovery_peak_backlog: Arc<Gauge>,
+}
+
+impl SimProbes {
+    fn register() -> Self {
+        let r = global();
+        SimProbes {
+            crashed_bins: r.counter("iba_sim_fault_crashed_bins_total"),
+            recovered_bins: r.counter("iba_sim_fault_recovered_bins_total"),
+            degraded_bins: r.counter("iba_sim_fault_degraded_bins_total"),
+            bursts: r.counter("iba_sim_fault_bursts_total"),
+            surge_balls: r.counter("iba_sim_fault_surge_balls_total"),
+            recovery_runs: r.counter("iba_sim_recovery_runs_total"),
+            recovery_unrecovered: r.counter("iba_sim_recovery_unrecovered_total"),
+            recovery_rounds: r.histogram("iba_sim_recovery_rounds"),
+            recovery_peak_pool: r.gauge("iba_sim_recovery_peak_pool"),
+            recovery_peak_backlog: r.gauge("iba_sim_recovery_peak_backlog"),
+        }
+    }
+}
+
+/// The probe gate: `None` (after one relaxed load) while telemetry is
+/// disabled, the cached handles otherwise.
+#[inline]
+pub(crate) fn probes() -> Option<&'static SimProbes> {
+    if !iba_obs::enabled() {
+        return None;
+    }
+    static PROBES: OnceLock<SimProbes> = OnceLock::new();
+    Some(PROBES.get_or_init(SimProbes::register))
+}

@@ -619,6 +619,13 @@ where
                     }
                 }
             };
+            // The stride bail above implies `room ≤ avail ≤ stride ≤ 2¹⁵`,
+            // but the quota field is a u16: guard explicitly so a
+            // fault-raised capacity can never corrupt the packed cursor
+            // bits if the stride invariant ever loosens.
+            if room > u16::MAX as usize {
+                return bail();
+            }
             state[b] = ((room as u32) << 16) | (((head + len) & mask) as u32);
             if uniform.is_none() {
                 quotas[b] = room as u32;
@@ -1069,6 +1076,46 @@ mod tests {
         assert!(rejected.is_empty());
         assert_eq!(arena.buffered(), 0);
         assert_eq!(arena.stride(), 2, "fast path must not grow the arena");
+    }
+
+    #[test]
+    fn fast_accept_bails_out_on_capacity_past_u16() {
+        // Regression: a fault raising a live capacity past 65535 must take
+        // the counting_accept fallback — a quota that large cannot be
+        // packed into the u16 high half of the (quota << 16 | cursor)
+        // register without corrupting the cursor bits.
+        let mut arena = BinArena::new(vec![finite(2); 2]);
+        arena.set_capacity(0, finite(70_000));
+        let stream: Vec<(usize, Ball)> = (0..10).map(|i| (0usize, Ball::generated_in(i))).collect();
+        let (mut state, mut quotas, mut rejected) = (Vec::new(), Vec::new(), Vec::new());
+        let out = fast_accept(
+            &mut arena,
+            &[false, false],
+            &mut state,
+            &mut quotas,
+            stream.len(),
+            stream.iter().copied(),
+            &mut rejected,
+            false,
+        );
+        assert_eq!(out, None, "quota > u16::MAX must bail to counting_accept");
+        assert!(rejected.is_empty());
+        assert_eq!(arena.buffered(), 0, "bail must not consume the stream");
+
+        // The fallback handles the same stream exactly.
+        let (mut counts, mut fquotas, mut frejected) = (Vec::new(), Vec::new(), Vec::new());
+        let accepted = counting_accept(
+            &mut arena,
+            &[false, false],
+            &mut counts,
+            &mut fquotas,
+            stream.iter().copied(),
+            &mut frejected,
+        );
+        assert_eq!(accepted, 10);
+        assert!(frejected.is_empty());
+        let labels: Vec<u64> = arena.iter_bin(0).map(Ball::label).collect();
+        assert_eq!(labels, (0..10).collect::<Vec<u64>>());
     }
 
     #[test]

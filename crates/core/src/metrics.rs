@@ -45,14 +45,20 @@ pub struct WaitQuantiles {
 impl WaitQuantiles {
     /// Computes the summary from a waiting-time histogram. Returns `None`
     /// for an empty histogram (no balls served yet).
+    ///
+    /// Every quantile is propagated with `?` rather than unwrapped: the
+    /// live scrape path can observe a histogram that is drained or reset
+    /// between the emptiness check and the quantile reads (e.g. a snapshot
+    /// raced against a counter reset), and a scrape must degrade to `None`
+    /// rather than panic the service.
     pub fn from_histogram(hist: &Histogram) -> Option<Self> {
         let max = hist.max()?;
         Some(WaitQuantiles {
             count: hist.count(),
             mean: hist.mean(),
-            p50: hist.quantile(0.5).expect("non-empty histogram"),
-            p99: hist.quantile(0.99).expect("non-empty histogram"),
-            p999: hist.quantile(0.999).expect("non-empty histogram"),
+            p50: hist.quantile(0.5)?,
+            p99: hist.quantile(0.99)?,
+            p999: hist.quantile(0.999)?,
             max,
         })
     }
@@ -149,6 +155,21 @@ mod tests {
     #[test]
     fn wait_quantiles_empty_histogram_is_none() {
         assert_eq!(WaitQuantiles::from_histogram(&Histogram::new()), None);
+    }
+
+    #[test]
+    fn wait_quantiles_degrade_to_none_instead_of_panicking() {
+        // A drained/reset histogram (the live scrape path can race one)
+        // must flow through every quantile as None — no expect/panic.
+        let mut hist: Histogram = [3u64, 5, 7].into_iter().collect();
+        assert!(WaitQuantiles::from_histogram(&hist).is_some());
+        let taken = std::mem::take(&mut hist); // "concurrent reset"
+        assert_eq!(taken.count(), 3);
+        assert_eq!(WaitQuantiles::from_histogram(&hist), None);
+        // Boundary: a single observation still defines all quantiles.
+        let one: Histogram = [0u64].into_iter().collect();
+        let q = WaitQuantiles::from_histogram(&one).unwrap();
+        assert_eq!((q.p50, q.p99, q.p999, q.max), (0, 0, 0, 0));
     }
 
     #[test]

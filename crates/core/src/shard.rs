@@ -303,6 +303,30 @@ impl BinShard {
         served: &mut Vec<Ball>,
         waits: &mut Vec<u64>,
     ) -> ShardServeStats {
+        self.serve_impl(round, served, waits, None)
+    }
+
+    /// [`serve`](Self::serve), additionally appending the **local** bin
+    /// index of each served ball to `bins` (parallel to `served`/`waits`).
+    /// The dispatch service uses this to report which bin served each
+    /// ticket in its completion notifications.
+    pub fn serve_with_bins(
+        &mut self,
+        round: u64,
+        served: &mut Vec<Ball>,
+        waits: &mut Vec<u64>,
+        bins: &mut Vec<u32>,
+    ) -> ShardServeStats {
+        self.serve_impl(round, served, waits, Some(bins))
+    }
+
+    fn serve_impl(
+        &mut self,
+        round: u64,
+        served: &mut Vec<Ball>,
+        waits: &mut Vec<u64>,
+        mut bins: Option<&mut Vec<u32>>,
+    ) -> ShardServeStats {
         let mut stats = ShardServeStats::default();
         let served_before = served.len();
         match &mut self.store {
@@ -318,6 +342,9 @@ impl BinShard {
                         Some(ball) => {
                             waits.push(ball.age_at(round));
                             served.push(ball);
+                            if let Some(bins) = bins.as_deref_mut() {
+                                bins.push(b as u32);
+                            }
                         }
                         None => stats.failed_deletions += 1,
                     }
@@ -326,8 +353,8 @@ impl BinShard {
                     stats.max_load = stats.max_load.max(load);
                 }
             }
-            BinStore::Buffers(bins) => {
-                for (bin, &offline) in bins.iter_mut().zip(&self.offline) {
+            BinStore::Buffers(buffers) => {
+                for (b, (bin, &offline)) in buffers.iter_mut().zip(&self.offline).enumerate() {
                     if offline {
                         stats.buffered += bin.len() as u64;
                         stats.max_load = stats.max_load.max(bin.len() as u64);
@@ -337,6 +364,9 @@ impl BinShard {
                         Some(ball) => {
                             waits.push(ball.age_at(round));
                             served.push(ball);
+                            if let Some(bins) = bins.as_deref_mut() {
+                                bins.push(b as u32);
+                            }
                         }
                         None => stats.failed_deletions += 1,
                     }
@@ -424,6 +454,24 @@ mod tests {
         assert_eq!(stats.failed_deletions, 1); // bin 1 was empty
         assert_eq!(stats.buffered, 0);
         assert_eq!(stats.max_load, 0);
+    }
+
+    #[test]
+    fn serve_with_bins_labels_each_served_ball() {
+        let config = CappedConfig::new(4, 2, 0.5).unwrap();
+        let mut shard = BinShard::new(&config, 0..3);
+        let mut rejected = Vec::new();
+        shard.accept(
+            &[(0, Ball::generated_in(1)), (2, Ball::generated_in(3))],
+            &mut rejected,
+        );
+        let mut served = Vec::new();
+        let mut waits = Vec::new();
+        let mut bins = Vec::new();
+        shard.serve_with_bins(4, &mut served, &mut waits, &mut bins);
+        assert_eq!(bins, vec![0, 2]);
+        assert_eq!(served.len(), bins.len());
+        assert_eq!(waits.len(), bins.len());
     }
 
     #[test]

@@ -166,6 +166,51 @@ fn scenario() -> FaultPlan {
 }
 
 #[test]
+fn arena_kernel_survives_capacity_raised_past_u16() {
+    // Regression: `fast_accept` packs per-bin quota into the high 16 bits
+    // of a u32 register, so a fault-raised capacity past 65535 must take
+    // the `counting_accept` fallback instead of corrupting the packed
+    // cursor bits. The plan raises one bin far past u16::MAX mid-run and
+    // later degrades it back down, while arrivals keep flowing.
+    let plan = || {
+        FaultPlan::new()
+            .with(
+                6,
+                FaultEvent::DegradeCapacity {
+                    bins: vec![3],
+                    capacity: Some(70_000), // > u16::MAX: packed quota would wrap
+                },
+            )
+            .with(10, FaultEvent::PoolSurge { extra: 200 })
+            .with(
+                20,
+                FaultEvent::DegradeCapacity {
+                    bins: vec![3],
+                    capacity: Some(2),
+                },
+            )
+    };
+    for &seed in SEEDS {
+        let config = CappedConfig::new(32, 2, 0.75).expect("valid");
+        let mut arena = FaultedProcess::new(
+            CappedProcess::with_kernel(config.clone(), KernelMode::Arena),
+            plan(),
+        );
+        let mut scalar = FaultedProcess::new(
+            CappedProcess::with_kernel(config, KernelMode::Scalar),
+            plan(),
+        );
+        let mut rng_a = SimRng::seed_from(seed);
+        let mut rng_s = SimRng::seed_from(seed);
+        for round in 0..60 {
+            let a = arena.step(&mut rng_a);
+            let s = scalar.step(&mut rng_s);
+            assert_eq!(a, s, "u16-raise divergence at round {round} (seed {seed})");
+        }
+    }
+}
+
+#[test]
 fn arena_kernel_is_bit_exact_under_fault_injection() {
     for &seed in SEEDS {
         let config = CappedConfig::new(48, 2, 0.75).expect("valid");

@@ -58,6 +58,44 @@ pub fn render_registry(registry: &Registry) -> String {
     render(&registry.snapshot())
 }
 
+/// The exposition content type, as scrapers expect it.
+pub const HTTP_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Wraps `body` in a minimal HTTP/1.1 response (`Connection: close`,
+/// exact `Content-Length`) — the exposition-over-HTTP helper the serve
+/// layer's `GET /metrics` endpoint writes onto a socket verbatim.
+pub fn http_response(status: u16, reason: &str, content_type: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Renders `registry`'s current state as a complete `200 OK` scrape
+/// response.
+pub fn http_metrics_response(registry: &Registry) -> Vec<u8> {
+    http_response(200, "OK", HTTP_CONTENT_TYPE, &render_registry(registry))
+}
+
+/// A `404 Not Found` response for non-`/metrics` paths.
+pub fn http_not_found() -> Vec<u8> {
+    http_response(
+        404,
+        "Not Found",
+        "text/plain",
+        "only GET /metrics is served\n",
+    )
+}
+
+/// Splits an HTTP response into its body (everything past the blank line
+/// separating the headers), for scrape clients that want to feed the body
+/// back through [`parse`]. `None` if the header terminator is missing.
+pub fn http_body(response: &str) -> Option<&str> {
+    response.split_once("\r\n\r\n").map(|(_, body)| body)
+}
+
 /// One parsed sample line: metric name, optional `le` label, value.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
@@ -290,6 +328,38 @@ iba_round_nanos_count 4
         ] {
             assert!(parse(bad).is_err(), "accepted: {bad:?}");
         }
+    }
+
+    #[test]
+    fn http_response_wraps_exposition_and_parses_back() {
+        with_telemetry(|| {
+            let r = Registry::new();
+            r.gauge("iba_pool_size").set(11);
+            let raw = http_metrics_response(&r);
+            let text = String::from_utf8(raw).unwrap();
+            assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+            assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+            assert!(text.contains("Connection: close\r\n"));
+            let body = http_body(&text).unwrap();
+            let declared: usize = text
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert_eq!(declared, body.len());
+            let expo = parse(body).unwrap();
+            assert_eq!(expo.value("iba_pool_size"), Some(11.0));
+        });
+    }
+
+    #[test]
+    fn http_not_found_is_well_formed() {
+        let text = String::from_utf8(http_not_found()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(http_body(&text).is_some());
+        assert_eq!(http_body("no header terminator"), None);
     }
 
     #[test]

@@ -230,9 +230,16 @@ impl JsonValue {
     }
 
     /// The value as a non-negative integer, if it is one.
+    ///
+    /// The upper bound is **exclusive** of 2⁶⁴: `u64::MAX as f64` rounds
+    /// *up* to 2⁶⁴ (not representable in `u64`), so an inclusive
+    /// comparison against it would accept a parsed 2⁶⁴ and silently
+    /// saturate on the `as u64` cast. The largest accepted value is
+    /// therefore 2⁶⁴ − 2048, the largest `f64` below 2⁶⁴.
     pub fn as_u64(&self) -> Option<u64> {
+        const TWO_POW_64: f64 = 18446744073709551616.0;
         match self {
-            JsonValue::Number(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+            JsonValue::Number(v) if *v >= 0.0 && v.fract() == 0.0 && *v < TWO_POW_64 => {
                 Some(*v as u64)
             }
             _ => None,
@@ -626,6 +633,23 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn as_u64_is_exclusive_at_two_pow_64() {
+        // Largest f64 strictly below 2^64: representable and in range.
+        let below = parse("18446744073709549568").unwrap(); // 2^64 - 2048
+        assert_eq!(below.as_u64(), Some(18_446_744_073_709_549_568));
+        // 2^64 itself parses to exactly u64::MAX as f64 (which rounds up
+        // to 2^64): must be rejected, not saturated to u64::MAX.
+        let at = parse("18446744073709551616").unwrap(); // 2^64
+        assert_eq!(at.as_u64(), None);
+        // First representable f64 above 2^64: also rejected.
+        let above = parse("18446744073709555712").unwrap(); // 2^64 + 4096
+        assert_eq!(above.as_u64(), None);
+        // Sanity either side of the boundary class.
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
     }
 
     #[test]

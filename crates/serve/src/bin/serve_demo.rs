@@ -13,13 +13,14 @@
 //! ```
 
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use iba_core::CappedConfig;
 use iba_serve::{
-    CappedService, Completion, Dispatcher, Pacing, RngMode, RoundClock, ServiceConfig,
+    run_net_loop, CappedService, Completion, Dispatcher, NetFrontend, NetLoopOptions, Pacing,
+    RngMode, RoundClock, ServiceConfig,
 };
 
 struct Options {
@@ -35,6 +36,7 @@ struct Options {
     mode: RngMode,
     ingress_capacity: usize,
     telemetry: bool,
+    listen: Option<String>,
 }
 
 impl Options {
@@ -52,6 +54,7 @@ impl Options {
             mode: RngMode::PerShard,
             ingress_capacity: 1 << 16,
             telemetry: false,
+            listen: None,
         }
     }
 }
@@ -62,14 +65,22 @@ const USAGE: &str =
 USAGE: serve_demo [--rounds N] [--shards S] [--n BINS] [--c CAP] [--lambda L]
                   [--seed SEED] [--generators G] [--pace-us MICROS]
                   [--metrics-every K] [--mode central|pershard] [--ingress-cap Q]
-                  [--telemetry]
+                  [--telemetry] [--listen ADDR]
 
 The demo submits rounds x lambda*n requests total, runs rounds until all of
 them are served (bounded by a safety cap), verifies conservation and
 capacity invariants every round, and prints a throughput/latency report.
 --telemetry (or IBA_TELEMETRY=1) additionally enables the iba-obs registry
 and flight recorder, prints the Prometheus exposition at exit (self-checked
-through the strict parser), and dumps a post-mortem on invariant violation.";
+through the strict parser), and dumps a post-mortem on invariant violation.
+
+--listen ADDR switches to network mode: instead of in-process generators,
+the demo serves the length-prefixed wire protocol on ADDR (port 0 picks an
+ephemeral port) and answers GET /metrics with the live Prometheus
+exposition on the same listener. It runs --rounds rounds paced at --pace-us
+(default 500 us) and exits; telemetry is enabled automatically so the
+scrape plane has data. Drive it with:
+cargo run --release -p iba-bench --bin serve_net_baseline -- --connect ADDR";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value
@@ -102,6 +113,7 @@ fn parse_args() -> Result<Options, String> {
             "--pace-us" => opts.pace_us = parse_value(&flag, &value)?,
             "--metrics-every" => opts.metrics_every = parse_value(&flag, &value)?,
             "--ingress-cap" => opts.ingress_capacity = parse_value(&flag, &value)?,
+            "--listen" => opts.listen = Some(value),
             "--mode" => {
                 opts.mode = match value.as_str() {
                     "central" => RngMode::Central,
@@ -176,8 +188,90 @@ fn violation(round: u64, message: String) -> String {
     message
 }
 
+/// Network mode: serve the wire protocol and the `GET /metrics` scrape
+/// plane on `addr` for `opts.rounds` rounds, then report and exit.
+/// Telemetry is always enabled here — a scrape plane with an empty
+/// registry would be pointless.
+fn run_listen(opts: &Options, addr: &str) -> Result<(), String> {
+    iba_obs::set_enabled(true);
+    iba_obs::flight::install_panic_hook();
+    let capped = CappedConfig::new(opts.n, opts.c, opts.lambda)
+        .map_err(|e| format!("invalid CAPPED parameters: {e}"))?;
+    let mut service = CappedService::spawn(
+        ServiceConfig::new(capped, opts.shards, opts.seed)
+            .with_rng_mode(opts.mode)
+            .with_ingress_capacity(opts.ingress_capacity),
+    )
+    .map_err(|e| format!("invalid service configuration: {e}"))?;
+    let completions = service.take_completions().expect("fresh service");
+    let mut frontend = NetFrontend::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let pace_us = if opts.pace_us == 0 { 500 } else { opts.pace_us };
+    // The "listening on" line is the readiness signal scripted drivers
+    // key off; flush so it is visible even through a pipe.
+    println!("serve_demo: listening on {}", frontend.local_addr());
+    println!(
+        "serve_demo: n={} c={} lambda={} shards={} mode={:?} rounds={} pace={pace_us}us",
+        opts.n, opts.c, opts.lambda, opts.shards, opts.mode, opts.rounds
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let start = Instant::now();
+    let summary = run_net_loop(
+        &mut service,
+        &mut frontend,
+        &completions,
+        &NetLoopOptions {
+            max_rounds: opts.rounds,
+            round_interval: Duration::from_micros(pace_us),
+            ..NetLoopOptions::default()
+        },
+        &AtomicBool::new(false),
+    );
+    if !service.conserves_balls() {
+        return Err(violation(
+            service.round(),
+            "network run violates service conservation".into(),
+        ));
+    }
+    let stats = frontend.stats();
+    println!("--- report ---");
+    println!(
+        "rounds: {} in {:.3} s wall, {} completions delivered",
+        summary.rounds_run,
+        start.elapsed().as_secs_f64(),
+        summary.completions_delivered
+    );
+    println!(
+        "net: {} conns, {} frames in, {} accepted, {} saturated, {} closed, {} scrapes, {} proto errors",
+        stats.accepted_conns,
+        stats.frames,
+        stats.allocs_accepted,
+        stats.allocs_saturated,
+        stats.allocs_closed,
+        stats.scrapes,
+        stats.proto_errors
+    );
+    match service.wait_quantiles() {
+        Some(wait) => println!("waiting time (rounds): {wait}"),
+        None => println!("waiting time: no balls served"),
+    }
+    let exposition = iba_obs::expo::render_registry(iba_obs::global());
+    let parsed = iba_obs::expo::parse(&exposition)
+        .map_err(|e| format!("telemetry exposition failed to parse: {e}"))?;
+    println!(
+        "telemetry self-check: {} samples parsed strictly",
+        parsed.samples.len()
+    );
+    println!("invariants: conservation held over the network run");
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), String> {
     iba_obs::init_from_env();
+    if let Some(addr) = opts.listen.clone() {
+        return run_listen(opts, &addr);
+    }
     if opts.telemetry {
         iba_obs::set_enabled(true);
     }

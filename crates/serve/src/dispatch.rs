@@ -75,6 +75,8 @@ impl std::error::Error for SubmitError {}
 pub struct Completion {
     /// The ticket returned at submission time.
     pub ticket: Ticket,
+    /// Global index of the bin that served the request.
+    pub bin: u64,
     /// Round in which the request was admitted into the pool.
     pub admitted_round: u64,
     /// Round in which a bin served the request.

@@ -15,6 +15,12 @@
 //!   through a [`Dispatcher`] backed by a *bounded* ingress queue
 //!   (backpressure), receive a per-request [`Ticket`], and are notified of
 //!   service with a [`Completion`] carrying the measured waiting time.
+//! - **Network front end** ([`net`] + [`proto`]) — a std-only,
+//!   non-blocking TCP listener speaking a small length-prefixed wire
+//!   protocol for allocation requests (explicit saturation replies as
+//!   backpressure, streamed completion notifications), with the
+//!   [`iba_obs`] Prometheus exposition served over minimal HTTP
+//!   (`GET /metrics`) on the same event loop for mid-run scraping.
 //! - **Workload generation** ([`workload`]) — open-loop λn-per-round
 //!   arrivals plus burst/surge scenarios described by the same
 //!   [`iba_sim::faults::FaultPlan`] schedules the simulator uses.
@@ -64,7 +70,9 @@
 pub mod clock;
 pub mod dispatch;
 pub mod metrics;
+pub mod net;
 mod obs;
+pub mod proto;
 pub mod service;
 mod shard;
 pub mod workload;
@@ -72,5 +80,7 @@ pub mod workload;
 pub use clock::{Pacing, RoundClock};
 pub use dispatch::{Completion, Dispatcher, SubmitError, Ticket};
 pub use metrics::ServeSnapshot;
+pub use net::{run_net_loop, NetFrontend, NetLoopOptions, NetLoopSummary, NetStats};
+pub use proto::{Frame, FrameDecoder, ProtoError};
 pub use service::{CappedService, RngMode, ServiceConfig};
 pub use workload::{run_open_loop, OpenLoop, WorkloadSummary};

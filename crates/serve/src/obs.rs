@@ -42,6 +42,28 @@ pub(crate) struct ServeProbes {
     pub submits_closed: Arc<Counter>,
     /// Balls injected by pool surges and arrival bursts, lifetime.
     pub surge_balls: Arc<Counter>,
+    /// Open TCP connections on the network front end.
+    pub net_connections: Arc<Gauge>,
+    /// Outbound bytes queued (encoded, not yet written) across all
+    /// connections — the front end's write-side queue depth.
+    pub net_write_queue_bytes: Arc<Gauge>,
+    /// Bytes read off client sockets, lifetime.
+    pub net_bytes_read: Arc<Counter>,
+    /// Bytes written to client sockets, lifetime.
+    pub net_bytes_written: Arc<Counter>,
+    /// Wire-protocol frames decoded from clients, lifetime.
+    pub net_frames: Arc<Counter>,
+    /// `GET /metrics` scrapes answered, lifetime.
+    pub net_scrapes: Arc<Counter>,
+    /// Failed `accept` calls on the listener, lifetime.
+    pub net_accept_errors: Arc<Counter>,
+    /// Read errors that dropped a connection, lifetime.
+    pub net_read_errors: Arc<Counter>,
+    /// Write errors that dropped a connection, lifetime.
+    pub net_write_errors: Arc<Counter>,
+    /// Protocol violations (bad preface, malformed frame, oversized
+    /// request) that dropped a connection, lifetime.
+    pub net_proto_errors: Arc<Counter>,
 }
 
 impl ServeProbes {
@@ -62,6 +84,16 @@ impl ServeProbes {
             submits_saturated: r.counter("iba_serve_submits_saturated_total"),
             submits_closed: r.counter("iba_serve_submits_closed_total"),
             surge_balls: r.counter("iba_serve_surge_balls_total"),
+            net_connections: r.gauge("iba_serve_net_connections"),
+            net_write_queue_bytes: r.gauge("iba_serve_net_write_queue_bytes"),
+            net_bytes_read: r.counter("iba_serve_net_bytes_read_total"),
+            net_bytes_written: r.counter("iba_serve_net_bytes_written_total"),
+            net_frames: r.counter("iba_serve_net_frames_total"),
+            net_scrapes: r.counter("iba_serve_net_scrapes_total"),
+            net_accept_errors: r.counter("iba_serve_net_accept_errors_total"),
+            net_read_errors: r.counter("iba_serve_net_read_errors_total"),
+            net_write_errors: r.counter("iba_serve_net_write_errors_total"),
+            net_proto_errors: r.counter("iba_serve_net_proto_errors_total"),
         }
     }
 }

@@ -469,8 +469,14 @@ impl CappedService {
             self.shard_buffered[s] = reply.buffered;
             self.shard_max_load[s] = reply.max_load;
             rejected.extend_from_slice(&reply.rejected);
-            for (ball, &wait) in reply.served.iter().zip(&reply.waits) {
-                self.complete(ball.label(), round, wait);
+            let first_bin = self.ranges[s].start as u64;
+            for ((ball, &wait), &local) in reply
+                .served
+                .iter()
+                .zip(&reply.waits)
+                .zip(&reply.served_bins)
+            {
+                self.complete(ball.label(), round, wait, first_bin + u64::from(local));
             }
             // Shards own contiguous bin ranges, so concatenating in shard
             // order reproduces the bare process's bin-order vector.
@@ -625,13 +631,14 @@ impl CappedService {
     /// Matches a served ball to the longest-waiting ticket of its label
     /// (balls with equal labels are interchangeable) and notifies the
     /// completion channel. Model-arrival and surge balls have no ticket.
-    fn complete(&mut self, label: u64, served_round: u64, waiting_rounds: u64) {
+    fn complete(&mut self, label: u64, served_round: u64, waiting_rounds: u64, bin: u64) {
         let Some(queue) = self.pending.get_mut(&label) else {
             return;
         };
         if let Some(id) = queue.pop_front() {
             let _ = self.completions_tx.send(Completion {
                 ticket: Ticket::from_id(id),
+                bin,
                 admitted_round: label,
                 served_round,
                 waiting_rounds,
@@ -734,6 +741,7 @@ mod tests {
         assert_eq!(served_ids, expected);
         for completion in &done {
             assert_eq!(completion.admitted_round, 1);
+            assert!(completion.bin < 16, "bin index is global and in range");
             assert_eq!(
                 completion.waiting_rounds,
                 completion.served_round - completion.admitted_round

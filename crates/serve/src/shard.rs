@@ -55,6 +55,8 @@ pub(crate) struct ShardReply {
     pub served: Vec<Ball>,
     /// Waiting times of the served balls, in bin order.
     pub waits: Vec<u64>,
+    /// Local bin index of each served ball, parallel to `served`.
+    pub served_bins: Vec<u32>,
     /// Online bins whose deletion attempt found an empty buffer.
     pub failed_deletions: u64,
     /// Balls left buffered in this shard after the deletion stage.
@@ -122,7 +124,8 @@ fn run_round(
     let accepted = bins.accept(requests, &mut rejected);
     let mut served = Vec::new();
     let mut waits = Vec::new();
-    let stats = bins.serve(round, &mut served, &mut waits);
+    let mut served_bins = Vec::new();
+    let stats = bins.serve_with_bins(round, &mut served, &mut waits, &mut served_bins);
     if let Some(p) = obs::probes() {
         timer.observe(&p.shard_round_nanos);
     }
@@ -134,6 +137,7 @@ fn run_round(
             rejected,
             served,
             waits,
+            served_bins,
             failed_deletions: stats.failed_deletions,
             buffered: stats.buffered,
             max_load: stats.max_load,

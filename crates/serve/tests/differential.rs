@@ -8,8 +8,13 @@
 //! or the worker protocol ever drops, duplicates, or reorders a ball, one
 //! of these comparisons breaks on the first divergent round.
 
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
 use iba_core::{CappedConfig, CappedProcess, KernelMode};
-use iba_serve::{CappedService, RngMode, ServiceConfig};
+use iba_serve::proto::MAGIC;
+use iba_serve::{CappedService, Frame, FrameDecoder, NetFrontend, RngMode, ServiceConfig};
 use iba_sim::faults::{FaultEvent, FaultPlan, FaultedProcess};
 use iba_sim::process::AllocationProcess;
 use iba_sim::SimRng;
@@ -187,6 +192,98 @@ fn faulted_sharded_arena_kernel_matches_faulted_scalar_reference() {
         }
         assert!(service.conserves_balls());
     }
+}
+
+/// The differential statement with the network ingress active: a
+/// Central-mode service fed exactly λn requests per round **over TCP**
+/// (no model arrivals) produces the same bit-identical trajectory as the
+/// bare process with its deterministic λn arrival model. This holds
+/// because the deterministic arrival model consumes no randomness and
+/// admitted requests get the same round label as model arrivals — so
+/// swapping the arrival source from the model to the wire must not move
+/// a single ball.
+#[test]
+fn central_trajectory_is_bit_identical_with_network_ingress_active() {
+    let (n, c, lambda, shards, seed) = (64usize, 2u32, 0.75, 4usize, 42u64);
+    let per_round = (lambda * n as f64).round() as u64;
+    let config = CappedConfig::new(n, c, lambda).expect("valid cell");
+    let mut reference = CappedProcess::new(config.clone());
+    let mut rng = SimRng::seed_from(seed);
+    let mut service = CappedService::spawn(
+        ServiceConfig::new(config, shards, seed).with_rng_mode(RngMode::Central),
+    )
+    .expect("valid service config");
+    let completions = service.take_completions().expect("fresh service");
+    let dispatcher = service.dispatcher();
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+
+    let mut client = TcpStream::connect(frontend.local_addr()).expect("connect");
+    client.set_nodelay(true).expect("nodelay");
+    client
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .expect("read timeout");
+    client.write_all(&MAGIC).expect("preface");
+    let mut decoder = FrameDecoder::new();
+    let mut next_req = 0u64;
+    let mut completions_seen = 0u64;
+
+    for round in 1..=100u64 {
+        // Offer exactly λn requests and pump the event loop until every
+        // one is ticketed, so the ingress queue holds the full batch when
+        // the round executes (single connection → FIFO admission order).
+        let mut wire = Vec::new();
+        for _ in 0..per_round {
+            Frame::Alloc { req_id: next_req }.encode_into(&mut wire);
+            next_req += 1;
+        }
+        client.write_all(&wire).expect("offer batch");
+        let mut accepted = 0u64;
+        let mut buf = [0u8; 4096];
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while accepted < per_round {
+            assert!(
+                Instant::now() < deadline,
+                "timed out awaiting admissions in round {round}"
+            );
+            frontend.poll(&dispatcher);
+            match client.read(&mut buf) {
+                Ok(0) => panic!("server closed the connection"),
+                Ok(k) => decoder.push(&buf[..k]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => panic!("client read failed: {e}"),
+            }
+            while let Some(frame) = decoder.next_frame().expect("well-formed server stream") {
+                match frame {
+                    Frame::Accepted { .. } => accepted += 1,
+                    Frame::Completed {
+                        bin,
+                        admitted_round,
+                        served_round,
+                        waiting_rounds,
+                        ..
+                    } => {
+                        assert!(bin < n as u64, "served bin index is global and in range");
+                        assert_eq!(waiting_rounds, served_round - admitted_round);
+                        completions_seen += 1;
+                    }
+                    other => panic!("unexpected server frame {other:?}"),
+                }
+            }
+        }
+        let expected = reference.step(&mut rng);
+        let actual = service.run_round();
+        assert_eq!(actual, expected, "net-active divergence at round {round}");
+        while let Ok(completion) = completions.try_recv() {
+            frontend.notify(&completion);
+        }
+        frontend.poll(&dispatcher);
+    }
+    assert!(service.conserves_balls());
+    assert!(
+        completions_seen > 0,
+        "completion notifications flowed back over the wire"
+    );
+    assert_eq!(frontend.stats().allocs_accepted, 100 * per_round);
 }
 
 #[test]

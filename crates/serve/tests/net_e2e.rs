@@ -1,0 +1,342 @@
+//! End-to-end tests of the TCP front end: a real client socket against a
+//! real listener — ticketed admission, streamed completions, explicit
+//! saturation replies, the mid-run `GET /metrics` scrape plane, and
+//! rejection of garbage connections.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use iba_core::CappedConfig;
+use iba_serve::proto::MAGIC;
+use iba_serve::{
+    run_net_loop, CappedService, Frame, FrameDecoder, NetFrontend, NetLoopOptions, NetStats,
+    RngMode, ServiceConfig,
+};
+
+const N: usize = 32;
+
+fn spawn_service(ingress_capacity: usize) -> CappedService {
+    CappedService::spawn(
+        ServiceConfig::new(CappedConfig::new(N, 2, 0.0).expect("valid config"), 4, 7)
+            .with_rng_mode(RngMode::PerShard)
+            .with_ingress_capacity(ingress_capacity),
+    )
+    .expect("valid service config")
+}
+
+fn connect_wire(addr: std::net::SocketAddr) -> TcpStream {
+    let mut client = TcpStream::connect(addr).expect("connect");
+    client.set_nodelay(true).expect("nodelay");
+    client
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .expect("read timeout");
+    client.write_all(&MAGIC).expect("preface");
+    client
+}
+
+/// Reads whatever is available into `decoder`; true if the peer closed.
+fn pump(client: &mut TcpStream, decoder: &mut FrameDecoder) -> bool {
+    let mut buf = [0u8; 4096];
+    match client.read(&mut buf) {
+        Ok(0) => true,
+        Ok(k) => {
+            decoder.push(&buf[..k]);
+            false
+        }
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => false,
+        Err(e) => panic!("client read failed: {e}"),
+    }
+}
+
+/// A full threaded round-trip: the server runs `run_net_loop` on its own
+/// thread while a client submits requests and collects one `Accepted` and
+/// one `Completed` per request.
+#[test]
+fn wire_clients_get_tickets_and_streamed_completions() {
+    const REQUESTS: u64 = 200;
+    let mut service = spawn_service(1 << 16);
+    let completions = service.take_completions().expect("fresh service");
+    let frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = frontend.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut service = service;
+            let mut frontend = frontend;
+            run_net_loop(
+                &mut service,
+                &mut frontend,
+                &completions,
+                &NetLoopOptions {
+                    round_interval: Duration::from_micros(200),
+                    ..NetLoopOptions::default()
+                },
+                &stop,
+            );
+            (service.total_admitted(), frontend.stats())
+        })
+    };
+
+    let mut client = connect_wire(addr);
+    let mut wire = Vec::new();
+    for req_id in 0..REQUESTS {
+        Frame::Alloc { req_id }.encode_into(&mut wire);
+    }
+    client.write_all(&wire).expect("submit batch");
+
+    let mut decoder = FrameDecoder::new();
+    let mut accepted = Vec::new();
+    let mut completed = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while completed.len() < REQUESTS as usize {
+        assert!(Instant::now() < deadline, "timed out awaiting completions");
+        let eof = pump(&mut client, &mut decoder);
+        assert!(!eof, "server dropped a well-behaved client");
+        while let Some(frame) = decoder.next_frame().expect("well-formed stream") {
+            match frame {
+                Frame::Accepted { req_id, ticket } => accepted.push((req_id, ticket)),
+                Frame::Completed {
+                    ticket,
+                    bin,
+                    admitted_round,
+                    served_round,
+                    waiting_rounds,
+                } => {
+                    assert!(bin < N as u64);
+                    assert_eq!(waiting_rounds, served_round - admitted_round);
+                    completed.push(ticket);
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (total_admitted, stats) = server.join().expect("server thread");
+
+    assert_eq!(accepted.len(), REQUESTS as usize);
+    // Every request was echoed exactly once, in submission order.
+    let req_ids: Vec<u64> = accepted.iter().map(|&(r, _)| r).collect();
+    assert_eq!(req_ids, (0..REQUESTS).collect::<Vec<u64>>());
+    // Every ticket completed exactly once.
+    let mut tickets: Vec<u64> = accepted.iter().map(|&(_, t)| t).collect();
+    let mut done = completed.clone();
+    tickets.sort_unstable();
+    done.sort_unstable();
+    assert_eq!(tickets, done);
+    assert_eq!(total_admitted, REQUESTS);
+    assert_eq!(stats.allocs_accepted, REQUESTS);
+    assert_eq!(stats.allocs_saturated, 0);
+    assert_eq!(stats.completions_sent, REQUESTS);
+    assert_eq!(stats.proto_errors, 0);
+}
+
+/// Backpressure is explicit: with a tiny ingress queue and no rounds
+/// draining it, excess requests get `Saturated` replies instead of
+/// unbounded buffering.
+#[test]
+fn saturated_ingress_sheds_with_explicit_replies() {
+    let service = spawn_service(2);
+    let dispatcher = service.dispatcher();
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    let mut client = connect_wire(frontend.local_addr());
+    let mut wire = Vec::new();
+    for req_id in 0..10 {
+        Frame::Alloc { req_id }.encode_into(&mut wire);
+    }
+    client.write_all(&wire).expect("submit burst");
+
+    let mut decoder = FrameDecoder::new();
+    let mut accepted = 0;
+    let mut saturated = 0;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while accepted + saturated < 10 {
+        assert!(Instant::now() < deadline, "timed out awaiting replies");
+        frontend.poll(&dispatcher);
+        pump(&mut client, &mut decoder);
+        while let Some(frame) = decoder.next_frame().expect("well-formed stream") {
+            match frame {
+                Frame::Accepted { .. } => accepted += 1,
+                Frame::Saturated { .. } => saturated += 1,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+    assert_eq!(accepted, 2, "ingress capacity bounds admissions");
+    assert_eq!(saturated, 8, "excess requests are shed, not buffered");
+    assert_eq!(frontend.stats().allocs_saturated, 8);
+}
+
+/// The scrape plane: `GET /metrics` on the same listener answers with
+/// exposition the strict `iba-obs` parser accepts, mid-run, and
+/// successive scrapes observe advancing (non-stale) counters.
+#[test]
+fn metrics_scrape_mid_run_parses_strictly_and_is_not_stale() {
+    iba_obs::set_enabled(true);
+    let mut service = spawn_service(1 << 16);
+    let dispatcher = service.dispatcher();
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = frontend.local_addr();
+
+    // A wire client keeps traffic flowing while we scrape.
+    let mut wire_client = connect_wire(addr);
+    let mut decoder = FrameDecoder::new();
+    let submit_and_round = |frontend: &mut NetFrontend,
+                            service: &mut CappedService,
+                            wire_client: &mut TcpStream,
+                            decoder: &mut FrameDecoder,
+                            base: u64| {
+        let mut wire = Vec::new();
+        for req_id in base..base + 8 {
+            Frame::Alloc { req_id }.encode_into(&mut wire);
+        }
+        wire_client.write_all(&wire).expect("submit");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            assert!(Instant::now() < deadline, "timed out");
+            frontend.poll(&dispatcher);
+            pump(wire_client, decoder);
+            let mut seen = 0;
+            while decoder.next_frame().expect("well-formed").is_some() {
+                seen += 1;
+            }
+            if seen > 0 {
+                break;
+            }
+        }
+        service.run_round();
+    };
+
+    submit_and_round(
+        &mut frontend,
+        &mut service,
+        &mut wire_client,
+        &mut decoder,
+        0,
+    );
+    let first = scrape(&mut frontend, &dispatcher, addr);
+    submit_and_round(
+        &mut frontend,
+        &mut service,
+        &mut wire_client,
+        &mut decoder,
+        100,
+    );
+    let second = scrape(&mut frontend, &dispatcher, addr);
+
+    for expo in [&first, &second] {
+        assert_eq!(
+            expo.families.get("iba_serve_pool_size").map(String::as_str),
+            Some("gauge"),
+            "pool gauge present"
+        );
+        assert!(
+            expo.value("iba_serve_net_connections").is_some(),
+            "net connection gauge present"
+        );
+        assert!(
+            expo.value("iba_serve_net_frames_total").is_some(),
+            "net frame counter present"
+        );
+    }
+    let frames_first = first.value("iba_serve_net_frames_total").unwrap();
+    let frames_second = second.value("iba_serve_net_frames_total").unwrap();
+    assert!(
+        frames_second > frames_first,
+        "scrape is live, not a stale snapshot: {frames_first} -> {frames_second}"
+    );
+    assert_eq!(frontend.stats().scrapes, 2);
+}
+
+/// Performs one HTTP scrape against `frontend` (pumped inline) and
+/// returns the strictly parsed exposition.
+fn scrape(
+    frontend: &mut NetFrontend,
+    dispatcher: &iba_serve::Dispatcher,
+    addr: std::net::SocketAddr,
+) -> iba_obs::expo::Exposition {
+    let mut http = TcpStream::connect(addr).expect("connect scraper");
+    http.set_read_timeout(Some(Duration::from_millis(5)))
+        .expect("read timeout");
+    http.write_all(b"GET /metrics HTTP/1.1\r\nHost: iba\r\n\r\n")
+        .expect("request");
+    let mut response = Vec::new();
+    let mut buf = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "scrape timed out");
+        frontend.poll(dispatcher);
+        match http.read(&mut buf) {
+            Ok(0) => break, // Connection: close
+            Ok(k) => response.extend_from_slice(&buf[..k]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) => panic!("scrape read failed: {e}"),
+        }
+    }
+    let text = String::from_utf8(response).expect("utf8 response");
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    let body = iba_obs::expo::http_body(&text).expect("header terminator");
+    iba_obs::expo::parse(body).expect("strict exposition parse")
+}
+
+/// Non-protocol, non-HTTP connections are dropped, and a 404 comes back
+/// for unknown HTTP paths.
+#[test]
+fn garbage_preface_is_dropped_and_unknown_paths_get_404() {
+    let service = spawn_service(16);
+    let dispatcher = service.dispatcher();
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = frontend.local_addr();
+
+    let mut garbage = TcpStream::connect(addr).expect("connect");
+    garbage
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .expect("read timeout");
+    garbage.write_all(b"XXXXXXXX").expect("garbage");
+    let mut http = TcpStream::connect(addr).expect("connect");
+    http.set_read_timeout(Some(Duration::from_millis(5)))
+        .expect("read timeout");
+    http.write_all(b"GET /nope HTTP/1.1\r\n\r\n")
+        .expect("request");
+
+    let mut buf = [0u8; 4096];
+    let mut not_found = Vec::new();
+    let mut garbage_closed = false;
+    let mut http_closed = false;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !(garbage_closed && http_closed) {
+        assert!(Instant::now() < deadline, "timed out");
+        frontend.poll(&dispatcher);
+        if !garbage_closed {
+            match garbage.read(&mut buf) {
+                Ok(0) => garbage_closed = true,
+                Ok(_) => panic!("garbage connection should get no reply"),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => garbage_closed = true, // reset also counts as dropped
+            }
+        }
+        if !http_closed {
+            match http.read(&mut buf) {
+                Ok(0) => http_closed = true,
+                Ok(k) => not_found.extend_from_slice(&buf[..k]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => panic!("http read failed: {e}"),
+            }
+        }
+    }
+    let text = String::from_utf8(not_found).expect("utf8");
+    assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
+    assert_eq!(frontend.stats().proto_errors, 1);
+    assert_eq!(frontend.connections(), 0);
+    assert_eq!(
+        frontend.stats(),
+        NetStats {
+            accepted_conns: 2,
+            proto_errors: 1,
+            ..NetStats::default()
+        }
+    );
+}

@@ -152,6 +152,59 @@ impl BinShard {
         }
     }
 
+    /// Rebuilds a shard from checkpointed state: per-bin **live**
+    /// capacities (which fault injection may have diverged from the
+    /// configured profile), FIFO bin contents (oldest first), and the
+    /// offline mask. Storage selection mirrors [`BinShard::new`]: the
+    /// layout is keyed on the *configured* capacities of the range, so a
+    /// resumed shard behaves identically to one that lived through the
+    /// original run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is invalid for `config`, or if `caps`,
+    /// `contents`, and `offline` do not all have the range's length.
+    pub fn from_state(
+        config: &CappedConfig,
+        range: Range<usize>,
+        caps: Vec<Capacity>,
+        contents: Vec<Vec<Ball>>,
+        offline: Vec<bool>,
+    ) -> Self {
+        assert!(
+            range.end <= config.bins(),
+            "shard range {range:?} exceeds n = {}",
+            config.bins()
+        );
+        assert!(!range.is_empty(), "a shard must own at least one bin");
+        let bin_count = range.len();
+        assert_eq!(caps.len(), bin_count, "one live capacity per bin");
+        assert_eq!(contents.len(), bin_count, "one content list per bin");
+        assert_eq!(offline.len(), bin_count, "one offline flag per bin");
+        let configured_unbounded = range
+            .clone()
+            .any(|i| config.capacity_of(i) == Capacity::Infinite);
+        let store = if configured_unbounded {
+            BinStore::Buffers(
+                caps.into_iter()
+                    .zip(contents)
+                    .map(|(cap, balls)| crate::buffer::BinBuffer::restore(cap, balls))
+                    .collect(),
+            )
+        } else {
+            BinStore::Arena(crate::arena::BinArena::from_bins(caps, contents))
+        };
+        BinShard {
+            first_bin: range.start,
+            store,
+            bin_count,
+            offline,
+            counts: Vec::new(),
+            quotas: Vec::new(),
+            state: Vec::new(),
+        }
+    }
+
     /// Global index of the first bin this shard owns.
     pub fn first_bin(&self) -> usize {
         self.first_bin
@@ -531,6 +584,71 @@ mod tests {
         assert_eq!(shard.first_bin(), 2);
         assert_eq!(shard.bin(0).capacity(), Capacity::finite(1).unwrap());
         assert_eq!(shard.bin(1).capacity(), Capacity::finite(3).unwrap());
+    }
+
+    #[test]
+    fn from_state_reproduces_a_live_shard() {
+        let config = CappedConfig::new(8, 2, 0.5).unwrap();
+        let mut original = BinShard::new(&config, 2..6);
+        let mut rejected = Vec::new();
+        original.accept(
+            &[
+                (0, Ball::generated_in(1)),
+                (0, Ball::generated_in(2)),
+                (3, Ball::generated_in(2)),
+            ],
+            &mut rejected,
+        );
+        original.set_offline(1, true);
+        original.set_capacity(2, Capacity::finite(1).unwrap());
+
+        let caps: Vec<Capacity> = (0..original.len())
+            .map(|i| original.bin(i).capacity())
+            .collect();
+        let contents: Vec<Vec<Ball>> = (0..original.len())
+            .map(|i| original.bin(i).iter().copied().collect())
+            .collect();
+        let offline: Vec<bool> = (0..original.len())
+            .map(|i| original.is_offline(i))
+            .collect();
+        let mut restored = BinShard::from_state(&config, 2..6, caps, contents, offline);
+
+        assert_eq!(restored.first_bin(), original.first_bin());
+        assert_eq!(restored.loads(), original.loads());
+        assert_eq!(restored.bin(2).capacity(), Capacity::finite(1).unwrap());
+        assert!(restored.is_offline(1));
+        // Identical continuations: same accepts, same serves.
+        let stream = [
+            (0u32, Ball::generated_in(3)),
+            (1, Ball::generated_in(3)),
+            (2, Ball::generated_in(3)),
+        ];
+        let (mut r1, mut r2) = (Vec::new(), Vec::new());
+        assert_eq!(
+            original.accept(&stream, &mut r1),
+            restored.accept(&stream, &mut r2)
+        );
+        assert_eq!(r1, r2);
+        let (mut s1, mut w1, mut s2, mut w2) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let st1 = original.serve(3, &mut s1, &mut w1);
+        let st2 = restored.serve(3, &mut s2, &mut w2);
+        assert_eq!(s1, s2);
+        assert_eq!(w1, w2);
+        assert_eq!(st1, st2);
+    }
+
+    #[test]
+    fn from_state_uses_buffers_for_unbounded_configs() {
+        let config = CappedConfig::unbounded(4, 0.5).unwrap();
+        let restored = BinShard::from_state(
+            &config,
+            0..4,
+            vec![Capacity::Infinite; 4],
+            vec![vec![Ball::generated_in(1)], vec![], vec![], vec![]],
+            vec![false; 4],
+        );
+        assert_eq!(restored.buffered(), 1);
+        assert_eq!(restored.bin(0).head(), Some(&Ball::generated_in(1)));
     }
 
     /// Sequential composition of shards reproduces `CappedProcess`

@@ -19,8 +19,8 @@ use std::time::{Duration, Instant};
 
 use iba_core::CappedConfig;
 use iba_serve::{
-    run_net_loop, CappedService, Completion, Dispatcher, NetFrontend, NetLoopOptions, Pacing,
-    RngMode, RoundClock, ServiceConfig,
+    run_net_loop, CappedService, Completion, Dispatcher, NetFault, NetFaultPlan, NetFrontend,
+    NetLoopOptions, Pacing, RngMode, RoundClock, ServeAutosaver, ServiceConfig,
 };
 
 struct Options {
@@ -37,6 +37,11 @@ struct Options {
     ingress_capacity: usize,
     telemetry: bool,
     listen: Option<String>,
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    resume: bool,
+    chaos: Option<String>,
+    chaos_seed: Option<u64>,
 }
 
 impl Options {
@@ -55,6 +60,11 @@ impl Options {
             ingress_capacity: 1 << 16,
             telemetry: false,
             listen: None,
+            checkpoint: None,
+            checkpoint_every: 25,
+            resume: false,
+            chaos: None,
+            chaos_seed: None,
         }
     }
 }
@@ -66,6 +76,8 @@ USAGE: serve_demo [--rounds N] [--shards S] [--n BINS] [--c CAP] [--lambda L]
                   [--seed SEED] [--generators G] [--pace-us MICROS]
                   [--metrics-every K] [--mode central|pershard] [--ingress-cap Q]
                   [--telemetry] [--listen ADDR]
+                  [--checkpoint PATH] [--checkpoint-every K] [--resume]
+                  [--chaos SPEC] [--chaos-seed SEED]
 
 The demo submits rounds x lambda*n requests total, runs rounds until all of
 them are served (bounded by a safety cap), verifies conservation and
@@ -80,7 +92,20 @@ ephemeral port) and answers GET /metrics with the live Prometheus
 exposition on the same listener. It runs --rounds rounds paced at --pace-us
 (default 500 us) and exits; telemetry is enabled automatically so the
 scrape plane has data. Drive it with:
-cargo run --release -p iba-bench --bin serve_net_baseline -- --connect ADDR";
+cargo run --release -p iba-bench --bin serve_net_baseline -- --connect ADDR
+
+Network-mode resilience (all require --listen):
+--checkpoint PATH      autosave the full service state to PATH every
+                       --checkpoint-every rounds (default 25), with .prev
+                       rotation; --resume restarts from the newest loadable
+                       generation instead of a fresh service
+--chaos SPEC           arm the deterministic socket fault injector. SPEC is
+                       a comma list of round:kind[:a[:b]] tokens with kinds
+                       drop[:conns], stall-read[:conns[:rounds]],
+                       stall-write[:conns[:rounds]],
+                       partial[:max_bytes[:rounds]], garbage[:conns[:bytes]]
+                       e.g. --chaos 10:drop:2,20:partial:8:5,30:garbage:1:64
+--chaos-seed SEED      seed for victim picks and garbage (default --seed)";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value
@@ -99,6 +124,10 @@ fn parse_args() -> Result<Options, String> {
             opts.telemetry = true;
             continue;
         }
+        if flag == "--resume" {
+            opts.resume = true;
+            continue;
+        }
         let value = args
             .next()
             .ok_or_else(|| format!("missing value for {flag}"))?;
@@ -114,6 +143,10 @@ fn parse_args() -> Result<Options, String> {
             "--metrics-every" => opts.metrics_every = parse_value(&flag, &value)?,
             "--ingress-cap" => opts.ingress_capacity = parse_value(&flag, &value)?,
             "--listen" => opts.listen = Some(value),
+            "--checkpoint" => opts.checkpoint = Some(value),
+            "--checkpoint-every" => opts.checkpoint_every = parse_value(&flag, &value)?,
+            "--chaos" => opts.chaos = Some(value),
+            "--chaos-seed" => opts.chaos_seed = Some(parse_value(&flag, &value)?),
             "--mode" => {
                 opts.mode = match value.as_str() {
                     "central" => RngMode::Central,
@@ -127,7 +160,71 @@ fn parse_args() -> Result<Options, String> {
     if opts.rounds == 0 || opts.generators == 0 {
         return Err("--rounds and --generators must be at least 1".into());
     }
+    if opts.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    if opts.listen.is_none() && (opts.checkpoint.is_some() || opts.chaos.is_some()) {
+        return Err("--checkpoint and --chaos require --listen".into());
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint PATH".into());
+    }
     Ok(opts)
+}
+
+/// Parses a `--chaos` spec: comma-separated `round:kind[:a[:b]]` tokens.
+fn parse_chaos(spec: &str) -> Result<NetFaultPlan, String> {
+    let mut plan = NetFaultPlan::new();
+    for token in spec.split(',').filter(|t| !t.is_empty()) {
+        let parts: Vec<&str> = token.split(':').collect();
+        if parts.len() < 2 || parts.len() > 4 {
+            return Err(format!("bad chaos token {token}: want round:kind[:a[:b]]"));
+        }
+        let round: u64 = parse_value("--chaos round", parts[0])?;
+        if round == 0 {
+            return Err(format!("bad chaos token {token}: rounds start at 1"));
+        }
+        let a = parts
+            .get(2)
+            .map(|v| parse_value::<u32>("--chaos arg", v))
+            .transpose()?;
+        let b = parts
+            .get(3)
+            .map(|v| parse_value::<u32>("--chaos arg", v))
+            .transpose()?;
+        let fault = match parts[1] {
+            "drop" => NetFault::DropConns {
+                conns: a.unwrap_or(1),
+            },
+            "stall-read" => NetFault::StallReads {
+                conns: a.unwrap_or(1),
+                rounds: b.unwrap_or(1),
+            },
+            "stall-write" => NetFault::StallWrites {
+                conns: a.unwrap_or(1),
+                rounds: b.unwrap_or(1),
+            },
+            "partial" => NetFault::PartialWrites {
+                max_bytes: a.unwrap_or(8),
+                rounds: b.unwrap_or(1),
+            },
+            "garbage" => NetFault::InjectGarbage {
+                conns: a.unwrap_or(1),
+                bytes: b.unwrap_or(64),
+            },
+            other => {
+                return Err(format!(
+                    "unknown chaos kind {other}: want drop, stall-read, stall-write, \
+                     partial, or garbage"
+                ))
+            }
+        };
+        plan.insert(round, fault);
+    }
+    if plan.is_empty() {
+        return Err("--chaos spec contains no events".into());
+    }
+    Ok(plan)
 }
 
 /// Generator threads split `target` submissions evenly and block on
@@ -197,14 +294,39 @@ fn run_listen(opts: &Options, addr: &str) -> Result<(), String> {
     iba_obs::flight::install_panic_hook();
     let capped = CappedConfig::new(opts.n, opts.c, opts.lambda)
         .map_err(|e| format!("invalid CAPPED parameters: {e}"))?;
-    let mut service = CappedService::spawn(
-        ServiceConfig::new(capped, opts.shards, opts.seed)
-            .with_rng_mode(opts.mode)
-            .with_ingress_capacity(opts.ingress_capacity),
-    )
-    .map_err(|e| format!("invalid service configuration: {e}"))?;
+    let service_config = ServiceConfig::new(capped, opts.shards, opts.seed)
+        .with_rng_mode(opts.mode)
+        .with_ingress_capacity(opts.ingress_capacity);
+    let mut autosaver = opts
+        .checkpoint
+        .as_ref()
+        .map(|path| ServeAutosaver::new(path, opts.checkpoint_every));
+    let mut service = match (&autosaver, opts.resume) {
+        (Some(saver), true) => {
+            let service = saver
+                .recover(service_config.clone())
+                .map_err(|e| format!("cannot resume from {}: {e}", saver.path().display()))?;
+            println!(
+                "serve_demo: resumed from {} at round {}",
+                saver.path().display(),
+                service.round()
+            );
+            service
+        }
+        _ => CappedService::spawn(service_config)
+            .map_err(|e| format!("invalid service configuration: {e}"))?,
+    };
     let completions = service.take_completions().expect("fresh service");
     let mut frontend = NetFrontend::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    if let Some(spec) = &opts.chaos {
+        let plan = parse_chaos(spec)?;
+        let chaos_seed = opts.chaos_seed.unwrap_or(opts.seed);
+        println!(
+            "serve_demo: chaos armed: {} fault rounds, seed {chaos_seed}",
+            plan.len()
+        );
+        frontend.arm_faults(plan, chaos_seed);
+    }
     let pace_us = if opts.pace_us == 0 { 500 } else { opts.pace_us };
     // The "listening on" line is the readiness signal scripted drivers
     // key off; flush so it is visible even through a pipe.
@@ -217,17 +339,48 @@ fn run_listen(opts: &Options, addr: &str) -> Result<(), String> {
     std::io::stdout().flush().ok();
 
     let start = Instant::now();
-    let summary = run_net_loop(
-        &mut service,
-        &mut frontend,
-        &completions,
-        &NetLoopOptions {
-            max_rounds: opts.rounds,
-            round_interval: Duration::from_micros(pace_us),
-            ..NetLoopOptions::default()
-        },
-        &AtomicBool::new(false),
-    );
+    let loop_options = NetLoopOptions {
+        round_interval: Duration::from_micros(pace_us),
+        ..NetLoopOptions::default()
+    };
+    let stop = AtomicBool::new(false);
+    let mut summary = iba_serve::NetLoopSummary::default();
+    let mut checkpoints_written = 0u64;
+    let mut rounds_left = opts.rounds;
+    // With autosaving on, run the loop in checkpoint-interval segments and
+    // save between them; otherwise one uninterrupted run.
+    while rounds_left > 0 {
+        let chunk = match &autosaver {
+            Some(_) => opts.checkpoint_every.min(rounds_left),
+            None => rounds_left,
+        };
+        let segment = run_net_loop(
+            &mut service,
+            &mut frontend,
+            &completions,
+            &NetLoopOptions {
+                max_rounds: chunk,
+                ..loop_options.clone()
+            },
+            &stop,
+        );
+        rounds_left -= segment.rounds_run.min(rounds_left);
+        summary.rounds_run += segment.rounds_run;
+        summary.completions_delivered += segment.completions_delivered;
+        summary.idle_polls += segment.idle_polls;
+        if let Some(saver) = &mut autosaver {
+            saver
+                .save_now(&mut service)
+                .map_err(|e| format!("checkpoint save failed: {e}"))?;
+            checkpoints_written += 1;
+        }
+    }
+    if checkpoints_written > 0 {
+        println!(
+            "serve_demo: {checkpoints_written} checkpoints written to {}",
+            opts.checkpoint.as_deref().unwrap_or("?")
+        );
+    }
     if !service.conserves_balls() {
         return Err(violation(
             service.round(),

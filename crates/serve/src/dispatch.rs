@@ -12,7 +12,7 @@
 //! carrying the measured waiting time in rounds.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::Arc;
 
@@ -94,13 +94,66 @@ pub struct Completion {
 pub struct Dispatcher {
     ingress: SyncSender<u64>,
     next_id: Arc<AtomicU64>,
+    /// Requests currently sitting in the ingress queue (incremented on
+    /// successful submit, decremented when the service admits them). An
+    /// approximation under concurrency, good enough for shed decisions.
+    depth: Arc<AtomicUsize>,
+    capacity: usize,
 }
 
 impl Dispatcher {
-    pub(crate) fn new(ingress: SyncSender<u64>) -> Self {
+    /// A dispatcher whose ticket ids start at `first_id` — used when
+    /// resuming from a checkpoint so new tickets never collide with ids
+    /// handed out before the crash.
+    pub(crate) fn with_first_id(ingress: SyncSender<u64>, capacity: usize, first_id: u64) -> Self {
         Dispatcher {
             ingress,
-            next_id: Arc::new(AtomicU64::new(0)),
+            next_id: Arc::new(AtomicU64::new(first_id)),
+            depth: Arc::new(AtomicUsize::new(0)),
+            capacity,
+        }
+    }
+
+    /// Capacity of the bounded ingress queue.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently enqueued awaiting admission (approximate under
+    /// concurrent submitters).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Ingress fill ratio in `[0, 1]` — the pressure signal admission
+    /// control sheds on.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        (self.depth() as f64 / self.capacity as f64).min(1.0)
+    }
+
+    /// The next ticket id that would be assigned (checkpoint watermark).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Records that the service admitted `count` requests off the queue.
+    pub(crate) fn note_admitted(&self, count: usize) {
+        // Saturating: depth is advisory and must never underflow.
+        let mut current = self.depth.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(count);
+            match self.depth.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
         }
     }
 
@@ -114,7 +167,10 @@ impl Dispatcher {
     pub fn submit(&self) -> Result<Ticket, SubmitError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let result = match self.ingress.try_send(id) {
-            Ok(()) => Ok(Ticket::from_id(id)),
+            Ok(()) => {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket::from_id(id))
+            }
             Err(TrySendError::Full(_)) => Err(SubmitError::Saturated),
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
         };
@@ -140,7 +196,10 @@ impl Dispatcher {
         let result = self
             .ingress
             .send(id)
-            .map(|()| Ticket::from_id(id))
+            .map(|()| {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+                Ticket::from_id(id)
+            })
             .map_err(|_| SubmitError::Closed);
         if let Some(p) = obs::probes() {
             p.submits.inc();
@@ -160,7 +219,7 @@ mod tests {
     #[test]
     fn submit_returns_monotonic_tickets() {
         let (tx, rx) = sync_channel(8);
-        let d = Dispatcher::new(tx);
+        let d = Dispatcher::with_first_id(tx, 8, 0);
         let a = d.submit().unwrap();
         let b = d.submit().unwrap();
         assert!(b.id() > a.id());
@@ -171,7 +230,7 @@ mod tests {
     #[test]
     fn full_queue_reports_saturation() {
         let (tx, _rx) = sync_channel(1);
-        let d = Dispatcher::new(tx);
+        let d = Dispatcher::with_first_id(tx, 1, 0);
         assert!(d.submit().is_ok());
         assert_eq!(d.submit(), Err(SubmitError::Saturated));
     }
@@ -180,7 +239,7 @@ mod tests {
     fn closed_queue_reports_closed() {
         let (tx, rx) = sync_channel(1);
         drop(rx);
-        let d = Dispatcher::new(tx);
+        let d = Dispatcher::with_first_id(tx, 1, 0);
         assert_eq!(d.submit(), Err(SubmitError::Closed));
         assert_eq!(d.submit_blocking(), Err(SubmitError::Closed));
     }
@@ -188,11 +247,42 @@ mod tests {
     #[test]
     fn clones_share_the_ticket_space() {
         let (tx, _rx) = sync_channel(16);
-        let d1 = Dispatcher::new(tx);
+        let d1 = Dispatcher::with_first_id(tx, 16, 0);
         let d2 = d1.clone();
         let a = d1.submit().unwrap();
         let b = d2.submit().unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn depth_tracks_queue_occupancy() {
+        let (tx, _rx) = sync_channel(4);
+        let d = Dispatcher::with_first_id(tx, 4, 0);
+        assert_eq!(d.depth(), 0);
+        assert_eq!(d.fill_ratio(), 0.0);
+        for _ in 0..4 {
+            d.submit().unwrap();
+        }
+        assert_eq!(d.depth(), 4);
+        assert_eq!(d.fill_ratio(), 1.0);
+        // Rejected submissions do not inflate the depth.
+        assert_eq!(d.submit(), Err(SubmitError::Saturated));
+        assert_eq!(d.depth(), 4);
+        d.note_admitted(3);
+        assert_eq!(d.depth(), 1);
+        // Saturating: over-reporting admissions never underflows.
+        d.note_admitted(10);
+        assert_eq!(d.depth(), 0);
+    }
+
+    #[test]
+    fn first_id_watermark_offsets_tickets() {
+        let (tx, _rx) = sync_channel(4);
+        let d = Dispatcher::with_first_id(tx, 4, 100);
+        assert_eq!(d.next_id(), 100);
+        assert_eq!(d.submit().unwrap().id(), 100);
+        assert_eq!(d.submit().unwrap().id(), 101);
+        assert_eq!(d.next_id(), 102);
     }
 
     #[test]

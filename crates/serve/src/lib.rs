@@ -67,6 +67,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
+pub mod checkpoint;
+pub mod client;
 pub mod clock;
 pub mod dispatch;
 pub mod metrics;
@@ -77,10 +80,15 @@ pub mod service;
 mod shard;
 pub mod workload;
 
+pub use chaos::{NetFault, NetFaultPlan};
+pub use checkpoint::{ResumeError, ServeAutosaver, ServeCheckpointError};
+pub use client::{ClientConfig, ClientError, ClientStats, NetClient};
 pub use clock::{Pacing, RoundClock};
 pub use dispatch::{Completion, Dispatcher, SubmitError, Ticket};
 pub use metrics::ServeSnapshot;
-pub use net::{run_net_loop, NetFrontend, NetLoopOptions, NetLoopSummary, NetStats};
-pub use proto::{Frame, FrameDecoder, ProtoError};
+pub use net::{
+    run_net_loop, AdmissionControl, NetFrontend, NetLoopOptions, NetLoopSummary, NetStats,
+};
+pub use proto::{CloseReason, Frame, FrameDecoder, ProtoError};
 pub use service::{CappedService, RngMode, ServiceConfig};
 pub use workload::{run_open_loop, OpenLoop, WorkloadSummary};

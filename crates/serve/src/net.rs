@@ -32,7 +32,31 @@
 //!
 //! Slow consumers are bounded too: a connection whose outbound queue
 //! exceeds [`MAX_OUT_QUEUE`] bytes is dropped rather than buffered
-//! without limit.
+//! without limit (with a best-effort [`CloseReason::SlowConsumer`] frame
+//! on the way out).
+//!
+//! # Admission control and drain
+//!
+//! [`AdmissionControl`] adds two policy layers in front of the
+//! dispatcher: a per-connection **token bucket** (refilled every round,
+//! refusals answered with [`CloseReason::Quota`] — the peer holds too
+//! many requests in flight for its quota) and **probabilistic shedding**
+//! keyed on the ingress queue's fill ratio (refusals answered with
+//! [`Frame::Saturated`], exactly like hard backpressure, because a
+//! retry-later is the right client response to both). Calling
+//! [`NetFrontend::begin_drain`] flips the front end into drain mode: new
+//! allocations are refused with [`CloseReason::Drain`] while in-flight
+//! completions keep flushing, and [`NetFrontend::drained`] reports when
+//! everything owed has been delivered.
+//!
+//! # Chaos injection
+//!
+//! [`NetFrontend::arm_faults`] installs a round-keyed
+//! [`NetFaultPlan`](crate::chaos::NetFaultPlan): connection drops,
+//! read/write stalls, partial-write throttling, and mid-stream garbage,
+//! with victims drawn from a seeded [`SimRng`] so every chaos run is
+//! reproducible. Faults only ever touch wire connections — the metrics
+//! plane stays observable while the system burns.
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -41,9 +65,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::time::{Duration, Instant};
 
+use iba_sim::SimRng;
+
+use crate::chaos::{NetFault, NetFaultPlan};
 use crate::dispatch::{Completion, Dispatcher, SubmitError};
 use crate::obs;
-use crate::proto::{self, Frame, FrameDecoder};
+use crate::proto::{self, CloseReason, Frame, FrameDecoder};
 use crate::service::CappedService;
 
 /// Maximum bytes queued for write on one connection before it is dropped
@@ -84,6 +111,17 @@ struct Conn {
     outbuf: Vec<u8>,
     out_pos: usize,
     close_after_flush: bool,
+    /// Reads are suppressed while the current round is below this
+    /// (injected fault; 0 = no stall).
+    read_stalled_until: u64,
+    /// Writes are suppressed while the current round is below this
+    /// (injected fault; 0 = no stall).
+    write_stalled_until: u64,
+    /// Token-bucket balance for per-connection admission quotas.
+    tokens: u32,
+    /// Fault-injected bytes, consumed before socket reads as if the peer
+    /// had sent them.
+    injected: Vec<u8>,
 }
 
 impl Conn {
@@ -94,9 +132,13 @@ impl Conn {
     fn queue_frame(&mut self, frame: &Frame) -> Result<(), DropReason> {
         frame.encode_into(&mut self.outbuf);
         if self.queued() > MAX_OUT_QUEUE {
-            return Err(DropReason::Write);
+            return Err(DropReason::SlowConsumer);
         }
         Ok(())
+    }
+
+    fn is_wire(&self) -> bool {
+        matches!(self.state, ConnState::Wire(_))
     }
 }
 
@@ -109,7 +151,93 @@ enum DropReason {
     Done,
     Read,
     Write,
+    /// Outbound queue exceeded [`MAX_OUT_QUEUE`]; a best-effort typed
+    /// close frame is attempted on the way out.
+    SlowConsumer,
     Proto,
+    /// Dropped by an injected chaos fault (not an error of the stack).
+    Fault,
+}
+
+/// Admission-control policy for a [`NetFrontend`]: what is refused
+/// *before* it ever reaches the dispatcher.
+///
+/// Both layers are optional and independent:
+///
+/// - **Per-connection quota** (`quota_per_round`): a token bucket per
+///   connection, refilled by `quota_per_round` tokens at every round
+///   boundary up to a `quota_burst` cap, one token per allocation
+///   request. Refusals get [`Frame::Closed`] with
+///   [`CloseReason::Quota`] — the *peer* is over budget, other
+///   connections are unaffected.
+/// - **Pressure shedding** (`shed_start`): once the ingress queue's fill
+///   ratio exceeds `shed_start`, requests are refused with probability
+///   ramping linearly from 0 (at `shed_start`) to 1 (queue full), drawn
+///   from a seeded RNG. Refusals get [`Frame::Saturated`] — the same
+///   retryable answer as hard backpressure, shifted earlier so the queue
+///   keeps headroom for bursts.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    /// Tokens granted to each connection per round; `None` disables the
+    /// quota layer.
+    pub quota_per_round: Option<u32>,
+    /// Token-bucket cap (burst allowance). Also the initial balance of a
+    /// fresh connection.
+    pub quota_burst: u32,
+    /// Ingress fill ratio at which probabilistic shedding starts;
+    /// `>= 1.0` disables the shed layer.
+    pub shed_start: f64,
+    /// Seed for the shed-decision RNG (deterministic given traffic).
+    pub seed: u64,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl {
+            quota_per_round: None,
+            quota_burst: 64,
+            shed_start: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl AdmissionControl {
+    /// Policy with a per-connection quota of `per_round` tokens/round and
+    /// a burst cap of `burst`.
+    #[must_use]
+    pub fn with_quota(mut self, per_round: u32, burst: u32) -> Self {
+        self.quota_per_round = Some(per_round);
+        self.quota_burst = burst.max(1);
+        self
+    }
+
+    /// Policy shedding probabilistically once the ingress fill ratio
+    /// exceeds `start` (clamped to `[0, 1]`), using `seed`.
+    #[must_use]
+    pub fn with_shedding(mut self, start: f64, seed: u64) -> Self {
+        self.shed_start = start.clamp(0.0, 1.0);
+        self.seed = seed;
+        self
+    }
+
+    /// Probability of shedding at ingress fill ratio `fill`.
+    fn shed_probability(&self, fill: f64) -> f64 {
+        if self.shed_start >= 1.0 || fill <= self.shed_start {
+            return 0.0;
+        }
+        ((fill - self.shed_start) / (1.0 - self.shed_start)).clamp(0.0, 1.0)
+    }
+}
+
+/// Armed chaos state: the schedule plus the RNG that picks victims.
+#[derive(Debug)]
+struct FaultInjector {
+    plan: NetFaultPlan,
+    rng: SimRng,
+    /// Active partial-write throttle: `(last_round_inclusive, max_bytes
+    /// per flush per connection)`.
+    write_budget: Option<(u64, usize)>,
 }
 
 /// A ticket awaiting completion, routed back to the connection that
@@ -140,6 +268,18 @@ pub struct NetStats {
     pub scrapes: u64,
     /// Connections dropped for protocol violations.
     pub proto_errors: u64,
+    /// Allocation requests refused by a per-connection quota.
+    pub allocs_quota: u64,
+    /// Allocation requests shed probabilistically under ingress pressure.
+    pub allocs_shed: u64,
+    /// Allocation requests refused because the front end was draining.
+    pub allocs_drained: u64,
+    /// Chaos fault events applied to the socket layer.
+    pub faults_injected: u64,
+    /// Connections dropped by injected faults.
+    pub conns_dropped_by_fault: u64,
+    /// Connections dropped as slow consumers (outbound queue overflow).
+    pub slow_consumer_drops: u64,
 }
 
 /// The non-blocking TCP front end. See the [module docs](self).
@@ -151,6 +291,13 @@ pub struct NetFrontend {
     tickets: HashMap<u64, PendingTicket>,
     next_conn_id: u64,
     stats: NetStats,
+    /// Current service round, advanced by [`on_round`](Self::on_round) —
+    /// the clock faults and quota refills key on.
+    round: u64,
+    admission: Option<AdmissionControl>,
+    shed_rng: SimRng,
+    faults: Option<FaultInjector>,
+    draining: bool,
 }
 
 impl NetFrontend {
@@ -171,6 +318,11 @@ impl NetFrontend {
             tickets: HashMap::new(),
             next_conn_id: 0,
             stats: NetStats::default(),
+            round: 0,
+            admission: None,
+            shed_rng: SimRng::seed_from(0),
+            faults: None,
+            draining: false,
         })
     }
 
@@ -192,6 +344,148 @@ impl NetFrontend {
     /// Tickets submitted over the network still awaiting completion.
     pub fn pending_tickets(&self) -> usize {
         self.tickets.len()
+    }
+
+    /// Installs an admission-control policy (replacing any previous one).
+    /// Existing connections start with a full burst allowance.
+    pub fn set_admission_control(&mut self, policy: AdmissionControl) {
+        self.shed_rng = SimRng::seed_from(policy.seed);
+        for conn in self.conns.iter_mut().flatten() {
+            conn.tokens = policy.quota_burst;
+        }
+        self.admission = Some(policy);
+    }
+
+    /// Arms a socket fault plan. Victim selection draws from a stream
+    /// seeded with `seed`, so the same seed + plan + traffic reproduces
+    /// the same chaos. Replaces any previously armed plan.
+    pub fn arm_faults(&mut self, plan: NetFaultPlan, seed: u64) {
+        self.faults = Some(FaultInjector {
+            plan,
+            rng: SimRng::seed_from(seed),
+            write_budget: None,
+        });
+    }
+
+    /// Enters drain mode: new allocation requests are refused with
+    /// [`CloseReason::Drain`], while queued output and in-flight
+    /// completions keep flowing. Irreversible for this front end.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether [`begin_drain`](Self::begin_drain) was called.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether the front end owes nothing: no ticket is awaiting
+    /// completion and every connection's outbound queue is flushed. The
+    /// drain loop exits when this turns true.
+    pub fn drained(&self) -> bool {
+        self.tickets.is_empty() && self.conns.iter().flatten().all(|c| c.queued() == 0)
+    }
+
+    /// Forgets a pending ticket (TTL-reaped by the service): its
+    /// completion will never arrive, so stop routing for it.
+    pub fn forget_ticket(&mut self, id: u64) {
+        self.tickets.remove(&id);
+    }
+
+    /// Advances the front end's round clock: refills admission quota
+    /// buckets and applies any socket faults scheduled for `round`.
+    /// [`run_net_loop`] calls this once per round, just before the round
+    /// executes; drive it manually when polling by hand.
+    pub fn on_round(&mut self, round: u64) {
+        self.round = round;
+        if let Some(policy) = &self.admission {
+            if let Some(per_round) = policy.quota_per_round {
+                let cap = policy.quota_burst;
+                for conn in self.conns.iter_mut().flatten() {
+                    conn.tokens = conn.tokens.saturating_add(per_round).min(cap);
+                }
+            }
+        }
+        let Some(injector) = &mut self.faults else {
+            return;
+        };
+        if injector
+            .write_budget
+            .is_some_and(|(until, _)| round > until)
+        {
+            injector.write_budget = None;
+        }
+        let events = injector.plan.events_at(round).to_vec();
+        for event in events {
+            self.stats.faults_injected += 1;
+            if let Some(p) = obs::probes() {
+                p.net_faults_injected.inc();
+            }
+            self.apply_fault(round, &event);
+        }
+    }
+
+    /// Up to `count` distinct slots holding active wire connections,
+    /// drawn without replacement from the injector RNG (the metrics
+    /// plane is never a victim).
+    fn pick_wire_victims(&mut self, count: u32) -> Vec<usize> {
+        let mut candidates: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.as_ref().is_some_and(Conn::is_wire))
+            .map(|(slot, _)| slot)
+            .collect();
+        let injector = self.faults.as_mut().expect("armed");
+        let take = (count as usize).min(candidates.len());
+        for i in 0..take {
+            let j = i + injector.rng.uniform_bin(candidates.len() - i);
+            candidates.swap(i, j);
+        }
+        candidates.truncate(take);
+        candidates
+    }
+
+    fn apply_fault(&mut self, round: u64, event: &NetFault) {
+        match *event {
+            NetFault::DropConns { conns } => {
+                for slot in self.pick_wire_victims(conns) {
+                    let conn = self.conns[slot].take().expect("victim exists");
+                    self.drop_conn(conn, DropReason::Fault);
+                }
+            }
+            NetFault::StallReads { conns, rounds } => {
+                for slot in self.pick_wire_victims(conns) {
+                    let conn = self.conns[slot].as_mut().expect("victim exists");
+                    conn.read_stalled_until = round + u64::from(rounds);
+                }
+            }
+            NetFault::StallWrites { conns, rounds } => {
+                for slot in self.pick_wire_victims(conns) {
+                    let conn = self.conns[slot].as_mut().expect("victim exists");
+                    conn.write_stalled_until = round + u64::from(rounds);
+                }
+            }
+            NetFault::PartialWrites { max_bytes, rounds } => {
+                let injector = self.faults.as_mut().expect("armed");
+                injector.write_budget = Some((
+                    round + u64::from(rounds).saturating_sub(1),
+                    (max_bytes as usize).max(1),
+                ));
+            }
+            NetFault::InjectGarbage { conns, bytes } => {
+                for slot in self.pick_wire_victims(conns) {
+                    let garbage: Vec<u8> = {
+                        let injector = self.faults.as_mut().expect("armed");
+                        (0..bytes)
+                            .map(|_| injector.rng.uniform_bin(256) as u8)
+                            .collect()
+                    };
+                    let conn = self.conns[slot].as_mut().expect("victim exists");
+                    conn.injected.extend_from_slice(&garbage);
+                }
+            }
+        }
     }
 
     /// One event-loop tick: accept pending connections, read and handle
@@ -267,6 +561,13 @@ impl NetFrontend {
                         outbuf: Vec::new(),
                         out_pos: 0,
                         close_after_flush: false,
+                        read_stalled_until: 0,
+                        write_stalled_until: 0,
+                        tokens: self
+                            .admission
+                            .as_ref()
+                            .map_or(u32::MAX, |policy| policy.quota_burst),
+                        injected: Vec::new(),
                     };
                     self.next_conn_id += 1;
                     self.stats.accepted_conns += 1;
@@ -298,32 +599,51 @@ impl NetFrontend {
         dispatcher: &Dispatcher,
         activity: &mut u64,
     ) -> Result<(), DropReason> {
+        // Fault-injected bytes enter the pipeline exactly as socket reads
+        // would (and are not suppressed by a read stall — they model the
+        // peer having already sent them).
+        if !conn.injected.is_empty() {
+            let injected = std::mem::take(&mut conn.injected);
+            *activity += injected.len() as u64;
+            self.ingest(slot, conn, &injected, dispatcher)?;
+        }
         let mut buf = [0u8; 4096];
         let mut saw_eof = false;
-        for _ in 0..READS_PER_POLL {
-            match conn.stream.read(&mut buf) {
-                Ok(0) => {
-                    saw_eof = true;
-                    break;
-                }
-                Ok(k) => {
-                    *activity += k as u64;
-                    if let Some(p) = obs::probes() {
-                        p.net_bytes_read.add(k as u64);
+        let read_stalled = self.round < conn.read_stalled_until;
+        if !read_stalled {
+            for _ in 0..READS_PER_POLL {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        saw_eof = true;
+                        break;
                     }
-                    self.ingest(slot, conn, &buf[..k], dispatcher)?;
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => {
-                    if let Some(p) = obs::probes() {
-                        p.net_read_errors.inc();
+                    Ok(k) => {
+                        *activity += k as u64;
+                        if let Some(p) = obs::probes() {
+                            p.net_bytes_read.add(k as u64);
+                        }
+                        self.ingest(slot, conn, &buf[..k], dispatcher)?;
                     }
-                    return Err(DropReason::Read);
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        if let Some(p) = obs::probes() {
+                            p.net_read_errors.inc();
+                        }
+                        return Err(DropReason::Read);
+                    }
                 }
             }
         }
-        flush(conn, activity)?;
+        if self.round >= conn.write_stalled_until {
+            let budget = self
+                .faults
+                .as_ref()
+                .and_then(|inj| inj.write_budget)
+                .filter(|&(until, _)| self.round <= until)
+                .map(|(_, max_bytes)| max_bytes);
+            flush(conn, activity, budget)?;
+        }
         if saw_eof {
             // Peer finished sending. Keep the connection only if a reply
             // is still draining; completions for a half-closed peer are
@@ -411,43 +731,106 @@ impl NetFrontend {
             let Frame::Alloc { req_id } = frame else {
                 return Err(DropReason::Proto); // server-only opcode
             };
-            let reply = match dispatcher.submit() {
-                Ok(ticket) => {
-                    self.tickets.insert(
-                        ticket.id(),
-                        PendingTicket {
-                            slot,
-                            conn_id: conn.id,
-                        },
-                    );
-                    self.stats.allocs_accepted += 1;
-                    Frame::Accepted {
-                        req_id,
-                        ticket: ticket.id(),
-                    }
-                }
-                Err(SubmitError::Saturated) => {
-                    self.stats.allocs_saturated += 1;
-                    Frame::Saturated { req_id }
-                }
-                Err(SubmitError::Closed) => {
-                    self.stats.allocs_closed += 1;
-                    Frame::Closed { req_id }
-                }
-            };
+            let reply = self.admit_alloc(slot, conn, req_id, dispatcher);
             conn.queue_frame(&reply)?;
         }
         Ok(())
     }
 
-    fn drop_conn(&mut self, conn: Conn, reason: DropReason) {
-        if reason == DropReason::Proto {
-            self.stats.proto_errors += 1;
+    /// Decides one allocation request: drain refusal, then quota, then
+    /// probabilistic shed, then the dispatcher itself.
+    fn admit_alloc(
+        &mut self,
+        slot: usize,
+        conn: &mut Conn,
+        req_id: u64,
+        dispatcher: &Dispatcher,
+    ) -> Frame {
+        if self.draining {
+            self.stats.allocs_drained += 1;
+            if let Some(p) = obs::probes() {
+                p.net_allocs_drained.inc();
+            }
+            return Frame::Closed {
+                req_id,
+                reason: CloseReason::Drain,
+            };
+        }
+        if let Some(policy) = &self.admission {
+            if policy.quota_per_round.is_some() {
+                if conn.tokens == 0 {
+                    self.stats.allocs_quota += 1;
+                    if let Some(p) = obs::probes() {
+                        p.net_allocs_quota.inc();
+                    }
+                    return Frame::Closed {
+                        req_id,
+                        reason: CloseReason::Quota,
+                    };
+                }
+                conn.tokens -= 1;
+            }
+            let p_shed = policy.shed_probability(dispatcher.fill_ratio());
+            if p_shed > 0.0 && self.shed_rng.bernoulli(p_shed) {
+                self.stats.allocs_shed += 1;
+                if let Some(p) = obs::probes() {
+                    p.net_allocs_shed.inc();
+                }
+                return Frame::Saturated { req_id };
+            }
+        }
+        match dispatcher.submit() {
+            Ok(ticket) => {
+                self.tickets.insert(
+                    ticket.id(),
+                    PendingTicket {
+                        slot,
+                        conn_id: conn.id,
+                    },
+                );
+                self.stats.allocs_accepted += 1;
+                Frame::Accepted {
+                    req_id,
+                    ticket: ticket.id(),
+                }
+            }
+            Err(SubmitError::Saturated) => {
+                self.stats.allocs_saturated += 1;
+                Frame::Saturated { req_id }
+            }
+            Err(SubmitError::Closed) => {
+                self.stats.allocs_closed += 1;
+                Frame::Closed {
+                    req_id,
+                    reason: CloseReason::Shutdown,
+                }
+            }
+        }
+    }
+
+    fn drop_conn(&mut self, mut conn: Conn, reason: DropReason) {
+        match reason {
+            DropReason::Proto => self.stats.proto_errors += 1,
+            DropReason::Fault => self.stats.conns_dropped_by_fault += 1,
+            DropReason::SlowConsumer => {
+                self.stats.slow_consumer_drops += 1;
+                // Best-effort typed close so a well-behaved peer learns
+                // *why* it was cut (req_id 0 = connection-level).
+                let frame = Frame::Closed {
+                    req_id: 0,
+                    reason: CloseReason::SlowConsumer,
+                };
+                let mut bytes = Vec::new();
+                frame.encode_into(&mut bytes);
+                let _ = conn.stream.write(&bytes);
+            }
+            _ => {}
         }
         if let Some(p) = obs::probes() {
             match reason {
                 DropReason::Proto => p.net_proto_errors.inc(),
-                DropReason::Write => p.net_write_errors.inc(),
+                DropReason::Write | DropReason::SlowConsumer => p.net_write_errors.inc(),
+                DropReason::Fault => p.net_conns_dropped_by_fault.inc(),
                 DropReason::Eof | DropReason::Done | DropReason::Read => {}
             }
         }
@@ -455,10 +838,14 @@ impl NetFrontend {
     }
 }
 
-/// Writes as much queued output as the socket accepts right now.
-fn flush(conn: &mut Conn, activity: &mut u64) -> Result<(), DropReason> {
-    while conn.out_pos < conn.outbuf.len() {
-        match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+/// Writes as much queued output as the socket accepts right now, capped
+/// at `budget` bytes when a partial-write throttle is active.
+fn flush(conn: &mut Conn, activity: &mut u64, budget: Option<usize>) -> Result<(), DropReason> {
+    let limit = budget.map_or(conn.outbuf.len(), |b| {
+        conn.outbuf.len().min(conn.out_pos + b)
+    });
+    while conn.out_pos < limit {
+        match conn.stream.write(&conn.outbuf[conn.out_pos..limit]) {
             Ok(0) => return Err(DropReason::Write),
             Ok(k) => {
                 conn.out_pos += k;
@@ -500,9 +887,22 @@ pub struct NetLoopOptions {
     /// between. `Duration::ZERO` runs rounds back-to-back with one poll
     /// tick per round.
     pub round_interval: Duration,
-    /// Sleep applied when a poll tick finds no work, bounding idle CPU.
+    /// Base sleep applied when a poll tick finds no work. Consecutive
+    /// idle ticks back off exponentially from this base up to
+    /// [`MAX_IDLE_BACKOFF_SHIFT`] doublings, bounding idle CPU without
+    /// adding latency under load (any activity resets the backoff).
     pub idle_sleep: Duration,
+    /// On exit (rounds exhausted or `stop` set), enter drain mode and
+    /// keep running rounds until every owed completion has been
+    /// delivered and flushed, or `max_drain_rounds` elapse.
+    pub drain_on_stop: bool,
+    /// Upper bound on extra rounds spent draining.
+    pub max_drain_rounds: u64,
 }
+
+/// Cap on the exponential idle backoff: the idle sleep doubles at most
+/// this many times (`16×` the configured base).
+pub const MAX_IDLE_BACKOFF_SHIFT: u32 = 4;
 
 impl Default for NetLoopOptions {
     fn default() -> Self {
@@ -510,23 +910,36 @@ impl Default for NetLoopOptions {
             max_rounds: u64::MAX,
             round_interval: Duration::from_micros(500),
             idle_sleep: Duration::from_micros(100),
+            drain_on_stop: false,
+            max_drain_rounds: 10_000,
         }
     }
 }
 
 /// What [`run_net_loop`] did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetLoopSummary {
-    /// Rounds executed.
+    /// Rounds executed (not counting drain rounds).
     pub rounds_run: u64,
     /// Completions routed to network clients.
     pub completions_delivered: u64,
+    /// Poll ticks that found no work (idle iterations).
+    pub idle_polls: u64,
+    /// Extra rounds spent in drain mode after the stop condition.
+    pub drain_rounds: u64,
 }
 
 /// Drives the service and the front end on the calling thread: each
-/// iteration polls I/O until the round interval elapses, runs one round,
-/// routes the round's completions back to their connections, and flushes.
-/// Returns after `opts.max_rounds` rounds or as soon as `stop` is set.
+/// iteration advances the front end's round clock (quota refills + armed
+/// faults), polls I/O until the round interval elapses, runs one round,
+/// routes the round's completions back to their connections, and
+/// flushes. Returns after `opts.max_rounds` rounds or as soon as `stop`
+/// is set — after an orderly drain first if `opts.drain_on_stop` is set.
+///
+/// Idle poll ticks sleep with a bounded exponential backoff (base
+/// `opts.idle_sleep`, capped at 2^[`MAX_IDLE_BACKOFF_SHIFT`]× that) so
+/// an idle front end costs near-zero CPU even with
+/// `round_interval == ZERO`; any byte of activity resets the backoff.
 ///
 /// `completions` must be the receiver taken from the same `service`
 /// ([`CappedService::take_completions`]).
@@ -541,26 +954,63 @@ pub fn run_net_loop(
     let mut summary = NetLoopSummary {
         rounds_run: 0,
         completions_delivered: 0,
+        idle_polls: 0,
+        drain_rounds: 0,
     };
-    while summary.rounds_run < opts.max_rounds && !stop.load(Ordering::Relaxed) {
+    let mut idle_streak: u32 = 0;
+    let one_round = |service: &mut CappedService,
+                     frontend: &mut NetFrontend,
+                     summary: &mut NetLoopSummary,
+                     idle_streak: &mut u32| {
+        frontend.on_round(service.round() + 1);
         let deadline = Instant::now() + opts.round_interval;
         loop {
             let activity = frontend.poll(&dispatcher);
+            if activity == 0 {
+                summary.idle_polls += 1;
+                *idle_streak = (*idle_streak).saturating_add(1);
+                if let Some(p) = obs::probes() {
+                    p.net_idle_polls.inc();
+                }
+            } else {
+                *idle_streak = 0;
+            }
             let now = Instant::now();
             if now >= deadline || stop.load(Ordering::Relaxed) {
                 break;
             }
-            if activity == 0 {
-                std::thread::sleep(opts.idle_sleep.min(deadline - now));
+            if activity == 0 && !opts.idle_sleep.is_zero() {
+                let shift = (*idle_streak).min(MAX_IDLE_BACKOFF_SHIFT);
+                let backoff = opts.idle_sleep * (1u32 << shift);
+                std::thread::sleep(backoff.min(deadline - now));
             }
         }
         service.run_round();
-        summary.rounds_run += 1;
+        for id in service.drain_expired_tickets() {
+            frontend.forget_ticket(id);
+        }
         while let Ok(completion) = completions.try_recv() {
             frontend.notify(&completion);
             summary.completions_delivered += 1;
         }
         frontend.poll(&dispatcher);
+        // Back-to-back rounds with a fully idle front end: bound the CPU
+        // burned advancing an empty clock.
+        if opts.round_interval.is_zero() && *idle_streak > 0 && !opts.idle_sleep.is_zero() {
+            let shift = (*idle_streak).min(MAX_IDLE_BACKOFF_SHIFT);
+            std::thread::sleep(opts.idle_sleep * (1u32 << shift));
+        }
+    };
+    while summary.rounds_run < opts.max_rounds && !stop.load(Ordering::Relaxed) {
+        one_round(service, frontend, &mut summary, &mut idle_streak);
+        summary.rounds_run += 1;
+    }
+    if opts.drain_on_stop {
+        frontend.begin_drain();
+        while !frontend.drained() && summary.drain_rounds < opts.max_drain_rounds {
+            one_round(service, frontend, &mut summary, &mut idle_streak);
+            summary.drain_rounds += 1;
+        }
     }
     summary
 }

@@ -64,6 +64,28 @@ pub(crate) struct ServeProbes {
     /// Protocol violations (bad preface, malformed frame, oversized
     /// request) that dropped a connection, lifetime.
     pub net_proto_errors: Arc<Counter>,
+    /// Poll iterations that made no progress (event loop idle), lifetime.
+    pub net_idle_polls: Arc<Counter>,
+    /// Allocation requests refused by per-connection quota, lifetime.
+    pub net_allocs_quota: Arc<Counter>,
+    /// Allocation requests shed probabilistically under ingress pressure,
+    /// lifetime.
+    pub net_allocs_shed: Arc<Counter>,
+    /// Allocation requests refused because the front end was draining,
+    /// lifetime.
+    pub net_allocs_drained: Arc<Counter>,
+    /// Chaos fault events injected into the socket layer, lifetime.
+    pub net_faults_injected: Arc<Counter>,
+    /// Connections dropped by injected faults, lifetime.
+    pub net_conns_dropped_by_fault: Arc<Counter>,
+    /// Tickets reaped by TTL expiry before completion, lifetime.
+    pub tickets_expired: Arc<Counter>,
+    /// Service checkpoints captured, lifetime.
+    pub checkpoint_saves: Arc<Counter>,
+    /// Services resumed from a checkpoint, lifetime.
+    pub checkpoint_resumes: Arc<Counter>,
+    /// Round the last resumed service restarted from.
+    pub resume_round: Arc<Gauge>,
 }
 
 impl ServeProbes {
@@ -94,6 +116,16 @@ impl ServeProbes {
             net_read_errors: r.counter("iba_serve_net_read_errors_total"),
             net_write_errors: r.counter("iba_serve_net_write_errors_total"),
             net_proto_errors: r.counter("iba_serve_net_proto_errors_total"),
+            net_idle_polls: r.counter("iba_serve_net_idle_polls_total"),
+            net_allocs_quota: r.counter("iba_serve_net_allocs_quota_total"),
+            net_allocs_shed: r.counter("iba_serve_net_allocs_shed_total"),
+            net_allocs_drained: r.counter("iba_serve_net_allocs_drained_total"),
+            net_faults_injected: r.counter("iba_serve_net_faults_injected_total"),
+            net_conns_dropped_by_fault: r.counter("iba_serve_net_conns_dropped_by_fault_total"),
+            tickets_expired: r.counter("iba_serve_tickets_expired_total"),
+            checkpoint_saves: r.counter("iba_serve_checkpoint_saves_total"),
+            checkpoint_resumes: r.counter("iba_serve_checkpoint_resumes_total"),
+            resume_round: r.gauge("iba_serve_resume_round"),
         }
     }
 }

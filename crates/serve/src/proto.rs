@@ -38,6 +38,65 @@ pub const MAGIC: [u8; 4] = *b"IBA1";
 /// is garbage and rejected before buffering.
 pub const MAX_FRAME_LEN: u32 = 64;
 
+/// Why the server refused a request with [`Frame::Closed`] (and, for
+/// request id 0, why it is about to hang up the connection).
+///
+/// The reason travels as a second `u64` field on the `Closed` frame.
+/// Version tolerance is deliberate in both directions: decoders accept a
+/// reason-less 9-byte `Closed` from old peers (defaulting to
+/// [`CloseReason::Shutdown`]), and unknown future codes also map to
+/// `Shutdown` — the conservative reading, since every reason means "stop
+/// sending on this connection".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CloseReason {
+    /// The service has shut down; no further requests will ever be
+    /// accepted.
+    #[default]
+    Shutdown,
+    /// The server is draining: it stops admitting but still flushes
+    /// in-flight completions. Retry against another instance.
+    Drain,
+    /// The connection exceeded its per-connection admission quota this
+    /// round. Back off and retry.
+    Quota,
+    /// The peer stopped reading and its outbound queue overflowed.
+    SlowConsumer,
+}
+
+impl CloseReason {
+    /// The wire code for this reason.
+    pub fn code(self) -> u64 {
+        match self {
+            CloseReason::Shutdown => 0,
+            CloseReason::Drain => 1,
+            CloseReason::Quota => 2,
+            CloseReason::SlowConsumer => 3,
+        }
+    }
+
+    /// Decodes a wire code; unknown codes map to [`CloseReason::Shutdown`]
+    /// so newer servers can add reasons without breaking old clients.
+    pub fn from_code(code: u64) -> Self {
+        match code {
+            1 => CloseReason::Drain,
+            2 => CloseReason::Quota,
+            3 => CloseReason::SlowConsumer,
+            _ => CloseReason::Shutdown,
+        }
+    }
+}
+
+impl fmt::Display for CloseReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CloseReason::Shutdown => "shutdown",
+            CloseReason::Drain => "drain",
+            CloseReason::Quota => "quota",
+            CloseReason::SlowConsumer => "slow-consumer",
+        })
+    }
+}
+
 /// One protocol frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Frame {
@@ -61,11 +120,15 @@ pub enum Frame {
         /// Echo of the client's request id.
         req_id: u64,
     },
-    /// Server → client: the service has shut down; no further requests
-    /// will ever be accepted.
+    /// Server → client: the request was refused and will never be
+    /// admitted on this connection; [`CloseReason`] says why (shed vs
+    /// drain vs shutdown) so clients can pick a retry strategy.
     Closed {
-        /// Echo of the client's request id.
+        /// Echo of the client's request id (0 when the close is not tied
+        /// to a specific request, e.g. a slow-consumer disconnect).
         req_id: u64,
+        /// Why the server refused.
+        reason: CloseReason,
     },
     /// Server → client: the ticket's ball was served.
     Completed {
@@ -88,16 +151,23 @@ const OP_SATURATED: u8 = 3;
 const OP_CLOSED: u8 = 4;
 const OP_COMPLETED: u8 = 5;
 
-/// Payload length (opcode byte + fields) for `opcode`, or `None` if the
-/// opcode is unknown.
+/// Canonical payload length (opcode byte + fields) for `opcode` as
+/// encoded by this version, or `None` if the opcode is unknown.
+///
+/// `Closed` is special: this version encodes it with a reason field
+/// (17 bytes), but the decoder also accepts the legacy 9-byte form from
+/// peers predating [`CloseReason`].
 pub fn payload_len(opcode: u8) -> Option<u32> {
     match opcode {
-        OP_ALLOC | OP_SATURATED | OP_CLOSED => Some(1 + 8),
-        OP_ACCEPTED => Some(1 + 2 * 8),
+        OP_ALLOC | OP_SATURATED => Some(1 + 8),
+        OP_ACCEPTED | OP_CLOSED => Some(1 + 2 * 8),
         OP_COMPLETED => Some(1 + 5 * 8),
         _ => None,
     }
 }
+
+/// Legacy reason-less `Closed` payload length, still accepted on decode.
+const CLOSED_LEGACY_LEN: u32 = 1 + 8;
 
 impl Frame {
     /// The frame's opcode byte.
@@ -118,7 +188,7 @@ impl Frame {
             Frame::Alloc { req_id } => &[req_id],
             Frame::Accepted { req_id, ticket } => &[req_id, ticket],
             Frame::Saturated { req_id } => &[req_id],
-            Frame::Closed { req_id } => &[req_id],
+            Frame::Closed { req_id, reason } => &[req_id, reason.code()],
             Frame::Completed {
                 ticket,
                 bin,
@@ -265,7 +335,10 @@ impl FrameDecoder {
         }
         let opcode = avail[4];
         let expected = payload_len(opcode).ok_or(ProtoError::UnknownOpcode(opcode))?;
-        if len != expected {
+        // Version tolerance: a reason-less Closed from an old peer is
+        // still a valid frame (the reason defaults to Shutdown).
+        let legacy_closed = opcode == OP_CLOSED && len == CLOSED_LEGACY_LEN;
+        if len != expected && !legacy_closed {
             return Err(ProtoError::BadLength {
                 opcode,
                 len,
@@ -288,7 +361,14 @@ impl FrameDecoder {
                 ticket: fields[1],
             },
             OP_SATURATED => Frame::Saturated { req_id: fields[0] },
-            OP_CLOSED => Frame::Closed { req_id: fields[0] },
+            OP_CLOSED => Frame::Closed {
+                req_id: fields[0],
+                reason: if legacy_closed {
+                    CloseReason::Shutdown
+                } else {
+                    CloseReason::from_code(fields[1])
+                },
+            },
             OP_COMPLETED => Frame::Completed {
                 ticket: fields[0],
                 bin: fields[1],
@@ -315,7 +395,22 @@ mod tests {
                 ticket: 99,
             },
             Frame::Saturated { req_id: 3 },
-            Frame::Closed { req_id: 4 },
+            Frame::Closed {
+                req_id: 4,
+                reason: CloseReason::Shutdown,
+            },
+            Frame::Closed {
+                req_id: 5,
+                reason: CloseReason::Drain,
+            },
+            Frame::Closed {
+                req_id: 6,
+                reason: CloseReason::Quota,
+            },
+            Frame::Closed {
+                req_id: 0,
+                reason: CloseReason::SlowConsumer,
+            },
             Frame::Completed {
                 ticket: 99,
                 bin: 12,
@@ -355,6 +450,59 @@ mod tests {
             let mut decoder = FrameDecoder::new();
             decoder.push(&bytes[..cut]);
             assert_eq!(decoder.next_frame(), Ok(None), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn legacy_reasonless_closed_decodes_as_shutdown() {
+        // A 9-byte Closed as emitted by peers predating CloseReason.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&9u32.to_le_bytes());
+        wire.push(OP_CLOSED);
+        wire.extend_from_slice(&42u64.to_le_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire);
+        assert_eq!(
+            decoder.next_frame(),
+            Ok(Some(Frame::Closed {
+                req_id: 42,
+                reason: CloseReason::Shutdown,
+            }))
+        );
+        assert_eq!(decoder.next_frame(), Ok(None));
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn unknown_close_reason_code_maps_to_shutdown() {
+        // A future server sends a reason code this binary has never heard
+        // of; the conservative reading is Shutdown, not a decode error.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&17u32.to_le_bytes());
+        wire.push(OP_CLOSED);
+        wire.extend_from_slice(&9u64.to_le_bytes());
+        wire.extend_from_slice(&999u64.to_le_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire);
+        assert_eq!(
+            decoder.next_frame(),
+            Ok(Some(Frame::Closed {
+                req_id: 9,
+                reason: CloseReason::Shutdown,
+            }))
+        );
+        assert_eq!(
+            CloseReason::from_code(CloseReason::Quota.code()),
+            CloseReason::Quota
+        );
+        for reason in [
+            CloseReason::Shutdown,
+            CloseReason::Drain,
+            CloseReason::Quota,
+            CloseReason::SlowConsumer,
+        ] {
+            assert_eq!(CloseReason::from_code(reason.code()), reason);
+            assert!(!reason.to_string().is_empty());
         }
     }
 

@@ -27,17 +27,28 @@ use std::thread::JoinHandle;
 
 use iba_core::metrics::WaitQuantiles;
 use iba_core::shard::{shard_of, shard_range, BinShard};
-use iba_core::{AcceptancePolicy, Ball, CappedConfig, Pool};
+use iba_core::{AcceptancePolicy, Ball, Capacity, CappedConfig, Pool};
+use iba_sim::codec::{Decoder, Encoder};
 use iba_sim::error::ConfigError;
 use iba_sim::faults::{FaultEvent, FaultPlan};
 use iba_sim::process::RoundReport;
 use iba_sim::stats::Histogram;
-use iba_sim::SimRng;
+use iba_sim::{AllocationProcess, SimRng};
 
+use crate::checkpoint::ResumeError;
 use crate::dispatch::{Completion, Dispatcher, Ticket};
 use crate::metrics::ServeSnapshot;
 use crate::obs;
-use crate::shard::{worker_loop, FaultOp, ShardCmd, ShardReply};
+use crate::shard::{worker_loop, FaultOp, ShardCmd, ShardReply, ShardSnapshot};
+
+/// Service checkpoint envelope tag ("IBa SerVe"). The envelope wraps a
+/// complete `iba_core::checkpoint` payload (tag `IBA1`) as an opaque byte
+/// blob and adds the serve-only state around it: RNG distribution,
+/// per-shard RNG streams, the ticket-id watermark, and the pending ticket
+/// map.
+const ENVELOPE_TAG: &str = "IBSV";
+/// Current envelope format version.
+const ENVELOPE_VERSION: u32 = 1;
 
 /// How randomness is distributed between the driver and the workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +89,11 @@ pub struct ServiceConfig {
     /// Upper bound on client requests admitted per round; `None` drains
     /// the whole ingress queue every round.
     pub max_admit_per_round: Option<u64>,
+    /// Rounds an admitted ticket may wait before the service reaps its
+    /// completion-notification state (the client's deadline has long
+    /// passed; the ball itself still gets served — paper semantics are
+    /// untouched). `None` keeps tickets forever.
+    pub ticket_ttl_rounds: Option<u64>,
 }
 
 impl ServiceConfig {
@@ -93,6 +109,7 @@ impl ServiceConfig {
             model_arrivals: false,
             ingress_capacity: 1 << 16,
             max_admit_per_round: None,
+            ticket_ttl_rounds: None,
         }
     }
 
@@ -121,6 +138,19 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_max_admit_per_round(mut self, cap: Option<u64>) -> Self {
         self.max_admit_per_round = cap;
+        self
+    }
+
+    /// Sets the ticket time-to-live in rounds (deadline reaping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl` is `Some(0)` — a zero TTL would reap tickets the
+    /// round they are admitted, before they can ever complete.
+    #[must_use]
+    pub fn with_ticket_ttl_rounds(mut self, ttl: Option<u64>) -> Self {
+        assert!(ttl != Some(0), "ticket TTL must be at least one round");
+        self.ticket_ttl_rounds = ttl;
         self
     }
 }
@@ -164,6 +194,11 @@ pub struct CappedService {
     shard_buffered: Vec<u64>,
     shard_max_load: Vec<u64>,
     wait_hist: Histogram,
+    ticket_ttl: Option<u64>,
+    /// Ticket ids reaped by TTL expiry since the last
+    /// [`drain_expired_tickets`](Self::drain_expired_tickets) call.
+    expired_tickets: Vec<u64>,
+    total_expired: u64,
     stopped: bool,
 }
 
@@ -189,35 +224,10 @@ impl CappedService {
     /// more than one choice per ball, a non-oldest-first acceptance
     /// policy, or a shard count outside `1..=n`.
     pub fn spawn(config: ServiceConfig) -> Result<Self, ConfigError> {
-        let ServiceConfig {
-            capped,
-            shards,
-            seed,
-            rng_mode,
-            model_arrivals,
-            ingress_capacity,
-            max_admit_per_round,
-        } = config;
-        if capped.choices() != 1 {
-            return Err(ConfigError::OutOfDomain {
-                name: "choices",
-                domain: "the serving layer implements the 1-choice process",
-            });
-        }
-        if capped.policy() != AcceptancePolicy::OldestFirst {
-            return Err(ConfigError::OutOfDomain {
-                name: "policy",
-                domain: "the serving layer implements oldest-first acceptance",
-            });
-        }
-        if shards == 0 || shards > capped.bins() {
-            return Err(ConfigError::OutOfDomain {
-                name: "shards",
-                domain: "1..=n",
-            });
-        }
-
-        let (driver_rng, mut shard_rngs): (SimRng, Vec<Option<SimRng>>) = match rng_mode {
+        let shards = config.shards;
+        Self::validate(&config)?;
+        let (seed, rng_mode) = (config.seed, config.rng_mode);
+        let (driver_rng, shard_rngs): (SimRng, Vec<Option<SimRng>>) = match rng_mode {
             RngMode::Central => (SimRng::seed_from(seed), (0..shards).map(|_| None).collect()),
             RngMode::PerShard => {
                 let mut family = SimRng::family(seed, shards + 1);
@@ -225,15 +235,53 @@ impl CappedService {
                 (driver, family.into_iter().map(Some).collect())
             }
         };
+        let shard_states: Vec<(BinShard, Option<SimRng>)> = (0..shards)
+            .map(|s| shard_range(config.capped.bins(), shards, s))
+            .zip(shard_rngs)
+            .map(|(range, rng)| (BinShard::new(&config.capped, range), rng))
+            .collect();
+        Ok(Self::assemble(&config, driver_rng, shard_states, 0))
+    }
 
+    fn validate(config: &ServiceConfig) -> Result<(), ConfigError> {
+        if config.capped.choices() != 1 {
+            return Err(ConfigError::OutOfDomain {
+                name: "choices",
+                domain: "the serving layer implements the 1-choice process",
+            });
+        }
+        if config.capped.policy() != AcceptancePolicy::OldestFirst {
+            return Err(ConfigError::OutOfDomain {
+                name: "policy",
+                domain: "the serving layer implements oldest-first acceptance",
+            });
+        }
+        if config.shards == 0 || config.shards > config.capped.bins() {
+            return Err(ConfigError::OutOfDomain {
+                name: "shards",
+                domain: "1..=n",
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the service around prepared per-shard state; shared by
+    /// [`spawn`](Self::spawn) (fresh shards) and [`resume`](Self::resume)
+    /// (checkpointed shards).
+    fn assemble(
+        config: &ServiceConfig,
+        driver_rng: SimRng,
+        shard_states: Vec<(BinShard, Option<SimRng>)>,
+        first_ticket_id: u64,
+    ) -> Self {
+        let shards = config.shards;
+        let capped = config.capped.clone();
         let ranges: Vec<Range<usize>> = (0..shards)
             .map(|s| shard_range(capped.bins(), shards, s))
             .collect();
         let (reply_tx, replies) = channel();
         let mut workers = Vec::with_capacity(shards);
-        for (s, range) in ranges.iter().enumerate() {
-            let bins = BinShard::new(&capped, range.clone());
-            let rng = shard_rngs[s].take();
+        for (s, (bins, rng)) in shard_states.into_iter().enumerate() {
             let (cmd_tx, cmd_rx) = channel();
             let reply_tx = reply_tx.clone();
             let join = std::thread::Builder::new()
@@ -243,16 +291,17 @@ impl CappedService {
             workers.push(Worker { cmds: cmd_tx, join });
         }
 
-        let (ingress_tx, ingress) = sync_channel(ingress_capacity.max(1));
-        let dispatcher = Dispatcher::new(ingress_tx);
+        let capacity = config.ingress_capacity.max(1);
+        let (ingress_tx, ingress) = sync_channel(capacity);
+        let dispatcher = Dispatcher::with_first_id(ingress_tx, capacity, first_ticket_id);
         let (completions_tx, completions_rx) = channel();
 
-        Ok(CappedService {
+        CappedService {
             shards,
             ranges,
-            rng_mode,
-            model_arrivals,
-            max_admit: max_admit_per_round,
+            rng_mode: config.rng_mode,
+            model_arrivals: config.model_arrivals,
+            max_admit: config.max_admit_per_round,
             driver_rng,
             workers,
             replies,
@@ -271,9 +320,239 @@ impl CappedService {
             shard_buffered: vec![0; shards],
             shard_max_load: vec![0; shards],
             wait_hist: Histogram::new(),
+            ticket_ttl: config.ticket_ttl_rounds,
+            expired_tickets: Vec::new(),
+            total_expired: 0,
             stopped: false,
             config: capped,
-        })
+        }
+    }
+
+    /// Resumes a service from bytes produced by
+    /// [`checkpoint_bytes`](Self::checkpoint_bytes), mid-traffic.
+    ///
+    /// The embedded core checkpoint restores the full process state (pool,
+    /// bin queues with live capacities, fault mask, RNG stream) through
+    /// `iba_core::checkpoint::restore` — inheriting all of its validation:
+    /// CRC, pool order, ball conservation. The envelope restores the
+    /// serve-only state: per-shard RNG streams, the ticket-id watermark
+    /// (new tickets never collide with pre-crash ids), the lifetime
+    /// admission counter, and the pending ticket map. In
+    /// [`RngMode::Central`] the resumed trajectory is **bit-identical** to
+    /// the uninterrupted run (any shard count — the differential test pins
+    /// this); in [`RngMode::PerShard`] the shard count must match the
+    /// checkpoint's.
+    ///
+    /// Not restored (by design): scheduled fault plans and active bursts
+    /// (re-[`schedule`](Self::schedule) after resume, shifting rounds as
+    /// needed) and the waiting-time histogram (quantiles restart from the
+    /// resume point).
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError`] if the bytes are corrupt or truncated, the caller's
+    /// CAPPED configuration differs from the checkpoint's, or the RNG
+    /// distribution is incompatible (mode or per-shard stream count).
+    pub fn resume(config: ServiceConfig, bytes: &[u8]) -> Result<Self, ResumeError> {
+        Self::validate(&config).map_err(|_| ResumeError::Invalid {
+            what: "service configuration",
+        })?;
+        let mut dec = Decoder::new(bytes)?;
+        dec.header(ENVELOPE_TAG, ENVELOPE_VERSION)?;
+        let core_bytes = dec.byte_seq("core checkpoint")?.to_vec();
+        let saved_mode = match dec.u32("rng mode")? {
+            0 => RngMode::Central,
+            1 => RngMode::PerShard,
+            _ => return Err(ResumeError::Invalid { what: "rng mode" }),
+        };
+        let saved_shards = dec.usize("shard count")?;
+        let mut shard_rng_states = Vec::new();
+        if saved_mode == RngMode::PerShard {
+            let words = dec.u64_seq("shard rng states")?;
+            if words.len() != saved_shards * 4 {
+                return Err(ResumeError::Invalid {
+                    what: "shard rng state count",
+                });
+            }
+            for chunk in words.chunks_exact(4) {
+                shard_rng_states.push([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+        }
+        let next_ticket_id = dec.u64("ticket watermark")?;
+        let total_admitted = dec.u64("total admitted")?;
+        let total_expired = dec.u64("total expired")?;
+        let pending_len = dec.usize("pending ticket map")?;
+        let mut pending: HashMap<u64, VecDeque<u64>> = HashMap::with_capacity(pending_len);
+        let mut prev_label = None;
+        for _ in 0..pending_len {
+            let label = dec.u64("pending label")?;
+            if prev_label.is_some_and(|p| p >= label) {
+                return Err(ResumeError::Invalid {
+                    what: "pending label order",
+                });
+            }
+            prev_label = Some(label);
+            let ids = dec.u64_seq("pending ticket ids")?;
+            if ids.is_empty() {
+                return Err(ResumeError::Invalid {
+                    what: "empty pending queue",
+                });
+            }
+            pending.insert(label, ids.into_iter().collect());
+        }
+        if !dec.is_exhausted() {
+            return Err(ResumeError::Invalid {
+                what: "trailing bytes",
+            });
+        }
+        if config.rng_mode != saved_mode {
+            return Err(ResumeError::Invalid {
+                what: "rng mode (checkpoint used the other distribution)",
+            });
+        }
+        if saved_mode == RngMode::PerShard && config.shards != saved_shards {
+            return Err(ResumeError::Invalid {
+                what: "shard count (per-shard RNG streams are per-checkpoint-shard)",
+            });
+        }
+
+        let sim = iba_core::checkpoint::restore(&core_bytes)?;
+        let process = sim.process();
+        if *process.config() != config.capped {
+            return Err(ResumeError::ConfigMismatch);
+        }
+        let driver_rng = SimRng::from_state(sim.rng().state());
+        let shards = config.shards;
+        let n = config.capped.bins();
+        let mut shard_states = Vec::with_capacity(shards);
+        #[allow(clippy::needless_range_loop)] // shard_rng_states may be empty in Central mode
+        for s in 0..shards {
+            let range = shard_range(n, shards, s);
+            let caps: Vec<Capacity> = range.clone().map(|i| process.bin(i).capacity()).collect();
+            let contents: Vec<Vec<Ball>> = range
+                .clone()
+                .map(|i| process.bin(i).iter().copied().collect())
+                .collect();
+            let offline: Vec<bool> = range.clone().map(|i| process.is_bin_offline(i)).collect();
+            let bins = BinShard::from_state(&config.capped, range, caps, contents, offline);
+            let rng = match saved_mode {
+                RngMode::Central => None,
+                RngMode::PerShard => Some(SimRng::from_state(shard_rng_states[s])),
+            };
+            shard_states.push((bins, rng));
+        }
+
+        let mut service = Self::assemble(&config, driver_rng, shard_states, next_ticket_id);
+        service.round = process.round();
+        service.total_generated = process.total_generated();
+        service.total_served = process.total_deleted();
+        service.total_admitted = total_admitted;
+        service.total_expired = total_expired;
+        service.pool = process.pool().clone();
+        service.pending = pending;
+        for s in 0..shards {
+            let range = shard_range(n, shards, s);
+            let loads: Vec<usize> = range.map(|i| process.bin(i).len()).collect();
+            service.shard_buffered[s] = loads.iter().map(|&l| l as u64).sum();
+            service.shard_max_load[s] = loads.iter().map(|&l| l as u64).max().unwrap_or(0);
+        }
+        if let Some(p) = obs::probes() {
+            p.checkpoint_resumes.inc();
+            p.resume_round.set(service.round);
+        }
+        Ok(service)
+    }
+
+    /// Serializes the full service state for a later
+    /// [`resume`](Self::resume): the embedded core checkpoint (`IBA1`,
+    /// byte-compatible with `iba_core::checkpoint`) wrapped in the serve
+    /// envelope (`IBSV`). Workers are quiesced with a snapshot command
+    /// between rounds, so the capture is consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was shut down or a worker thread died.
+    pub fn checkpoint_bytes(&mut self) -> Vec<u8> {
+        assert!(!self.stopped, "service was shut down");
+        let (snap_tx, snap_rx) = channel();
+        for worker in &self.workers {
+            worker
+                .cmds
+                .send(ShardCmd::Snapshot {
+                    reply: snap_tx.clone(),
+                })
+                .expect("shard worker alive");
+        }
+        let mut snapshots: Vec<Option<ShardSnapshot>> = (0..self.shards).map(|_| None).collect();
+        for _ in 0..self.shards {
+            let snap = snap_rx.recv().expect("shard worker alive");
+            let shard = snap.shard;
+            snapshots[shard] = Some(snap);
+        }
+
+        // The inner core checkpoint, hand-assembled field-for-field to the
+        // `iba_core::checkpoint::save` layout (tag IBA1 v2): restore-side
+        // validation (CRC, conservation, pool order) comes for free.
+        let mut core = Encoder::new();
+        core.header("IBA1", 2);
+        for word in self.driver_rng.state() {
+            core.u64(word);
+        }
+        self.config.encode_into(&mut core);
+        core.u64(self.round);
+        core.u64(self.total_generated);
+        core.u64(self.total_served);
+        let pool_labels: Vec<u64> = self.pool.iter().map(Ball::label).collect();
+        core.u64_seq(pool_labels.into_iter());
+        core.usize(self.config.bins());
+        // Shards own contiguous ascending ranges, so concatenating the
+        // snapshots in shard order walks the bins globally in order.
+        for snap in snapshots.iter().map(|s| s.as_ref().expect("collected")) {
+            for (cap, contents) in snap.caps.iter().zip(&snap.contents) {
+                core.u64(match cap {
+                    Capacity::Finite(c) => u64::from(c.get()),
+                    Capacity::Infinite => 0,
+                });
+                core.u64_seq(contents.iter().map(Ball::label));
+            }
+        }
+        for snap in snapshots.iter().map(|s| s.as_ref().expect("collected")) {
+            for &offline in &snap.offline {
+                core.bool(offline);
+            }
+        }
+        let core_bytes = core.finish();
+
+        let mut enc = Encoder::new();
+        enc.header(ENVELOPE_TAG, ENVELOPE_VERSION);
+        enc.byte_seq(&core_bytes);
+        enc.u32(match self.rng_mode {
+            RngMode::Central => 0,
+            RngMode::PerShard => 1,
+        });
+        enc.usize(self.shards);
+        if self.rng_mode == RngMode::PerShard {
+            let words: Vec<u64> = snapshots
+                .iter()
+                .map(|s| s.as_ref().expect("collected"))
+                .flat_map(|s| s.rng_state.expect("per-shard mode has worker RNGs"))
+                .collect();
+            enc.u64_seq(words.into_iter());
+        }
+        enc.u64(self.dispatcher.next_id());
+        enc.u64(self.total_admitted);
+        enc.u64(self.total_expired);
+        let mut labels: Vec<u64> = self.pending.keys().copied().collect();
+        labels.sort_unstable();
+        enc.usize(labels.len());
+        for label in labels {
+            enc.u64(label);
+            enc.u64_seq(self.pending[&label].iter().copied());
+        }
+        if let Some(p) = obs::probes() {
+            p.checkpoint_saves.inc();
+        }
+        enc.finish()
     }
 
     /// A cloneable client handle for submitting requests.
@@ -344,6 +623,17 @@ impl CappedService {
     /// Number of admitted requests not yet served.
     pub fn pending_tickets(&self) -> usize {
         self.pending.values().map(VecDeque::len).sum()
+    }
+
+    /// Lifetime count of tickets reaped by TTL expiry.
+    pub fn total_expired(&self) -> u64 {
+        self.total_expired
+    }
+
+    /// Takes the ticket ids reaped by TTL expiry since the last call, so
+    /// the transport layer can drop its notification routing for them.
+    pub fn drain_expired_tickets(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.expired_tickets)
     }
 
     /// Ball conservation: everything that entered the system is served,
@@ -490,6 +780,32 @@ impl CappedService {
         rejected.sort();
         self.pool.restore(rejected);
 
+        // 5. Deadline reaping: forget completion-notification state for
+        // tickets past the TTL. The balls themselves stay pooled/buffered
+        // and still get served — only the notification is dropped, so the
+        // paper's process trajectory is untouched.
+        if let Some(ttl) = self.ticket_ttl {
+            let expired: Vec<u64> = self
+                .pending
+                .keys()
+                .copied()
+                .filter(|&label| round.saturating_sub(label) >= ttl)
+                .collect();
+            let mut reaped = 0u64;
+            for label in expired {
+                if let Some(queue) = self.pending.remove(&label) {
+                    reaped += queue.len() as u64;
+                    self.expired_tickets.extend(queue);
+                }
+            }
+            if reaped > 0 {
+                self.total_expired += reaped;
+                if let Some(p) = obs::probes() {
+                    p.tickets_expired.add(reaped);
+                }
+            }
+        }
+
         if let Some(p) = obs::probes() {
             merge_timer.observe(&p.phase_merge_nanos);
             round_timer.observe(&p.round_nanos);
@@ -621,6 +937,7 @@ impl CappedService {
             self.pending.entry(round).or_default().push_back(id);
             admitted += 1;
         }
+        self.dispatcher.note_admitted(admitted as usize);
         self.total_admitted += admitted;
         if let Some(p) = obs::probes() {
             p.admitted.add(admitted);
@@ -843,5 +1160,183 @@ mod tests {
         let mut service = model_service(8, 1, 0.5, 2, RngMode::PerShard);
         service.shutdown();
         service.run_round();
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bit_identically() {
+        for mode in [RngMode::Central, RngMode::PerShard] {
+            let config = ServiceConfig::new(config(32, 2, 0.75), 4, 42)
+                .with_rng_mode(mode)
+                .with_model_arrivals(true);
+            let mut original = CappedService::spawn(config.clone()).unwrap();
+            for _ in 0..30 {
+                original.run_round();
+            }
+            let bytes = original.checkpoint_bytes();
+            let mut resumed = CappedService::resume(config, &bytes).unwrap();
+            assert_eq!(resumed.round(), 30, "{mode:?}");
+            assert_eq!(resumed.total_generated(), original.total_generated());
+            assert_eq!(resumed.pool_size(), original.pool_size());
+            assert_eq!(resumed.buffered(), original.buffered());
+            assert!(resumed.conserves_balls(), "{mode:?}");
+            for r in 0..25 {
+                assert_eq!(
+                    original.run_round(),
+                    resumed.run_round(),
+                    "{mode:?} diverged at +{r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn central_resume_works_across_shard_counts() {
+        let capped = config(32, 2, 0.75);
+        let cfg4 = ServiceConfig::new(capped.clone(), 4, 9)
+            .with_rng_mode(RngMode::Central)
+            .with_model_arrivals(true);
+        let mut original = CappedService::spawn(cfg4.clone()).unwrap();
+        for _ in 0..20 {
+            original.run_round();
+        }
+        let bytes = original.checkpoint_bytes();
+        // Central mode owns all randomness in the driver, so the resumed
+        // topology is free to differ.
+        let cfg2 = ServiceConfig::new(capped, 2, 9)
+            .with_rng_mode(RngMode::Central)
+            .with_model_arrivals(true);
+        let mut resumed = CappedService::resume(cfg2, &bytes).unwrap();
+        for _ in 0..20 {
+            assert_eq!(original.run_round(), resumed.run_round());
+        }
+    }
+
+    #[test]
+    fn resume_rejects_incompatible_configs() {
+        let base = ServiceConfig::new(config(16, 2, 0.5), 2, 7)
+            .with_rng_mode(RngMode::PerShard)
+            .with_model_arrivals(true);
+        let mut service = CappedService::spawn(base.clone()).unwrap();
+        service.run_rounds(5);
+        let bytes = service.checkpoint_bytes();
+
+        let other_capped = ServiceConfig::new(config(16, 3, 0.5), 2, 7)
+            .with_rng_mode(RngMode::PerShard)
+            .with_model_arrivals(true);
+        assert!(matches!(
+            CappedService::resume(other_capped, &bytes),
+            Err(ResumeError::ConfigMismatch)
+        ));
+
+        let other_shards = ServiceConfig::new(config(16, 2, 0.5), 4, 7)
+            .with_rng_mode(RngMode::PerShard)
+            .with_model_arrivals(true);
+        assert!(matches!(
+            CappedService::resume(other_shards, &bytes),
+            Err(ResumeError::Invalid { .. })
+        ));
+
+        let other_mode = ServiceConfig::new(config(16, 2, 0.5), 2, 7)
+            .with_rng_mode(RngMode::Central)
+            .with_model_arrivals(true);
+        assert!(matches!(
+            CappedService::resume(other_mode, &bytes),
+            Err(ResumeError::Invalid { .. })
+        ));
+
+        // Corruption fails the CRC before any field parses.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xff;
+        assert!(matches!(
+            CappedService::resume(base.clone(), &corrupt),
+            Err(ResumeError::Codec(_))
+        ));
+        assert!(CappedService::resume(base, &bytes[..20]).is_err());
+    }
+
+    #[test]
+    fn pending_tickets_survive_a_checkpoint() {
+        let cfg = ServiceConfig::new(config(16, 2, 0.0), 2, 7);
+        let mut service = CappedService::spawn(cfg.clone()).unwrap();
+        // Crash every bin so admitted requests stay pooled, pinning their
+        // tickets in the pending map across the checkpoint.
+        service.schedule(FaultPlan::new().with(
+            1,
+            FaultEvent::CrashBins {
+                bins: (0..16).collect(),
+            },
+        ));
+        let dispatcher = service.dispatcher();
+        let tickets: Vec<u64> = (0..6).map(|_| dispatcher.submit().unwrap().id()).collect();
+        service.run_round();
+        assert_eq!(service.pending_tickets(), 6);
+        let bytes = service.checkpoint_bytes();
+
+        let mut resumed = CappedService::resume(cfg, &bytes).unwrap();
+        assert_eq!(resumed.pending_tickets(), 6);
+        let completions = resumed.take_completions().unwrap();
+        // New submissions never collide with pre-crash ticket ids.
+        let fresh = resumed.dispatcher().submit().unwrap().id();
+        assert!(fresh > *tickets.iter().max().unwrap());
+        // Recover the bins; the pre-crash tickets complete on the resumed
+        // service with their original ids.
+        resumed.schedule(FaultPlan::new().with(
+            2,
+            FaultEvent::RecoverBins {
+                bins: (0..16).collect(),
+            },
+        ));
+        let mut done = Vec::new();
+        for _ in 0..50 {
+            resumed.run_round();
+            while let Ok(c) = completions.try_recv() {
+                done.push(c.ticket.id());
+            }
+            if done.len() >= 7 {
+                break;
+            }
+        }
+        for id in &tickets {
+            assert!(done.contains(id), "pre-crash ticket {id} completed");
+        }
+    }
+
+    #[test]
+    fn ticket_ttl_reaps_notification_state() {
+        let mut service = CappedService::spawn(
+            ServiceConfig::new(config(4, 1, 0.0), 2, 3).with_ticket_ttl_rounds(Some(3)),
+        )
+        .unwrap();
+        // No bin ever serves: all crashed from round 1.
+        service.schedule(FaultPlan::new().with(
+            1,
+            FaultEvent::CrashBins {
+                bins: vec![0, 1, 2, 3],
+            },
+        ));
+        let dispatcher = service.dispatcher();
+        for _ in 0..5 {
+            dispatcher.submit().unwrap();
+        }
+        service.run_round(); // admitted at round 1
+        assert_eq!(service.pending_tickets(), 5);
+        service.run_round(); // waited 1
+        service.run_round(); // waited 2
+        assert_eq!(service.pending_tickets(), 5, "not yet expired");
+        service.run_round(); // waited 3 = TTL: reaped
+        assert_eq!(service.pending_tickets(), 0);
+        assert_eq!(service.total_expired(), 5);
+        assert_eq!(service.drain_expired_tickets().len(), 5);
+        assert!(service.drain_expired_tickets().is_empty(), "drained once");
+        // The balls themselves are still conserved (pooled, not lost).
+        assert!(service.conserves_balls());
+        assert_eq!(service.pool_size(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_ttl_is_rejected() {
+        let _ = ServiceConfig::new(config(4, 1, 0.0), 1, 3).with_ticket_ttl_rounds(Some(0));
     }
 }

@@ -38,8 +38,28 @@ pub(crate) enum ShardCmd {
     /// worker's own RNG stream (per-shard RNG mode). Balls are ordered
     /// oldest-first.
     RoundDraw { round: u64, balls: Vec<Ball> },
+    /// Capture the shard's full state for a service checkpoint. The reply
+    /// goes to the dedicated `reply` channel so it cannot interleave with
+    /// round replies.
+    Snapshot { reply: Sender<ShardSnapshot> },
     /// Terminate the worker loop.
     Stop,
+}
+
+/// One shard's checkpointable state, as captured by [`ShardCmd::Snapshot`]
+/// between rounds.
+#[derive(Debug)]
+pub(crate) struct ShardSnapshot {
+    pub shard: usize,
+    /// Per-bin live capacities (fault injection may have diverged them
+    /// from the configured profile).
+    pub caps: Vec<Capacity>,
+    /// Per-bin FIFO contents, oldest first.
+    pub contents: Vec<Vec<Ball>>,
+    /// Per-bin offline flags.
+    pub offline: Vec<bool>,
+    /// The worker's RNG stream position (`None` in central RNG mode).
+    pub rng_state: Option<[u64; 4]>,
 }
 
 /// A worker's answer to one round command.
@@ -105,6 +125,20 @@ pub(crate) fn worker_loop(
                     .collect();
                 if run_round(shard_id, &mut bins, round, &requests, &replies).is_err() {
                     return;
+                }
+            }
+            ShardCmd::Snapshot { reply } => {
+                let snapshot = ShardSnapshot {
+                    shard: shard_id,
+                    caps: (0..local_n).map(|i| bins.bin(i).capacity()).collect(),
+                    contents: (0..local_n)
+                        .map(|i| bins.bin(i).iter().copied().collect())
+                        .collect(),
+                    offline: (0..local_n).map(|i| bins.is_offline(i)).collect(),
+                    rng_state: rng.as_ref().map(SimRng::state),
+                };
+                if reply.send(snapshot).is_err() {
+                    return; // driver gone
                 }
             }
             ShardCmd::Stop => return,

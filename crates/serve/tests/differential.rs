@@ -286,6 +286,47 @@ fn central_trajectory_is_bit_identical_with_network_ingress_active() {
     assert_eq!(frontend.stats().allocs_accepted, 100 * per_round);
 }
 
+/// The crash-restart differential: checkpoint a live Central-mode service
+/// mid-run, tear it down entirely (worker threads and all), resume a new
+/// service from the bytes — possibly on a different shard topology — and
+/// the combined trajectory is bit-identical to one uninterrupted bare
+/// [`CappedProcess`]. A crash/restart cycle is invisible in the reports.
+#[test]
+fn crash_restart_trajectory_is_bit_identical_to_uninterrupted_process() {
+    for &(n, c, lambda) in CELLS {
+        let config = CappedConfig::new(n, c, lambda).expect("valid cell");
+        let mut reference = CappedProcess::new(config.clone());
+        let mut rng = SimRng::seed_from(1337);
+        let mut service = spawn_central(config.clone(), 4, 1337);
+        for round in 0..60 {
+            assert_eq!(
+                service.run_round(),
+                reference.step(&mut rng),
+                "pre-crash divergence: n={n} round={round}"
+            );
+        }
+        let bytes = service.checkpoint_bytes();
+        service.shutdown(); // the "crash": every worker thread dies
+
+        // Restart on a *different* shard count — Central mode owns all
+        // randomness in the driver, so topology is free to change.
+        let resumed_config = ServiceConfig::new(config, 7, 1337)
+            .with_rng_mode(RngMode::Central)
+            .with_model_arrivals(true);
+        let mut resumed = CappedService::resume(resumed_config, &bytes).expect("resume");
+        assert_eq!(resumed.round(), 60);
+        for round in 60..120 {
+            assert_eq!(
+                resumed.run_round(),
+                reference.step(&mut rng),
+                "post-restart divergence: n={n} round={round}"
+            );
+        }
+        assert_eq!(resumed.pool_size(), reference.pool_size());
+        assert!(resumed.conserves_balls());
+    }
+}
+
 #[test]
 fn central_mode_runs_identically_after_restart_of_reference() {
     // The differential holds from any prefix: running the reference 50

@@ -12,8 +12,9 @@ use std::time::{Duration, Instant};
 use iba_core::CappedConfig;
 use iba_serve::proto::MAGIC;
 use iba_serve::{
-    run_net_loop, CappedService, Frame, FrameDecoder, NetFrontend, NetLoopOptions, NetStats,
-    RngMode, ServiceConfig,
+    run_net_loop, AdmissionControl, CappedService, ClientConfig, CloseReason, Frame, FrameDecoder,
+    NetClient, NetFault, NetFaultPlan, NetFrontend, NetLoopOptions, NetStats, RngMode,
+    ServiceConfig,
 };
 
 const N: usize = 32;
@@ -38,6 +39,8 @@ fn connect_wire(addr: std::net::SocketAddr) -> TcpStream {
 }
 
 /// Reads whatever is available into `decoder`; true if the peer closed.
+/// A reset counts as closed: dropping a connection with unread bytes in
+/// the socket surfaces as RST rather than FIN.
 fn pump(client: &mut TcpStream, decoder: &mut FrameDecoder) -> bool {
     let mut buf = [0u8; 4096];
     match client.read(&mut buf) {
@@ -47,6 +50,7 @@ fn pump(client: &mut TcpStream, decoder: &mut FrameDecoder) -> bool {
             false
         }
         Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => false,
+        Err(e) if e.kind() == ErrorKind::ConnectionReset => true,
         Err(e) => panic!("client read failed: {e}"),
     }
 }
@@ -339,4 +343,467 @@ fn garbage_preface_is_dropped_and_unknown_paths_get_404() {
             ..NetStats::default()
         }
     );
+}
+
+/// Decodes every complete frame currently buffered in `decoder`.
+fn decoded(decoder: &mut FrameDecoder) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    while let Some(f) = decoder.next_frame().expect("well-formed stream") {
+        frames.push(f);
+    }
+    frames
+}
+
+/// An injected partial-write budget throttles replies to a few bytes per
+/// poll: the client still receives every frame intact, it just takes many
+/// polls — proving flush correctly resumes mid-frame.
+#[test]
+fn partial_write_fault_slows_but_never_corrupts_replies() {
+    const REQUESTS: u64 = 4;
+    const BUDGET: usize = 3;
+    let service = spawn_service(1 << 10);
+    let dispatcher = service.dispatcher();
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    frontend.arm_faults(
+        NetFaultPlan::new().with(
+            1,
+            NetFault::PartialWrites {
+                max_bytes: BUDGET as u32,
+                rounds: 1_000,
+            },
+        ),
+        11,
+    );
+    let mut client = connect_wire(frontend.local_addr());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while frontend.connections() < 1 {
+        assert!(Instant::now() < deadline, "accept timed out");
+        frontend.poll(&dispatcher);
+    }
+    frontend.on_round(1);
+
+    let mut wire = Vec::new();
+    for req_id in 0..REQUESTS {
+        Frame::Alloc { req_id }.encode_into(&mut wire);
+    }
+    client.write_all(&wire).expect("submit");
+
+    let mut decoder = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut polls = 0u64;
+    while frames.len() < REQUESTS as usize {
+        assert!(Instant::now() < deadline, "timed out under partial writes");
+        frontend.poll(&dispatcher);
+        polls += 1;
+        pump(&mut client, &mut decoder);
+        frames.extend(decoded(&mut decoder));
+    }
+    for (i, frame) in frames.iter().enumerate() {
+        assert!(
+            matches!(frame, Frame::Accepted { req_id, .. } if *req_id == i as u64),
+            "intact in-order reply, got {frame:?}"
+        );
+    }
+    // Each reply frame is 21 bytes on the wire; at BUDGET bytes per poll
+    // the budget provably constrained delivery.
+    let total_bytes = REQUESTS * 21;
+    assert!(
+        polls >= total_bytes / BUDGET as u64,
+        "budget must throttle: {polls} polls for {total_bytes} bytes"
+    );
+    assert!(frontend.stats().faults_injected >= 1);
+}
+
+/// Injected garbage poisons exactly the victim connection — it is dropped
+/// as a protocol error — while the bystander connection keeps working.
+#[test]
+fn injected_garbage_kills_only_the_victim_connection() {
+    let service = spawn_service(1 << 10);
+    let dispatcher = service.dispatcher();
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    frontend.arm_faults(
+        NetFaultPlan::new().with(
+            1,
+            NetFault::InjectGarbage {
+                conns: 1,
+                bytes: 64,
+            },
+        ),
+        3,
+    );
+    let mut a = connect_wire(frontend.local_addr());
+    let mut b = connect_wire(frontend.local_addr());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while frontend.connections() < 2 {
+        assert!(Instant::now() < deadline, "accept timed out");
+        frontend.poll(&dispatcher);
+    }
+    frontend.on_round(1); // injects 64 garbage bytes into one victim
+
+    let mut eof = [false; 2];
+    let mut accepted = [0u32; 2];
+    let mut decoders = [FrameDecoder::new(), FrameDecoder::new()];
+    a.write_all(&Frame::Alloc { req_id: 1 }.encode()).unwrap();
+    b.write_all(&Frame::Alloc { req_id: 2 }.encode()).unwrap();
+    while accepted.iter().sum::<u32>() < 1 || !eof.iter().any(|&e| e) {
+        assert!(Instant::now() < deadline, "timed out");
+        frontend.poll(&dispatcher);
+        for (i, client) in [&mut a, &mut b].into_iter().enumerate() {
+            if eof[i] {
+                continue;
+            }
+            eof[i] = pump(client, &mut decoders[i]);
+            if !eof[i] {
+                accepted[i] += decoded(&mut decoders[i])
+                    .iter()
+                    .filter(|f| matches!(f, Frame::Accepted { .. }))
+                    .count() as u32;
+            }
+        }
+    }
+    assert_eq!(eof.iter().filter(|&&e| e).count(), 1, "exactly one victim");
+    assert_eq!(accepted.iter().sum::<u32>(), 1, "survivor got its ticket");
+    assert_eq!(frontend.connections(), 1);
+    assert_eq!(
+        frontend.stats().proto_errors,
+        1,
+        "garbage reads as proto error"
+    );
+}
+
+/// A read stall defers ingest for exactly the scheduled number of rounds,
+/// then the buffered request is processed — nothing is lost.
+#[test]
+fn read_stall_defers_requests_until_release() {
+    let service = spawn_service(1 << 10);
+    let dispatcher = service.dispatcher();
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    frontend.arm_faults(
+        NetFaultPlan::new().with(
+            1,
+            NetFault::StallReads {
+                conns: 1,
+                rounds: 2,
+            },
+        ),
+        5,
+    );
+    let mut client = connect_wire(frontend.local_addr());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while frontend.connections() < 1 {
+        assert!(Instant::now() < deadline, "accept timed out");
+        frontend.poll(&dispatcher);
+    }
+    frontend.on_round(1);
+    client
+        .write_all(&Frame::Alloc { req_id: 9 }.encode())
+        .unwrap();
+    // Give the bytes time to land in the socket, then poll under stall:
+    // nothing must come back during rounds 1 and 2.
+    std::thread::sleep(Duration::from_millis(20));
+    let mut decoder = FrameDecoder::new();
+    for round in [1, 2] {
+        frontend.on_round(round);
+        for _ in 0..10 {
+            frontend.poll(&dispatcher);
+            pump(&mut client, &mut decoder);
+        }
+        assert!(decoded(&mut decoder).is_empty(), "stalled in round {round}");
+    }
+    frontend.on_round(3); // stall expires
+    let mut frames = Vec::new();
+    while frames.is_empty() {
+        assert!(Instant::now() < deadline, "timed out after stall release");
+        frontend.poll(&dispatcher);
+        pump(&mut client, &mut decoder);
+        frames = decoded(&mut decoder);
+    }
+    assert!(matches!(frames[0], Frame::Accepted { req_id: 9, .. }));
+    assert!(frontend.stats().faults_injected >= 1);
+}
+
+/// Per-connection quotas: requests beyond the round's token budget get a
+/// typed `Closed(Quota)` reply, the connection survives, and the next
+/// round's refill admits again.
+#[test]
+fn quota_exhaustion_closes_with_typed_reason_and_refills() {
+    let service = spawn_service(1 << 10);
+    let dispatcher = service.dispatcher();
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    frontend.set_admission_control(AdmissionControl::default().with_quota(2, 2));
+    let mut client = connect_wire(frontend.local_addr());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while frontend.connections() < 1 {
+        assert!(Instant::now() < deadline, "accept timed out");
+        frontend.poll(&dispatcher);
+    }
+    frontend.on_round(1);
+    let mut wire = Vec::new();
+    for req_id in 0..3 {
+        Frame::Alloc { req_id }.encode_into(&mut wire);
+    }
+    client.write_all(&wire).expect("burst");
+    let mut decoder = FrameDecoder::new();
+    let mut frames = Vec::new();
+    while frames.len() < 3 {
+        assert!(Instant::now() < deadline, "timed out");
+        frontend.poll(&dispatcher);
+        pump(&mut client, &mut decoder);
+        frames.extend(decoded(&mut decoder));
+    }
+    assert!(matches!(frames[0], Frame::Accepted { req_id: 0, .. }));
+    assert!(matches!(frames[1], Frame::Accepted { req_id: 1, .. }));
+    assert_eq!(
+        frames[2],
+        Frame::Closed {
+            req_id: 2,
+            reason: CloseReason::Quota
+        },
+        "over-quota request is refused with the typed reason"
+    );
+    assert_eq!(frontend.stats().allocs_quota, 1);
+    assert_eq!(frontend.connections(), 1, "quota refusal keeps the conn");
+
+    // Next round refills the bucket: the same connection is admitted again.
+    frontend.on_round(2);
+    client
+        .write_all(&Frame::Alloc { req_id: 3 }.encode())
+        .unwrap();
+    let mut frames = Vec::new();
+    while frames.is_empty() {
+        assert!(Instant::now() < deadline, "timed out after refill");
+        frontend.poll(&dispatcher);
+        pump(&mut client, &mut decoder);
+        frames = decoded(&mut decoder);
+    }
+    assert!(matches!(frames[0], Frame::Accepted { req_id: 3, .. }));
+}
+
+/// Probabilistic shedding: with shedding armed from fill ratio 0 and the
+/// ingress queue pinned full, every alloc is shed with a `Saturated`
+/// reply before it ever reaches the dispatcher.
+#[test]
+fn full_ingress_with_shedding_sheds_before_the_dispatcher() {
+    let service = spawn_service(4);
+    let dispatcher = service.dispatcher();
+    // Pin the ingress queue full so fill_ratio() == 1.0.
+    for _ in 0..4 {
+        dispatcher.submit().expect("fill ingress");
+    }
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    frontend.set_admission_control(AdmissionControl::default().with_shedding(0.0, 77));
+    let mut client = connect_wire(frontend.local_addr());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while frontend.connections() < 1 {
+        assert!(Instant::now() < deadline, "accept timed out");
+        frontend.poll(&dispatcher);
+    }
+    frontend.on_round(1);
+    client
+        .write_all(&Frame::Alloc { req_id: 5 }.encode())
+        .unwrap();
+    let mut decoder = FrameDecoder::new();
+    let mut frames = Vec::new();
+    while frames.is_empty() {
+        assert!(Instant::now() < deadline, "timed out");
+        frontend.poll(&dispatcher);
+        pump(&mut client, &mut decoder);
+        frames = decoded(&mut decoder);
+    }
+    assert_eq!(frames[0], Frame::Saturated { req_id: 5 });
+    assert_eq!(frontend.stats().allocs_shed, 1);
+    assert_eq!(dispatcher.depth(), 4, "shed requests never hit the queue");
+}
+
+/// Drain mode: in-flight tickets finish and stream their completions, new
+/// work is refused with `Closed(Drain)`, and the front end reports
+/// `drained()` once the last ticket resolves.
+#[test]
+fn drain_finishes_old_work_and_refuses_new() {
+    let mut service = spawn_service(1 << 10);
+    let completions = service.take_completions().expect("fresh service");
+    let dispatcher = service.dispatcher();
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    let mut client = connect_wire(frontend.local_addr());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while frontend.connections() < 1 {
+        assert!(Instant::now() < deadline, "accept timed out");
+        frontend.poll(&dispatcher);
+    }
+    frontend.on_round(1);
+    let mut wire = Vec::new();
+    for req_id in 0..2 {
+        Frame::Alloc { req_id }.encode_into(&mut wire);
+    }
+    client.write_all(&wire).expect("submit");
+    let mut decoder = FrameDecoder::new();
+    let mut accepted = 0;
+    while accepted < 2 {
+        assert!(Instant::now() < deadline, "timed out");
+        frontend.poll(&dispatcher);
+        pump(&mut client, &mut decoder);
+        accepted += decoded(&mut decoder)
+            .iter()
+            .filter(|f| matches!(f, Frame::Accepted { .. }))
+            .count();
+    }
+
+    frontend.begin_drain();
+    assert!(frontend.is_draining());
+    assert!(!frontend.drained(), "two tickets still in flight");
+    client
+        .write_all(&Frame::Alloc { req_id: 99 }.encode())
+        .unwrap();
+    let mut refused = Vec::new();
+    while refused.is_empty() {
+        assert!(Instant::now() < deadline, "timed out");
+        frontend.poll(&dispatcher);
+        pump(&mut client, &mut decoder);
+        refused = decoded(&mut decoder);
+    }
+    assert_eq!(
+        refused[0],
+        Frame::Closed {
+            req_id: 99,
+            reason: CloseReason::Drain
+        }
+    );
+    assert_eq!(frontend.stats().allocs_drained, 1);
+
+    // Let the service finish the admitted work; completions resolve the
+    // outstanding tickets and the front end reports fully drained.
+    let mut resolved = 0;
+    while resolved < 2 {
+        assert!(Instant::now() < deadline, "timed out draining");
+        service.run_round();
+        while let Ok(c) = completions.try_recv() {
+            frontend.notify(&c);
+            resolved += 1;
+        }
+        frontend.poll(&dispatcher);
+    }
+    assert!(frontend.drained(), "all tickets resolved and flushed");
+}
+
+/// The robust client against a live serve loop: every submission lands a
+/// distinct ticket, all completions stream back, and stopping with
+/// `drain_on_stop` leaves the front end drained.
+#[test]
+fn net_client_round_trips_against_a_live_loop() {
+    const REQUESTS: usize = 30;
+    let mut service = spawn_service(1 << 16);
+    let completions = service.take_completions().expect("fresh service");
+    let frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = frontend.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut service = service;
+            let mut frontend = frontend;
+            let summary = run_net_loop(
+                &mut service,
+                &mut frontend,
+                &completions,
+                &NetLoopOptions {
+                    round_interval: Duration::from_micros(200),
+                    drain_on_stop: true,
+                    ..NetLoopOptions::default()
+                },
+                &stop,
+            );
+            (summary, frontend.drained())
+        })
+    };
+
+    let mut client = NetClient::new(ClientConfig::new(addr).with_seed(5));
+    let mut tickets = Vec::new();
+    for _ in 0..REQUESTS {
+        tickets.push(client.submit().expect("submission within deadline"));
+    }
+    tickets.sort_unstable();
+    tickets.dedup();
+    assert_eq!(tickets.len(), REQUESTS, "tickets are distinct");
+
+    let mut events = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while events.len() < REQUESTS {
+        assert!(Instant::now() < deadline, "timed out awaiting completions");
+        client.pump_completions(Duration::from_millis(5));
+        events.extend(client.take_completions());
+    }
+    for e in &events {
+        assert_eq!(e.waiting_rounds, e.served_round - e.admitted_round);
+        assert!(tickets.binary_search(&e.ticket).is_ok());
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (summary, drained) = server.join().expect("server thread");
+    assert!(drained, "drain_on_stop left no unresolved tickets");
+    assert!(
+        summary.idle_polls > 0,
+        "idle polls were detected and counted"
+    );
+
+    let stats = client.stats();
+    assert_eq!(stats.submitted, REQUESTS as u64);
+    assert_eq!(stats.accepted, REQUESTS as u64);
+    assert_eq!(stats.completed, REQUESTS as u64);
+    assert_eq!(stats.duplicate_accepts, 0);
+    assert_eq!(stats.deadline_expired, 0);
+}
+
+/// Typed quota refusals propagate end-to-end: a strict per-round quota
+/// forces the client through `Closed(Quota)` retries, yet every
+/// submission eventually lands.
+#[test]
+fn net_client_retries_through_quota_refusals() {
+    const REQUESTS: usize = 5;
+    let mut service = spawn_service(1 << 16);
+    let completions = service.take_completions().expect("fresh service");
+    let mut frontend = NetFrontend::bind("127.0.0.1:0").expect("bind loopback");
+    frontend.set_admission_control(AdmissionControl::default().with_quota(1, 1));
+    let addr = frontend.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut service = service;
+            let mut frontend = frontend;
+            run_net_loop(
+                &mut service,
+                &mut frontend,
+                &completions,
+                &NetLoopOptions {
+                    round_interval: Duration::from_millis(2),
+                    ..NetLoopOptions::default()
+                },
+                &stop,
+            );
+            frontend.stats()
+        })
+    };
+
+    let mut client = NetClient::new(
+        ClientConfig::new(addr)
+            .with_seed(6)
+            .with_deadline(Duration::from_secs(10))
+            .with_backoff(Duration::from_micros(500), Duration::from_millis(4)),
+    );
+    for _ in 0..REQUESTS {
+        client.submit().expect("retries ride out the quota");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let stats = server.join().expect("server thread");
+
+    let cs = client.stats();
+    assert_eq!(cs.accepted, REQUESTS as u64);
+    assert!(
+        cs.closed_quota >= 1,
+        "a 1/round quota must refuse at least one burst submission"
+    );
+    assert!(cs.retries >= cs.closed_quota);
+    // Every attempt resolved as either an acceptance or a quota refusal,
+    // and the server's ledger of refusals matches the client's.
+    assert_eq!(cs.attempts, cs.accepted + cs.closed_quota);
+    assert_eq!(stats.allocs_quota, cs.closed_quota);
 }

@@ -5,7 +5,17 @@
 
 use proptest::prelude::*;
 
-use iba_serve::proto::{payload_len, Frame, FrameDecoder, MAX_FRAME_LEN};
+use iba_serve::proto::{payload_len, CloseReason, Frame, FrameDecoder, MAX_FRAME_LEN};
+
+fn close_reason() -> BoxedStrategy<CloseReason> {
+    prop_oneof![
+        Just(CloseReason::Shutdown),
+        Just(CloseReason::Drain),
+        Just(CloseReason::Quota),
+        Just(CloseReason::SlowConsumer),
+    ]
+    .boxed()
+}
 
 fn frame() -> BoxedStrategy<Frame> {
     prop_oneof![
@@ -13,7 +23,8 @@ fn frame() -> BoxedStrategy<Frame> {
         (any::<u64>(), any::<u64>())
             .prop_map(|(req_id, ticket)| Frame::Accepted { req_id, ticket }),
         any::<u64>().prop_map(|req_id| Frame::Saturated { req_id }),
-        any::<u64>().prop_map(|req_id| Frame::Closed { req_id }),
+        (any::<u64>(), close_reason())
+            .prop_map(|(req_id, reason)| Frame::Closed { req_id, reason }),
         (any::<u64>(), any::<u64>(), any::<u64>(), 0u64..1 << 40).prop_map(
             |(ticket, bin, admitted_round, waiting_rounds)| Frame::Completed {
                 ticket,
@@ -128,5 +139,94 @@ proptest! {
         if let Some(e) = failed {
             prop_assert_eq!(decoder.next_frame(), Err(e), "error is sticky");
         }
+    }
+
+    /// Version tolerance: the legacy 9-byte reason-less `Closed` frame an
+    /// old peer sends decodes as `Shutdown`, under any chunking and mixed
+    /// freely with current-format frames.
+    #[test]
+    fn legacy_closed_frames_decode_as_shutdown_in_any_mix(
+        req_ids in prop::collection::vec(any::<u64>(), 1..8),
+        modern in prop::collection::vec(frame(), 0..8),
+        cuts in prop::collection::vec(1usize..16, 0..8),
+    ) {
+        // Interleave legacy Closed frames with modern frames on one wire.
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for (i, &req_id) in req_ids.iter().enumerate() {
+            // Hand-built legacy frame: len = 1 (opcode) + 8 (req_id).
+            wire.extend_from_slice(&9u32.to_le_bytes());
+            wire.push(4); // OP_CLOSED
+            wire.extend_from_slice(&req_id.to_le_bytes());
+            expected.push(Frame::Closed { req_id, reason: CloseReason::Shutdown });
+            if let Some(f) = modern.get(i) {
+                f.encode_into(&mut wire);
+                expected.push(*f);
+            }
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for chunk in chunked(&wire, &cuts) {
+            decoder.push(&chunk);
+            decoded.extend(decode_all(&mut decoder));
+        }
+        prop_assert_eq!(decoded, expected);
+    }
+
+    /// Forward tolerance: any unknown close-reason code decodes as
+    /// `Shutdown` instead of erroring, so old clients survive new codes.
+    #[test]
+    fn unknown_close_reason_codes_decode_as_shutdown(
+        req_id in any::<u64>(),
+        code in 4u64..u64::MAX,
+    ) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&17u32.to_le_bytes());
+        wire.push(4); // OP_CLOSED
+        wire.extend_from_slice(&req_id.to_le_bytes());
+        wire.extend_from_slice(&code.to_le_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire);
+        prop_assert_eq!(
+            decoder.next_frame(),
+            Ok(Some(Frame::Closed { req_id, reason: CloseReason::Shutdown }))
+        );
+    }
+
+    /// Garbage-then-valid isolation: garbage poisons only the decoder it
+    /// hit (sticky error, like the front end dropping that connection); a
+    /// fresh decoder — a new connection — decodes the valid frames that
+    /// follow the garbage boundary perfectly.
+    #[test]
+    fn garbage_poisons_only_its_own_decoder(
+        junk in prop::collection::vec(any::<u8>(), 1..64),
+        frames in prop::collection::vec(frame(), 1..8),
+        cuts in prop::collection::vec(1usize..16, 0..8),
+    ) {
+        // Make the junk unambiguous garbage: a length prefix over the cap.
+        let mut poisoned_wire = Vec::new();
+        poisoned_wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        poisoned_wire.extend_from_slice(&junk);
+        let mut valid_wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut valid_wire);
+        }
+
+        // The poisoned decoder errors and stays errored even as valid
+        // bytes keep arriving.
+        let mut poisoned = FrameDecoder::new();
+        poisoned.push(&poisoned_wire);
+        let first = poisoned.next_frame().expect_err("over-cap length");
+        poisoned.push(&valid_wire);
+        prop_assert_eq!(poisoned.next_frame(), Err(first), "sticky across valid bytes");
+
+        // A fresh decoder starting at the valid boundary sees everything.
+        let mut fresh = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for chunk in chunked(&valid_wire, &cuts) {
+            fresh.push(&chunk);
+            decoded.extend(decode_all(&mut fresh));
+        }
+        prop_assert_eq!(decoded, frames);
     }
 }

@@ -171,6 +171,14 @@ impl Encoder {
         }
     }
 
+    /// Writes a length-prefixed byte blob. Used to nest one checkpoint
+    /// inside another (e.g. a service envelope wrapping a core
+    /// checkpoint) without the outer format knowing the inner layout.
+    pub fn byte_seq(&mut self, data: &[u8]) {
+        self.usize(data.len());
+        self.bytes(data);
+    }
+
     /// Finishes encoding: appends the CRC32 footer over everything
     /// written so far and returns the buffer. [`Decoder::new`] verifies
     /// and strips this footer, so any single-byte change anywhere in the
@@ -287,6 +295,15 @@ impl<'a> Decoder<'a> {
         (0..len).map(|_| self.u64(what)).collect()
     }
 
+    /// Reads a length-prefixed byte blob written by [`Encoder::byte_seq`].
+    pub fn byte_seq(&mut self, what: &'static str) -> Result<&'a [u8], CodecError> {
+        let len = self.usize(what)?;
+        if len > self.data.len().saturating_sub(self.pos) {
+            return Err(CodecError::UnexpectedEnd { what });
+        }
+        self.take(len, what)
+    }
+
     /// Whether all input has been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.pos == self.data.len()
@@ -328,6 +345,29 @@ mod tests {
         assert!(!dec.bool("f").unwrap());
         assert_eq!(dec.u64_seq("g").unwrap(), vec![1, 2, 3]);
         assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn byte_seq_roundtrip_and_truncation() {
+        let mut enc = Encoder::new();
+        enc.byte_seq(b"inner checkpoint bytes");
+        enc.byte_seq(b"");
+        enc.u64(7);
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes).unwrap();
+        assert_eq!(dec.byte_seq("a").unwrap(), b"inner checkpoint bytes");
+        assert_eq!(dec.byte_seq("b").unwrap(), b"");
+        assert_eq!(dec.u64("c").unwrap(), 7);
+        assert!(dec.is_exhausted());
+
+        // A length prefix pointing past the end of the payload.
+        let bytes = with_footer(&100u64.to_le_bytes());
+        let mut dec = Decoder::new(&bytes).unwrap();
+        assert_eq!(
+            dec.byte_seq("blob"),
+            Err(CodecError::UnexpectedEnd { what: "blob" })
+        );
     }
 
     #[test]

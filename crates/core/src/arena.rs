@@ -359,6 +359,58 @@ impl BinArena {
         }
     }
 
+    /// Appends a new bin at the end of the arena, pre-loaded with
+    /// `contents` (FIFO order, oldest first). Elastic membership: a fresh
+    /// bin enters empty with its full capacity as acceptance quota; a bin
+    /// transferred from another shard arrives with its buffered balls.
+    ///
+    /// Like [`from_bins`](Self::from_bins), `contents` may legally exceed
+    /// the live capacity (a degraded bin in flight keeps its overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stride needed for `contents` exceeds `u32::MAX`.
+    pub fn push_bin_with(&mut self, capacity: Capacity, contents: &[Ball]) {
+        self.ensure_stride(contents.len());
+        let b = self.bins();
+        self.slots
+            .resize((b + 1) * self.stride, Ball::generated_in(0));
+        self.slots[b * self.stride..b * self.stride + contents.len()].copy_from_slice(contents);
+        self.meta.push(pack(0, contents.len()));
+        self.caps.push(capacity);
+        match (self.uniform_cap, capacity) {
+            (Some(c0), Capacity::Finite(c)) if c.get() == c0 => {}
+            _ => self.uniform_cap = None,
+        }
+    }
+
+    /// Removes the arena's **last** bin and returns its live capacity and
+    /// buffered balls (FIFO order). Membership shrinks from the top of the
+    /// index space so surviving bin indices never shift.
+    ///
+    /// Removing a bin can only make the capacity set *more* uniform, so
+    /// the uniform-capacity fast-path flag is re-derived here (it may
+    /// come back after a heterogeneous bin leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena holds a single bin (an arena is never empty).
+    pub fn pop_bin(&mut self) -> (Capacity, Vec<Ball>) {
+        assert!(self.bins() > 1, "cannot pop the last bin");
+        let b = self.bins() - 1;
+        let balls: Vec<Ball> = self.iter_bin(b).copied().collect();
+        self.meta.pop();
+        let cap = self.caps.pop().expect("non-empty arena");
+        self.slots.truncate(self.bins() * self.stride);
+        self.uniform_cap = match self.caps[0] {
+            Capacity::Finite(c0) if self.caps.iter().all(|&c| c == Capacity::Finite(c0)) => {
+                Some(c0.get())
+            }
+            _ => None,
+        };
+        (cap, balls)
+    }
+
     /// Re-lays the arena out with a stride of at least `needed` (at least
     /// doubled, kept a power of two), unwrapping every ring to `head = 0`.
     fn grow(&mut self, needed: usize) {
@@ -495,6 +547,31 @@ impl BinStore {
         match self {
             BinStore::Arena(a) => a.buffered(),
             BinStore::Buffers(bins) => bins.iter().map(BinBuffer::len).sum(),
+        }
+    }
+
+    /// Appends a bin holding `contents` (elastic membership growth or a
+    /// bin transferred in from another shard).
+    pub(crate) fn push_bin_with(&mut self, capacity: Capacity, contents: &[Ball]) {
+        match self {
+            BinStore::Arena(a) => a.push_bin_with(capacity, contents),
+            BinStore::Buffers(bins) => {
+                bins.push(BinBuffer::restore(capacity, contents.iter().copied()));
+            }
+        }
+    }
+
+    /// Removes the last bin, returning its live capacity and balls
+    /// (elastic membership shrink). Panics on the last remaining bin.
+    pub(crate) fn pop_bin(&mut self) -> (Capacity, Vec<Ball>) {
+        match self {
+            BinStore::Arena(a) => a.pop_bin(),
+            BinStore::Buffers(bins) => {
+                assert!(bins.len() > 1, "cannot pop the last bin");
+                let bin = bins.pop().expect("non-empty store");
+                let capacity = bin.capacity();
+                (capacity, bin.iter().copied().collect())
+            }
         }
     }
 }
@@ -1180,5 +1257,57 @@ mod tests {
     fn infinite_capacity_forces_buffer_storage() {
         let store = BinStore::from_capacities(vec![Capacity::Infinite; 2], false);
         assert!(matches!(store, BinStore::Buffers(_)));
+    }
+
+    #[test]
+    fn push_and_pop_bins_preserve_contents_and_uniform_flag() {
+        let mut arena = BinArena::new(vec![finite(2); 2]);
+        assert!(arena.try_accept(1, Ball::generated_in(3)));
+        assert_eq!(arena.uniform_cap(), Some(2));
+
+        // A fresh uniform bin keeps the fast-path flag.
+        arena.push_bin_with(finite(2), &[]);
+        assert_eq!(arena.bins(), 3);
+        assert_eq!(arena.uniform_cap(), Some(2));
+        assert_eq!(arena.len(2), 0);
+
+        // A transferred bin arrives with its balls in FIFO order.
+        arena.push_bin_with(finite(2), &[Ball::generated_in(1), Ball::generated_in(4)]);
+        assert_eq!(arena.len(3), 2);
+        assert_eq!(arena.head(3), Some(&Ball::generated_in(1)));
+
+        // A heterogeneous bin drops the flag; popping it restores it.
+        arena.push_bin_with(finite(7), &[]);
+        assert_eq!(arena.uniform_cap(), None);
+        let (cap, balls) = arena.pop_bin();
+        assert_eq!(cap, finite(7));
+        assert!(balls.is_empty());
+        assert_eq!(arena.uniform_cap(), Some(2));
+
+        let (cap, balls) = arena.pop_bin();
+        assert_eq!(cap, finite(2));
+        assert_eq!(balls, vec![Ball::generated_in(1), Ball::generated_in(4)]);
+        assert_eq!(arena.bins(), 3);
+        assert_eq!(arena.buffered(), 1, "bin 1's ball survived the churn");
+        assert_eq!(arena.head(1), Some(&Ball::generated_in(3)));
+    }
+
+    #[test]
+    fn push_bin_grows_stride_for_oversized_contents() {
+        let mut arena = BinArena::new(vec![finite(2); 2]);
+        let stride = arena.stride();
+        let big: Vec<Ball> = (1..=(stride as u64 + 1)).map(Ball::generated_in).collect();
+        arena.push_bin_with(Capacity::Infinite, &big);
+        assert!(arena.stride() > stride);
+        let labels: Vec<u64> = arena.iter_bin(2).map(Ball::label).collect();
+        let expected: Vec<u64> = (1..=(stride as u64 + 1)).collect();
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pop the last bin")]
+    fn popping_the_last_bin_panics() {
+        let mut arena = BinArena::new(vec![finite(2)]);
+        arena.pop_bin();
     }
 }

@@ -193,6 +193,40 @@ impl CappedConfig {
         Ok(self)
     }
 
+    /// The same configuration with a different bin count — the elastic
+    /// membership view of a resized system. Everything else is kept
+    /// verbatim, **including the arrival model**: membership changes scale
+    /// the service's capacity while the external load stays what it was,
+    /// so λn is *not* re-derived from the new `bins` (and λ's usual
+    /// `1 − 1/n` domain bound is deliberately not re-checked — the rate
+    /// was validated against the original n).
+    ///
+    /// Mid-resize checkpoints embed the resized view so the core restore
+    /// path validates ball conservation against the live bin count.
+    ///
+    /// # Errors
+    ///
+    /// `ConfigError::OutOfDomain` if `bins == 0`, or if the configuration
+    /// carries a heterogeneous capacity profile (a profile pins one
+    /// capacity per original bin; elastic membership requires the uniform
+    /// capacity class).
+    pub fn resized(mut self, bins: usize) -> Result<Self, ConfigError> {
+        if bins == 0 {
+            return Err(ConfigError::OutOfDomain {
+                name: "bins",
+                domain: "n >= 1",
+            });
+        }
+        if self.capacity_profile.is_some() {
+            return Err(ConfigError::OutOfDomain {
+                name: "capacity_profile",
+                domain: "uniform capacities (elastic membership)",
+            });
+        }
+        self.bins = bins;
+        Ok(self)
+    }
+
     /// Sets the acceptance policy (the `POLICY` ablation; the paper's
     /// process uses [`AcceptancePolicy::OldestFirst`]).
     pub fn with_policy(mut self, policy: AcceptancePolicy) -> Self {

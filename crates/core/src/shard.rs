@@ -271,6 +271,102 @@ impl BinShard {
         self.store.set_capacity(i, capacity);
     }
 
+    /// Rebuilds a shard directly from extracted per-bin parts — the
+    /// membership transfer path (shard splits spawn the upper half of a
+    /// range as a new shard without a `CappedConfig` describing the
+    /// resized topology). `base_capacity` is the *configured* capacity
+    /// class and picks the storage layout like [`BinShard::new`] does:
+    /// finite configurations get the flat arena even if faults degraded
+    /// some live capacities to unbounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn from_parts(
+        first_bin: usize,
+        base_capacity: Capacity,
+        parts: Vec<(Capacity, Vec<Ball>, bool)>,
+    ) -> Self {
+        assert!(!parts.is_empty(), "a shard must own at least one bin");
+        let bin_count = parts.len();
+        let mut caps = Vec::with_capacity(bin_count);
+        let mut contents = Vec::with_capacity(bin_count);
+        let mut offline = Vec::with_capacity(bin_count);
+        for (cap, balls, off) in parts {
+            caps.push(cap);
+            contents.push(balls);
+            offline.push(off);
+        }
+        let store = if base_capacity == Capacity::Infinite {
+            BinStore::Buffers(
+                caps.into_iter()
+                    .zip(contents)
+                    .map(|(cap, balls)| crate::buffer::BinBuffer::restore(cap, balls))
+                    .collect(),
+            )
+        } else {
+            BinStore::Arena(crate::arena::BinArena::from_bins(caps, contents))
+        };
+        BinShard {
+            first_bin,
+            store,
+            bin_count,
+            offline,
+            counts: Vec::new(),
+            quotas: Vec::new(),
+            state: Vec::new(),
+        }
+    }
+
+    /// Appends a bin to the shard (elastic membership growth, or a bin
+    /// transferred in from a merged neighbor). A fresh bin enters empty
+    /// and online — primed with its full capacity as acceptance quota for
+    /// the next round.
+    pub fn push_bin_with(&mut self, capacity: Capacity, contents: &[Ball], offline: bool) {
+        self.store.push_bin_with(capacity, contents);
+        self.offline.push(offline);
+        self.bin_count += 1;
+    }
+
+    /// Removes the shard's **last** bin, returning its live capacity,
+    /// buffered balls (FIFO order), and offline flag. Removed bins drain
+    /// their rings back through the caller (the serve path re-pools the
+    /// balls; a merge re-inserts them into the absorbing shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard owns a single bin.
+    pub fn pop_bin(&mut self) -> (Capacity, Vec<Ball>, bool) {
+        assert!(self.bin_count > 1, "a shard must keep at least one bin");
+        let (cap, balls) = self.store.pop_bin();
+        let offline = self.offline.pop().expect("non-empty shard");
+        self.bin_count -= 1;
+        (cap, balls, offline)
+    }
+
+    /// Splits off the shard's upper bins `at..len` as extracted parts (in
+    /// bin order), leaving this shard with `0..at`. The parts feed
+    /// [`from_parts`](Self::from_parts) on the new shard — a split moves
+    /// only the ownership of the upper half, never balls between rings.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= at < len` (both halves must be non-empty).
+    pub fn split_off(&mut self, at: usize) -> Vec<(Capacity, Vec<Ball>, bool)> {
+        assert!(
+            at >= 1 && at < self.bin_count,
+            "split point {at} must leave both halves non-empty (len {})",
+            self.bin_count
+        );
+        let count = self.bin_count - at;
+        let mut parts = Vec::with_capacity(count);
+        for _ in 0..count {
+            parts.push(self.pop_bin());
+        }
+        parts.reverse();
+        parts
+    }
+
     /// The acceptance stage for this shard: processes `requests` —
     /// `(local_bin, ball)` pairs that MUST be ordered oldest-first — and
     /// greedily accepts each ball into its requested bin while the bin is
@@ -704,5 +800,96 @@ mod tests {
             let ref_labels: Vec<u64> = reference.pool().iter().map(Ball::label).collect();
             assert_eq!(pool_labels, ref_labels, "round {round}");
         }
+    }
+
+    #[test]
+    fn push_and_pop_bins_keep_shard_state_consistent() {
+        let config = CappedConfig::new(8, 2, 0.5).unwrap();
+        let mut shard = BinShard::new(&config, 0..3);
+        let mut rejected = Vec::new();
+        shard.accept(
+            &[(0, Ball::generated_in(1)), (2, Ball::generated_in(2))],
+            &mut rejected,
+        );
+
+        // Growth: the new bin is empty, online, and accepts immediately.
+        shard.push_bin_with(Capacity::finite(2).unwrap(), &[], false);
+        assert_eq!(shard.len(), 4);
+        assert!(!shard.is_offline(3));
+        assert_eq!(
+            shard.accept(&[(3, Ball::generated_in(3))], &mut rejected),
+            1
+        );
+        assert_eq!(shard.bin(3).len(), 1);
+
+        // Shrink: the popped bin drains its balls; survivors keep theirs.
+        let (cap, balls, offline) = shard.pop_bin();
+        assert_eq!(cap, Capacity::finite(2).unwrap());
+        assert_eq!(balls, vec![Ball::generated_in(3)]);
+        assert!(!offline);
+        assert_eq!(shard.len(), 3);
+        assert_eq!(shard.buffered(), 2);
+        assert!(rejected.is_empty());
+    }
+
+    #[test]
+    fn split_off_and_from_parts_move_ownership_not_balls() {
+        let config = CappedConfig::new(8, 2, 0.5).unwrap();
+        let mut shard = BinShard::new(&config, 0..6);
+        let mut rejected = Vec::new();
+        shard.accept(
+            &[
+                (1, Ball::generated_in(1)),
+                (4, Ball::generated_in(1)),
+                (4, Ball::generated_in(2)),
+                (5, Ball::generated_in(3)),
+            ],
+            &mut rejected,
+        );
+        shard.set_offline(5, true);
+
+        let parts = shard.split_off(3);
+        assert_eq!(shard.len(), 3);
+        assert_eq!(parts.len(), 3);
+        let upper = BinShard::from_parts(3, config.capacity(), parts);
+        assert_eq!(upper.first_bin(), 3);
+        assert_eq!(upper.len(), 3);
+        assert_eq!(upper.bin(1).len(), 2, "global bin 4 kept both balls");
+        assert_eq!(upper.bin(1).head(), Some(&Ball::generated_in(1)));
+        assert!(upper.is_offline(2), "offline mask travels with the bin");
+        assert_eq!(shard.buffered() + upper.buffered(), 4, "no ball lost");
+
+        // The reunited halves serve exactly like an unsplit shard.
+        let mut merged = shard.clone();
+        for i in 0..upper.len() {
+            let caps = upper.bin(i).capacity();
+            let balls: Vec<Ball> = upper.bin(i).iter().copied().collect();
+            merged.push_bin_with(caps, &balls, upper.is_offline(i));
+        }
+        let mut reference = BinShard::new(&config, 0..6);
+        reference.accept(
+            &[
+                (1, Ball::generated_in(1)),
+                (4, Ball::generated_in(1)),
+                (4, Ball::generated_in(2)),
+                (5, Ball::generated_in(3)),
+            ],
+            &mut rejected,
+        );
+        reference.set_offline(5, true);
+        let (mut s1, mut w1, mut s2, mut w2) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let st1 = merged.serve(4, &mut s1, &mut w1);
+        let st2 = reference.serve(4, &mut s2, &mut w2);
+        assert_eq!(s1, s2);
+        assert_eq!(w1, w2);
+        assert_eq!(st1, st2);
+    }
+
+    #[test]
+    #[should_panic(expected = "both halves non-empty")]
+    fn split_at_zero_panics() {
+        let config = CappedConfig::new(4, 2, 0.5).unwrap();
+        let mut shard = BinShard::new(&config, 0..4);
+        shard.split_off(0);
     }
 }

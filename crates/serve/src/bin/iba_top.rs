@@ -137,7 +137,6 @@ fn bar(fraction: f64, width: usize) -> String {
 fn render_frame(
     opts: &Options,
     service: &CappedService,
-    bound: f64,
     served_per_s: f64,
     started: Instant,
 ) -> String {
@@ -156,13 +155,26 @@ fn render_frame(
         opts.c,
         opts.lambda,
         opts.n,
-        opts.shards,
+        service.shards(),
         opts.mode,
         snap.round,
         total,
         started.elapsed().as_secs_f64()
     );
 
+    // Elastic membership moves n at runtime, so the bin gauge and the
+    // pool bound both track the *live* count, not the configured one.
+    let bin_fraction = snap.bins as f64 / (2.0 * opts.n as f64);
+    let _ = writeln!(
+        frame,
+        "bins   {:>10} live   {} {:>5.1}% of configured n={}  ({} moved by membership)",
+        snap.bins,
+        bar(bin_fraction, 40),
+        snap.bins as f64 / opts.n as f64 * 100.0,
+        opts.n,
+        service.balls_moved(),
+    );
+    let bound = theorem2_pool_bound(snap.bins as usize, opts.c, opts.lambda);
     let fraction = snap.pool_size as f64 / bound;
     let _ = writeln!(
         frame,
@@ -229,7 +241,6 @@ fn run(opts: &Options) -> Result<(), String> {
 
     let capped = CappedConfig::new(opts.n, opts.c, opts.lambda)
         .map_err(|e| format!("invalid CAPPED parameters: {e}"))?;
-    let bound = theorem2_pool_bound(opts.n, opts.c, opts.lambda);
     let mut service = CappedService::spawn(
         ServiceConfig::new(capped, opts.shards, opts.seed)
             .with_rng_mode(opts.mode)
@@ -269,7 +280,7 @@ fn run(opts: &Options) -> Result<(), String> {
             last_served = service.total_served();
             last_frame_at = now;
             next_refresh = now + refresh;
-            let frame = render_frame(opts, &service, bound, served_per_s, started);
+            let frame = render_frame(opts, &service, served_per_s, started);
             let mut stdout = std::io::stdout().lock();
             if interactive {
                 // Home the cursor and clear to end of screen, then redraw.

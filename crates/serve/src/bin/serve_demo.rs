@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use iba_core::CappedConfig;
+use iba_membership::{Autoscaler, AutoscalerConfig};
 use iba_serve::{
     run_net_loop, CappedService, Completion, Dispatcher, NetFault, NetFaultPlan, NetFrontend,
     NetLoopOptions, Pacing, RngMode, RoundClock, ServeAutosaver, ServiceConfig,
@@ -42,6 +43,7 @@ struct Options {
     resume: bool,
     chaos: Option<String>,
     chaos_seed: Option<u64>,
+    elastic: bool,
 }
 
 impl Options {
@@ -65,6 +67,7 @@ impl Options {
             resume: false,
             chaos: None,
             chaos_seed: None,
+            elastic: false,
         }
     }
 }
@@ -75,7 +78,7 @@ const USAGE: &str =
 USAGE: serve_demo [--rounds N] [--shards S] [--n BINS] [--c CAP] [--lambda L]
                   [--seed SEED] [--generators G] [--pace-us MICROS]
                   [--metrics-every K] [--mode central|pershard] [--ingress-cap Q]
-                  [--telemetry] [--listen ADDR]
+                  [--telemetry] [--listen ADDR] [--elastic]
                   [--checkpoint PATH] [--checkpoint-every K] [--resume]
                   [--chaos SPEC] [--chaos-seed SEED]
 
@@ -105,7 +108,12 @@ Network-mode resilience (all require --listen):
                        stall-write[:conns[:rounds]],
                        partial[:max_bytes[:rounds]], garbage[:conns[:bytes]]
                        e.g. --chaos 10:drop:2,20:partial:8:5,30:garbage:1:64
---chaos-seed SEED      seed for victim picks and garbage (default --seed)";
+--chaos-seed SEED      seed for victim picks and garbage (default --seed)
+
+--elastic arms the membership autoscaler: the service watches its pool
+against the Theorem 1 bound each round and grows the fleet (up to 4n bins)
+under sustained pressure, handing bins back (down to n/4) when the pool
+stays slack. Bin count and balls moved are reported at exit.";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value
@@ -126,6 +134,10 @@ fn parse_args() -> Result<Options, String> {
         }
         if flag == "--resume" {
             opts.resume = true;
+            continue;
+        }
+        if flag == "--elastic" {
+            opts.elastic = true;
             continue;
         }
         let value = args
@@ -271,6 +283,18 @@ fn spawn_collector(
         .expect("spawn collector thread")
 }
 
+/// Installs the pool-bound-driven autoscaler (`--elastic`): grow under
+/// sustained pressure up to 4n bins, hand capacity back down to n/4.
+fn arm_elastic(service: &mut CappedService, opts: &Options) -> Result<(), String> {
+    let min_bins = (opts.n / 4).max(1);
+    let max_bins = opts.n.saturating_mul(4);
+    service
+        .set_autoscaler(Autoscaler::new(AutoscalerConfig::new(min_bins, max_bins)))
+        .map_err(|e| format!("--elastic needs a uniform finite-capacity config: {e}"))?;
+    println!("serve_demo: elastic autoscaler armed: bins in [{min_bins}, {max_bins}]");
+    Ok(())
+}
+
 /// Reports an invariant violation: with telemetry on, marks the flight
 /// recorder and dumps a post-mortem (last rounds + registry snapshot) to
 /// stderr before failing the run.
@@ -316,6 +340,9 @@ fn run_listen(opts: &Options, addr: &str) -> Result<(), String> {
         _ => CappedService::spawn(service_config)
             .map_err(|e| format!("invalid service configuration: {e}"))?,
     };
+    if opts.elastic {
+        arm_elastic(&mut service, opts)?;
+    }
     let completions = service.take_completions().expect("fresh service");
     let mut frontend = NetFrontend::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     if let Some(spec) = &opts.chaos {
@@ -409,6 +436,14 @@ fn run_listen(opts: &Options, addr: &str) -> Result<(), String> {
         Some(wait) => println!("waiting time (rounds): {wait}"),
         None => println!("waiting time: no balls served"),
     }
+    if opts.elastic {
+        println!(
+            "elastic: {} bins live after {} membership events, {} balls moved",
+            service.live_bins(),
+            service.membership_events(),
+            service.balls_moved()
+        );
+    }
     let exposition = iba_obs::expo::render_registry(iba_obs::global());
     let parsed = iba_obs::expo::parse(&exposition)
         .map_err(|e| format!("telemetry exposition failed to parse: {e}"))?;
@@ -442,6 +477,9 @@ fn run(opts: &Options) -> Result<(), String> {
             .with_max_admit_per_round(Some(per_round)),
     )
     .map_err(|e| format!("invalid service configuration: {e}"))?;
+    if opts.elastic {
+        arm_elastic(&mut service, opts)?;
+    }
 
     println!(
         "serve_demo: n={} c={} lambda={} shards={} mode={:?} target={} requests ({} rounds x {}/round)",
@@ -509,6 +547,11 @@ fn run(opts: &Options) -> Result<(), String> {
         return Err(format!("generators offered {offered}, expected {target}"));
     }
     let snapshot = service.snapshot();
+    let elastic_state = (
+        service.live_bins(),
+        service.membership_events(),
+        service.balls_moved(),
+    );
     // Dropping the service joins the workers AND closes the completion
     // channel, which is what lets the collector's loop terminate.
     drop(service);
@@ -544,6 +587,12 @@ fn run(opts: &Options) -> Result<(), String> {
         "final state: pool={} buffered={} shard max loads {:?}",
         snapshot.pool_size, snapshot.buffered, snapshot.shard_max_load
     );
+    if opts.elastic {
+        let (live_bins, events, moved) = elastic_state;
+        println!(
+            "elastic: {live_bins} bins live after {events} membership events, {moved} balls moved"
+        );
+    }
     println!("invariants: conservation and capacity held every round");
 
     if iba_obs::enabled() {

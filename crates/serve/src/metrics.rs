@@ -21,6 +21,9 @@ use iba_obs::json::JsonObjWriter;
 pub struct ServeSnapshot {
     /// Last completed round.
     pub round: u64,
+    /// Live bin count after that round (elastic membership moves this at
+    /// runtime; equals the configured `n` for non-elastic services).
+    pub bins: u64,
     /// Pool size (balls awaiting allocation) after that round.
     pub pool_size: u64,
     /// Total balls in bin buffers across all shards.
@@ -49,6 +52,7 @@ impl ServeSnapshot {
     /// use iba_serve::metrics::ServeSnapshot;
     /// let snap = ServeSnapshot {
     ///     round: 3,
+    ///     bins: 16,
     ///     pool_size: 10,
     ///     buffered: 4,
     ///     shard_max_load: vec![2, 1],
@@ -62,6 +66,7 @@ impl ServeSnapshot {
     pub fn to_json_line(&self) -> String {
         let mut w = JsonObjWriter::with_schema();
         w.field_u64("round", self.round);
+        w.field_u64("bins", self.bins);
         w.field_u64("pool_size", self.pool_size);
         w.field_u64("buffered", self.buffered);
         w.field_u64_array("shard_max_load", &self.shard_max_load);
@@ -93,6 +98,7 @@ mod tests {
     fn snapshot(wait: Option<WaitQuantiles>) -> ServeSnapshot {
         ServeSnapshot {
             round: 12,
+            bins: 24,
             pool_size: 345,
             buffered: 67,
             shard_max_load: vec![2, 0, 1],
@@ -108,7 +114,7 @@ mod tests {
         let line = snapshot(None).to_json_line();
         assert_eq!(
             line,
-            "{\"schema\":1,\"round\":12,\"pool_size\":345,\"buffered\":67,\
+            "{\"schema\":1,\"round\":12,\"bins\":24,\"pool_size\":345,\"buffered\":67,\
              \"shard_max_load\":[2,0,1],\"total_generated\":1000,\
              \"total_admitted\":900,\"total_served\":800,\"wait\":null}"
         );

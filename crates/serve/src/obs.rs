@@ -86,6 +86,15 @@ pub(crate) struct ServeProbes {
     pub checkpoint_resumes: Arc<Counter>,
     /// Round the last resumed service restarted from.
     pub resume_round: Arc<Gauge>,
+    /// Live bin count `n` (elastic membership moves this at runtime).
+    pub live_bins: Arc<Gauge>,
+    /// Live shard (worker thread) count.
+    pub live_shards: Arc<Gauge>,
+    /// Membership events applied (add/remove/split/merge), lifetime.
+    pub membership_events: Arc<Counter>,
+    /// Balls physically relocated by membership changes (drained from
+    /// removed bins or transferred between workers), lifetime.
+    pub balls_moved: Arc<Counter>,
 }
 
 impl ServeProbes {
@@ -126,6 +135,10 @@ impl ServeProbes {
             checkpoint_saves: r.counter("iba_serve_checkpoint_saves_total"),
             checkpoint_resumes: r.counter("iba_serve_checkpoint_resumes_total"),
             resume_round: r.gauge("iba_serve_resume_round"),
+            live_bins: r.gauge("iba_serve_bins"),
+            live_shards: r.gauge("iba_serve_shards"),
+            membership_events: r.counter("iba_serve_membership_events_total"),
+            balls_moved: r.counter("iba_serve_balls_moved_total"),
         }
     }
 }

@@ -25,9 +25,11 @@ use std::ops::Range;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
+use iba_analysis::bounds::theorem2_pool_bound;
 use iba_core::metrics::WaitQuantiles;
-use iba_core::shard::{shard_of, shard_range, BinShard};
+use iba_core::shard::{shard_range, BinShard};
 use iba_core::{AcceptancePolicy, Ball, Capacity, CappedConfig, Pool};
+use iba_membership::{Autoscaler, MembershipEvent, MembershipPlan};
 use iba_sim::codec::{Decoder, Encoder};
 use iba_sim::error::ConfigError;
 use iba_sim::faults::{FaultEvent, FaultPlan};
@@ -45,10 +47,12 @@ use crate::shard::{worker_loop, FaultOp, ShardCmd, ShardReply, ShardSnapshot};
 /// complete `iba_core::checkpoint` payload (tag `IBA1`) as an opaque byte
 /// blob and adds the serve-only state around it: RNG distribution,
 /// per-shard RNG streams, the ticket-id watermark, and the pending ticket
-/// map.
+/// map. Version 2 appends the membership section (live bin count, shard
+/// range ends, balls-moved and membership-event counters) so crash
+/// recovery works mid-resize; version-1 envelopes stay readable.
 const ENVELOPE_TAG: &str = "IBSV";
 /// Current envelope format version.
-const ENVELOPE_VERSION: u32 = 1;
+const ENVELOPE_VERSION: u32 = 2;
 
 /// How randomness is distributed between the driver and the workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -156,6 +160,10 @@ impl ServiceConfig {
 }
 
 struct Worker {
+    /// Stable worker id, unique for the service's lifetime. Replies carry
+    /// it; the driver maps it back to the worker's current *position*
+    /// (= range order), which shifts as shards split, merge, and retire.
+    id: usize,
     cmds: Sender<ShardCmd>,
     join: JoinHandle<()>,
 }
@@ -169,17 +177,34 @@ pub struct CappedService {
     config: CappedConfig,
     shards: usize,
     ranges: Vec<Range<usize>>,
+    /// Live bin count; starts at `config.bins()` and moves with
+    /// membership events. Always `ranges.last().end`.
+    live_n: usize,
+    /// Next stable worker id to hand out (split shards get fresh ids).
+    next_worker_id: usize,
     rng_mode: RngMode,
     model_arrivals: bool,
     max_admit: Option<u64>,
     driver_rng: SimRng,
     workers: Vec<Worker>,
+    reply_tx: Sender<ShardReply>,
     replies: Receiver<ShardReply>,
     ingress: Receiver<u64>,
     dispatcher: Dispatcher,
     completions_tx: Sender<Completion>,
     completions_rx: Option<Receiver<Completion>>,
     plan: FaultPlan,
+    /// Scheduled membership changes (applied at round boundaries, before
+    /// that round's faults).
+    mplan: MembershipPlan,
+    /// Optional scaling policy; observed once per round, its events are
+    /// scheduled for the next round boundary.
+    autoscaler: Option<Autoscaler>,
+    /// Lifetime count of membership events that changed the topology.
+    membership_events: u64,
+    /// Lifetime count of balls physically relocated by membership changes
+    /// (drained from removed bins or transferred between workers).
+    balls_moved: u64,
     /// Active arrival bursts as `(last_round_inclusive, extra_per_round)`.
     bursts: Vec<(u64, u64)>,
     pool: Pool,
@@ -206,6 +231,7 @@ impl std::fmt::Debug for CappedService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CappedService")
             .field("config", &self.config)
+            .field("live_bins", &self.live_n)
             .field("shards", &self.shards)
             .field("rng_mode", &self.rng_mode)
             .field("round", &self.round)
@@ -235,12 +261,24 @@ impl CappedService {
                 (driver, family.into_iter().map(Some).collect())
             }
         };
-        let shard_states: Vec<(BinShard, Option<SimRng>)> = (0..shards)
+        let ranges: Vec<Range<usize>> = (0..shards)
             .map(|s| shard_range(config.capped.bins(), shards, s))
+            .collect();
+        let shard_states: Vec<(BinShard, Option<SimRng>)> = ranges
+            .iter()
+            .cloned()
             .zip(shard_rngs)
             .map(|(range, rng)| (BinShard::new(&config.capped, range), rng))
             .collect();
-        Ok(Self::assemble(&config, driver_rng, shard_states, 0))
+        let live_n = config.capped.bins();
+        Ok(Self::assemble(
+            &config,
+            driver_rng,
+            shard_states,
+            ranges,
+            live_n,
+            0,
+        ))
     }
 
     fn validate(config: &ServiceConfig) -> Result<(), ConfigError> {
@@ -272,23 +310,26 @@ impl CappedService {
         config: &ServiceConfig,
         driver_rng: SimRng,
         shard_states: Vec<(BinShard, Option<SimRng>)>,
+        ranges: Vec<Range<usize>>,
+        live_n: usize,
         first_ticket_id: u64,
     ) -> Self {
-        let shards = config.shards;
+        let shards = ranges.len();
         let capped = config.capped.clone();
-        let ranges: Vec<Range<usize>> = (0..shards)
-            .map(|s| shard_range(capped.bins(), shards, s))
-            .collect();
         let (reply_tx, replies) = channel();
         let mut workers = Vec::with_capacity(shards);
         for (s, (bins, rng)) in shard_states.into_iter().enumerate() {
             let (cmd_tx, cmd_rx) = channel();
-            let reply_tx = reply_tx.clone();
+            let worker_reply_tx = reply_tx.clone();
             let join = std::thread::Builder::new()
                 .name(format!("iba-serve-shard-{s}"))
-                .spawn(move || worker_loop(s, bins, rng, cmd_rx, reply_tx))
+                .spawn(move || worker_loop(s, bins, rng, cmd_rx, worker_reply_tx))
                 .expect("spawn shard worker thread");
-            workers.push(Worker { cmds: cmd_tx, join });
+            workers.push(Worker {
+                id: s,
+                cmds: cmd_tx,
+                join,
+            });
         }
 
         let capacity = config.ingress_capacity.max(1);
@@ -299,17 +340,24 @@ impl CappedService {
         CappedService {
             shards,
             ranges,
+            live_n,
+            next_worker_id: shards,
             rng_mode: config.rng_mode,
             model_arrivals: config.model_arrivals,
             max_admit: config.max_admit_per_round,
             driver_rng,
             workers,
+            reply_tx,
             replies,
             ingress,
             dispatcher,
             completions_tx,
             completions_rx: Some(completions_rx),
             plan: FaultPlan::new(),
+            mplan: MembershipPlan::new(),
+            autoscaler: None,
+            membership_events: 0,
+            balls_moved: 0,
             bursts: Vec::new(),
             pool: Pool::with_capacity(capped.predicted_stationary_pool()),
             pending: HashMap::new(),
@@ -358,7 +406,7 @@ impl CappedService {
             what: "service configuration",
         })?;
         let mut dec = Decoder::new(bytes)?;
-        dec.header(ENVELOPE_TAG, ENVELOPE_VERSION)?;
+        let version = dec.header(ENVELOPE_TAG, ENVELOPE_VERSION)?;
         let core_bytes = dec.byte_seq("core checkpoint")?.to_vec();
         let saved_mode = match dec.u32("rng mode")? {
             0 => RngMode::Central,
@@ -400,10 +448,33 @@ impl CappedService {
             }
             pending.insert(label, ids.into_iter().collect());
         }
+        // Version 2 appends the membership section; a v1 envelope is a
+        // fixed-topology run (live n = configured n, balanced ranges).
+        let (live_n, saved_ends, balls_moved, membership_events) = if version >= 2 {
+            let live_n = dec.usize("live bin count")?;
+            let ends: Vec<u64> = dec.u64_seq("shard range ends")?;
+            let balls_moved = dec.u64("balls moved")?;
+            let membership_events = dec.u64("membership events")?;
+            (live_n, Some(ends), balls_moved, membership_events)
+        } else {
+            (config.capped.bins(), None, 0, 0)
+        };
         if !dec.is_exhausted() {
             return Err(ResumeError::Invalid {
                 what: "trailing bytes",
             });
+        }
+        if let Some(ends) = &saved_ends {
+            let contiguous = ends.len() == saved_shards
+                && !ends.is_empty()
+                && *ends.last().expect("non-empty") == live_n as u64
+                && ends.windows(2).all(|w| w[0] < w[1])
+                && ends[0] >= 1;
+            if !contiguous {
+                return Err(ResumeError::Invalid {
+                    what: "shard range ends",
+                });
+            }
         }
         if config.rng_mode != saved_mode {
             return Err(ResumeError::Invalid {
@@ -418,23 +489,61 @@ impl CappedService {
 
         let sim = iba_core::checkpoint::restore(&core_bytes)?;
         let process = sim.process();
-        if *process.config() != config.capped {
+        // Mid-resize checkpoints embed the *resized* configuration so the
+        // core restore path validates conservation against the live bin
+        // count; the caller still passes the original configuration.
+        let expected = if live_n == config.capped.bins() {
+            config.capped.clone()
+        } else {
+            config
+                .capped
+                .clone()
+                .resized(live_n)
+                .map_err(|_| ResumeError::ConfigMismatch)?
+        };
+        if *process.config() != expected {
             return Err(ResumeError::ConfigMismatch);
         }
         let driver_rng = SimRng::from_state(sim.rng().state());
-        let shards = config.shards;
-        let n = config.capped.bins();
+        // Topology: a no-churn Central checkpoint resumes onto whatever
+        // shard count the caller asked for (the driver owns all the
+        // randomness, so the partition is free); otherwise the saved
+        // ranges are authoritative — mid-resize Central runs keep their
+        // shape, and in per-shard RNG mode each saved stream belongs to
+        // its saved shard.
+        let ranges: Vec<Range<usize>> =
+            if saved_mode == RngMode::Central && live_n == config.capped.bins() {
+                (0..config.shards)
+                    .map(|s| shard_range(live_n, config.shards, s))
+                    .collect()
+            } else {
+                match &saved_ends {
+                    Some(ends) => {
+                        let mut start = 0usize;
+                        ends.iter()
+                            .map(|&end| {
+                                let range = start..end as usize;
+                                start = end as usize;
+                                range
+                            })
+                            .collect()
+                    }
+                    None => (0..saved_shards)
+                        .map(|s| shard_range(live_n, saved_shards, s))
+                        .collect(),
+                }
+            };
+        let shards = ranges.len();
         let mut shard_states = Vec::with_capacity(shards);
-        #[allow(clippy::needless_range_loop)] // shard_rng_states may be empty in Central mode
-        for s in 0..shards {
-            let range = shard_range(n, shards, s);
+        for (s, range) in ranges.iter().enumerate() {
+            let range = range.clone();
             let caps: Vec<Capacity> = range.clone().map(|i| process.bin(i).capacity()).collect();
             let contents: Vec<Vec<Ball>> = range
                 .clone()
                 .map(|i| process.bin(i).iter().copied().collect())
                 .collect();
             let offline: Vec<bool> = range.clone().map(|i| process.is_bin_offline(i)).collect();
-            let bins = BinShard::from_state(&config.capped, range, caps, contents, offline);
+            let bins = BinShard::from_state(&expected, range, caps, contents, offline);
             let rng = match saved_mode {
                 RngMode::Central => None,
                 RngMode::PerShard => Some(SimRng::from_state(shard_rng_states[s])),
@@ -442,17 +551,25 @@ impl CappedService {
             shard_states.push((bins, rng));
         }
 
-        let mut service = Self::assemble(&config, driver_rng, shard_states, next_ticket_id);
+        let mut service = Self::assemble(
+            &config,
+            driver_rng,
+            shard_states,
+            ranges.clone(),
+            live_n,
+            next_ticket_id,
+        );
         service.round = process.round();
         service.total_generated = process.total_generated();
         service.total_served = process.total_deleted();
         service.total_admitted = total_admitted;
         service.total_expired = total_expired;
+        service.balls_moved = balls_moved;
+        service.membership_events = membership_events;
         service.pool = process.pool().clone();
         service.pending = pending;
-        for s in 0..shards {
-            let range = shard_range(n, shards, s);
-            let loads: Vec<usize> = range.map(|i| process.bin(i).len()).collect();
+        for (s, range) in ranges.iter().enumerate() {
+            let loads: Vec<usize> = range.clone().map(|i| process.bin(i).len()).collect();
             service.shard_buffered[s] = loads.iter().map(|&l| l as u64).sum();
             service.shard_max_load[s] = loads.iter().map(|&l| l as u64).max().unwrap_or(0);
         }
@@ -486,25 +603,35 @@ impl CappedService {
         let mut snapshots: Vec<Option<ShardSnapshot>> = (0..self.shards).map(|_| None).collect();
         for _ in 0..self.shards {
             let snap = snap_rx.recv().expect("shard worker alive");
-            let shard = snap.shard;
-            snapshots[shard] = Some(snap);
+            let pos = self.worker_pos(snap.shard);
+            snapshots[pos] = Some(snap);
         }
 
         // The inner core checkpoint, hand-assembled field-for-field to the
         // `iba_core::checkpoint::save` layout (tag IBA1 v2): restore-side
-        // validation (CRC, conservation, pool order) comes for free.
+        // validation (CRC, conservation, pool order) comes for free. A
+        // mid-resize service embeds the resized configuration so that
+        // validation runs against the live bin count.
+        let inner_config = if self.live_n == self.config.bins() {
+            self.config.clone()
+        } else {
+            self.config
+                .clone()
+                .resized(self.live_n)
+                .expect("membership is gated to resizable configurations")
+        };
         let mut core = Encoder::new();
         core.header("IBA1", 2);
         for word in self.driver_rng.state() {
             core.u64(word);
         }
-        self.config.encode_into(&mut core);
+        inner_config.encode_into(&mut core);
         core.u64(self.round);
         core.u64(self.total_generated);
         core.u64(self.total_served);
         let pool_labels: Vec<u64> = self.pool.iter().map(Ball::label).collect();
         core.u64_seq(pool_labels.into_iter());
-        core.usize(self.config.bins());
+        core.usize(self.live_n);
         // Shards own contiguous ascending ranges, so concatenating the
         // snapshots in shard order walks the bins globally in order.
         for snap in snapshots.iter().map(|s| s.as_ref().expect("collected")) {
@@ -549,6 +676,11 @@ impl CappedService {
             enc.u64(label);
             enc.u64_seq(self.pending[&label].iter().copied());
         }
+        // Membership section (envelope v2).
+        enc.usize(self.live_n);
+        enc.u64_seq(self.ranges.iter().map(|r| r.end as u64));
+        enc.u64(self.balls_moved);
+        enc.u64(self.membership_events);
         if let Some(p) = obs::probes() {
             p.checkpoint_saves.inc();
         }
@@ -579,14 +711,81 @@ impl CappedService {
         }
     }
 
+    /// Schedules `plan`'s membership events against the service's round
+    /// counter, merging with any previously scheduled events. Events are
+    /// applied at round boundaries, *before* that round's faults;
+    /// already-past rounds never fire.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::OutOfDomain`] unless the configuration uses one
+    /// uniform finite capacity class — elastic membership adds and removes
+    /// bins of the configured capacity, which a heterogeneous capacity
+    /// profile or unbounded bins cannot express.
+    pub fn schedule_membership(&mut self, plan: MembershipPlan) -> Result<(), ConfigError> {
+        self.ensure_elastic()?;
+        for (round, events) in plan.iter() {
+            for event in events {
+                self.mplan.insert(round, event.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs (or replaces) the autoscaling policy. Observed once per
+    /// round with the live bin count, the pool size, and the Theorem-2
+    /// stationary pool bound for the *current* capacity; its events are
+    /// scheduled for the next round boundary. Pass-through of the same
+    /// gate as [`schedule_membership`](Self::schedule_membership).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::OutOfDomain`] unless the configuration uses one
+    /// uniform finite capacity class.
+    pub fn set_autoscaler(&mut self, scaler: Autoscaler) -> Result<(), ConfigError> {
+        self.ensure_elastic()?;
+        self.autoscaler = Some(scaler);
+        Ok(())
+    }
+
+    fn ensure_elastic(&self) -> Result<(), ConfigError> {
+        if self.config.capacity_profile().is_some() || self.config.capacity().as_finite().is_none()
+        {
+            return Err(ConfigError::OutOfDomain {
+                name: "capacity",
+                domain: "one uniform finite capacity class (elastic membership)",
+            });
+        }
+        Ok(())
+    }
+
     /// The CAPPED configuration the service runs.
     pub fn config(&self) -> &CappedConfig {
         &self.config
     }
 
-    /// Number of shards (= worker threads).
+    /// Number of shards (= worker threads). Moves with shard split/merge
+    /// events and shrink-driven retirements.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Live bin count; starts at `config().bins()` and moves with
+    /// membership events.
+    pub fn live_bins(&self) -> usize {
+        self.live_n
+    }
+
+    /// Lifetime count of membership events that changed the topology.
+    pub fn membership_events(&self) -> u64 {
+        self.membership_events
+    }
+
+    /// Lifetime count of balls physically relocated by membership changes
+    /// (drained from removed bins back into the pool, or transferred
+    /// between workers by a shard merge).
+    pub fn balls_moved(&self) -> u64 {
+        self.balls_moved
     }
 
     /// Last completed round.
@@ -651,6 +850,7 @@ impl CappedService {
     pub fn snapshot(&self) -> ServeSnapshot {
         ServeSnapshot {
             round: self.round,
+            bins: self.live_n as u64,
             pool_size: self.pool.len() as u64,
             buffered: self.buffered(),
             shard_max_load: self.shard_max_load.clone(),
@@ -670,13 +870,16 @@ impl CappedService {
     pub fn run_round(&mut self) -> RoundReport {
         assert!(!self.stopped, "service was shut down");
         let round_timer = iba_obs::PhaseTimer::start();
-        let n = self.config.bins();
         let round = self.round + 1;
 
-        // 1. Faults scheduled for this round (surge balls keep the
-        // pre-round label, matching FaultedProcess + inject_pool).
+        // 1. Membership changes at the round boundary fix this round's
+        // topology; then the round's faults (which target the possibly
+        // resized bin set — surge balls keep the pre-round label, matching
+        // FaultedProcess + inject_pool).
+        self.apply_membership(round);
         self.apply_faults(round);
         self.round = round;
+        let n = self.live_n;
 
         // 2. Arrivals: model generation first, then admitted requests —
         // all labeled with the new round.
@@ -701,7 +904,7 @@ impl CappedService {
                     (0..self.shards).map(|_| Vec::new()).collect();
                 for ball in balls {
                     let bin = self.driver_rng.uniform_bin(n);
-                    let s = shard_of(n, self.shards, bin);
+                    let s = self.owner_of(bin);
                     routed[s].push(((bin - self.ranges[s].start) as u32, ball));
                 }
                 for (worker, requests) in self.workers.iter().zip(routed) {
@@ -718,7 +921,8 @@ impl CappedService {
                 // over all n bins.
                 let mut assigned: Vec<Vec<Ball>> = (0..self.shards).map(|_| Vec::new()).collect();
                 for ball in balls {
-                    let s = shard_of(n, self.shards, self.driver_rng.uniform_bin(n));
+                    let bin = self.driver_rng.uniform_bin(n);
+                    let s = self.owner_of(bin);
                     assigned[s].push(ball);
                 }
                 for (worker, balls) in self.workers.iter().zip(assigned) {
@@ -739,8 +943,8 @@ impl CappedService {
         for _ in 0..self.shards {
             let reply = self.replies.recv().expect("shard worker alive");
             debug_assert_eq!(reply.round, round);
-            let shard = reply.shard;
-            slots[shard] = Some(reply);
+            let pos = self.worker_pos(reply.shard);
+            slots[pos] = Some(reply);
         }
 
         let mut accepted = 0u64;
@@ -806,9 +1010,28 @@ impl CappedService {
             }
         }
 
+        // 6. Autoscaling: compare the pool against the Theorem-2 bound
+        // for the *live* capacity; a triggered event lands at the next
+        // round boundary.
+        if let Some(scaler) = self.autoscaler.as_mut() {
+            let c = self
+                .config
+                .capacity()
+                .as_finite()
+                .expect("autoscaler install is gated to finite capacities");
+            let bound = theorem2_pool_bound(self.live_n, c, self.config.lambda());
+            let (_decision, event) =
+                scaler.observe(round, self.live_n, self.pool.len() as u64, bound);
+            if let Some(event) = event {
+                self.mplan.insert(round + 1, event);
+            }
+        }
+
         if let Some(p) = obs::probes() {
             merge_timer.observe(&p.phase_merge_nanos);
             round_timer.observe(&p.round_nanos);
+            p.live_bins.set(self.live_n as u64);
+            p.live_shards.set(self.shards as u64);
             p.pool_size.set(self.pool.len() as u64);
             p.buffered.set(buffered);
             p.pending_tickets.set(self.pending_tickets() as u64);
@@ -870,7 +1093,7 @@ impl CappedService {
     }
 
     fn apply_faults(&mut self, round: u64) {
-        let n = self.config.bins();
+        let n = self.live_n;
         let events = self.plan.events_at(round).to_vec();
         for event in events {
             match event {
@@ -967,12 +1190,248 @@ impl CappedService {
     }
 
     fn send_fault(&self, bin: usize, op: FaultOp) {
-        let s = shard_of(self.config.bins(), self.shards, bin);
+        let s = self.owner_of(bin);
         let local = (bin - self.ranges[s].start) as u32;
         self.workers[s]
             .cmds
             .send(ShardCmd::Fault { local, op })
             .expect("shard worker alive");
+    }
+
+    /// Position of the shard owning global `bin`. Shards own contiguous
+    /// ascending ranges, so this is a binary search over range ends — and
+    /// for the balanced no-churn partition it agrees bin-for-bin with
+    /// `iba_core::shard::shard_of`, preserving Central-mode bit-exactness.
+    fn owner_of(&self, bin: usize) -> usize {
+        debug_assert!(bin < self.live_n);
+        self.ranges.partition_point(|r| r.end <= bin)
+    }
+
+    /// Current position (= range order) of the worker with stable id
+    /// `id`.
+    fn worker_pos(&self, id: usize) -> usize {
+        self.workers
+            .iter()
+            .position(|w| w.id == id)
+            .expect("reply from a live worker")
+    }
+
+    /// Applies the membership events scheduled at `round`, in insertion
+    /// order.
+    fn apply_membership(&mut self, round: u64) {
+        if self.mplan.is_empty() {
+            return;
+        }
+        let events = self.mplan.events_at(round).to_vec();
+        for event in events {
+            let changed = match event {
+                MembershipEvent::AddBins { count } => self.add_bins(count),
+                MembershipEvent::RemoveBins { count } => self.remove_bins(count),
+                MembershipEvent::SplitShard { shard } => self.split_shard(shard),
+                MembershipEvent::MergeShards { left } => self.merge_shards(left),
+            };
+            if changed {
+                self.membership_events += 1;
+                if let Some(p) = obs::probes() {
+                    p.membership_events.inc();
+                }
+            }
+        }
+    }
+
+    /// Grows the bin set by `count`: the new bins enter at the top of the
+    /// index space, online and empty — their first acceptance round primes
+    /// them with their full capacity as quota.
+    fn add_bins(&mut self, count: usize) -> bool {
+        if count == 0 {
+            return false;
+        }
+        let capacity = self.config.capacity();
+        let parts: Vec<(Capacity, Vec<Ball>, bool)> =
+            (0..count).map(|_| (capacity, Vec::new(), false)).collect();
+        let last = self.shards - 1;
+        self.workers[last]
+            .cmds
+            .send(ShardCmd::PushBins { parts })
+            .expect("shard worker alive");
+        self.ranges[last].end += count;
+        self.live_n += count;
+        true
+    }
+
+    /// Shrinks the bin set by up to `count` bins from the top (always
+    /// keeping at least one). The removed bins' FIFO contents drain back
+    /// into the pool with their original labels and retry from the next
+    /// round; workers left with no bins retire.
+    fn remove_bins(&mut self, count: usize) -> bool {
+        let to_remove = count.min(self.live_n - 1);
+        if to_remove == 0 {
+            return false;
+        }
+        let mut remaining = to_remove;
+        let mut drained: Vec<Ball> = Vec::new();
+        while remaining > 0 {
+            let pos = self.shards - 1;
+            let bins_here = self.ranges[pos].len();
+            if remaining >= bins_here && self.shards > 1 {
+                // The whole top shard goes: capture its state, retire the
+                // worker, drain every ring.
+                let parts = self.snapshot_parts(pos);
+                self.retire_worker(pos);
+                self.ranges.pop();
+                self.shards -= 1;
+                self.shard_buffered.pop();
+                self.shard_max_load.pop();
+                for (_, contents, _) in parts {
+                    drained.extend(contents);
+                }
+                remaining -= bins_here;
+            } else {
+                let take = remaining.min(bins_here - 1);
+                let (tx, rx) = channel();
+                self.workers[pos]
+                    .cmds
+                    .send(ShardCmd::PopBins {
+                        count: take,
+                        reply: tx,
+                    })
+                    .expect("shard worker alive");
+                let parts = rx.recv().expect("shard worker alive");
+                let mut popped_buffered = 0u64;
+                for (_, contents, _) in parts {
+                    popped_buffered += contents.len() as u64;
+                    drained.extend(contents);
+                }
+                self.ranges[pos].end -= take;
+                self.shard_buffered[pos] = self.shard_buffered[pos].saturating_sub(popped_buffered);
+                remaining -= take;
+            }
+        }
+        self.live_n -= to_remove;
+        if !drained.is_empty() {
+            self.count_balls_moved(drained.len() as u64);
+            // Merge the drained rings into the pool: balls order by label
+            // alone, so one sort restores the oldest-first pool invariant.
+            let mut balls = self.pool.take();
+            balls.extend(drained);
+            balls.sort();
+            self.pool.restore(balls);
+        }
+        true
+    }
+
+    /// Splits shard `shard`'s range at its midpoint, spawning a new
+    /// worker for the upper half. Only ownership moves — no ball leaves
+    /// its ring, so nothing counts as moved.
+    fn split_shard(&mut self, shard: usize) -> bool {
+        if shard >= self.shards || self.ranges[shard].len() < 2 {
+            return false;
+        }
+        let range = self.ranges[shard].clone();
+        let at = range.len() / 2;
+        let (tx, rx) = channel();
+        self.workers[shard]
+            .cmds
+            .send(ShardCmd::SplitOff { at, reply: tx })
+            .expect("shard worker alive");
+        let parts = rx.recv().expect("shard worker alive");
+        let upper_buffered: u64 = parts.iter().map(|(_, c, _)| c.len() as u64).sum();
+        let first_bin = range.start + at;
+        let bins = BinShard::from_parts(first_bin, self.config.capacity(), parts);
+        let rng = match self.rng_mode {
+            RngMode::Central => None,
+            // A fresh deterministic stream: split off the driver's
+            // (per-shard mode has no bit-exactness contract to keep).
+            RngMode::PerShard => Some(self.driver_rng.split()),
+        };
+        self.spawn_worker(shard + 1, bins, rng);
+        self.ranges[shard].end = first_bin;
+        self.ranges.insert(shard + 1, first_bin..range.end);
+        self.shards += 1;
+        self.shard_buffered[shard] = self.shard_buffered[shard].saturating_sub(upper_buffered);
+        self.shard_buffered.insert(shard + 1, upper_buffered);
+        let stale_max = self.shard_max_load[shard];
+        self.shard_max_load.insert(shard + 1, stale_max);
+        true
+    }
+
+    /// Merges shard `left + 1` into shard `left`, retiring the right
+    /// worker. Its buffered balls transfer between workers and count as
+    /// moved.
+    fn merge_shards(&mut self, left: usize) -> bool {
+        let right = left + 1;
+        if right >= self.shards {
+            return false;
+        }
+        let parts = self.snapshot_parts(right);
+        let moved: u64 = parts.iter().map(|(_, c, _)| c.len() as u64).sum();
+        self.retire_worker(right);
+        self.workers[left]
+            .cmds
+            .send(ShardCmd::PushBins { parts })
+            .expect("shard worker alive");
+        let removed_range = self.ranges.remove(right);
+        self.ranges[left].end = removed_range.end;
+        self.shards -= 1;
+        let right_buffered = self.shard_buffered.remove(right);
+        self.shard_buffered[left] += right_buffered;
+        let right_max = self.shard_max_load.remove(right);
+        self.shard_max_load[left] = self.shard_max_load[left].max(right_max);
+        self.count_balls_moved(moved);
+        true
+    }
+
+    fn count_balls_moved(&mut self, moved: u64) {
+        if moved > 0 {
+            self.balls_moved += moved;
+            if let Some(p) = obs::probes() {
+                p.balls_moved.add(moved);
+            }
+        }
+    }
+
+    /// Captures the full state of the worker at `pos` as push-ready parts
+    /// (capacity, contents, offline) in ascending bin order.
+    fn snapshot_parts(&self, pos: usize) -> Vec<(Capacity, Vec<Ball>, bool)> {
+        let (tx, rx) = channel();
+        self.workers[pos]
+            .cmds
+            .send(ShardCmd::Snapshot { reply: tx })
+            .expect("shard worker alive");
+        let snap = rx.recv().expect("shard worker alive");
+        snap.caps
+            .into_iter()
+            .zip(snap.contents)
+            .zip(snap.offline)
+            .map(|((cap, contents), offline)| (cap, contents, offline))
+            .collect()
+    }
+
+    /// Stops and joins the worker at `pos`, removing it from the fleet.
+    fn retire_worker(&mut self, pos: usize) {
+        let worker = self.workers.remove(pos);
+        let _ = worker.cmds.send(ShardCmd::Stop);
+        let _ = worker.join.join();
+    }
+
+    /// Spawns a new worker at position `pos` with a fresh stable id.
+    fn spawn_worker(&mut self, pos: usize, bins: BinShard, rng: Option<SimRng>) {
+        let id = self.next_worker_id;
+        self.next_worker_id += 1;
+        let (cmd_tx, cmd_rx) = channel();
+        let reply_tx = self.reply_tx.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("iba-serve-shard-{id}"))
+            .spawn(move || worker_loop(id, bins, rng, cmd_rx, reply_tx))
+            .expect("spawn shard worker thread");
+        self.workers.insert(
+            pos,
+            Worker {
+                id,
+                cmds: cmd_tx,
+                join,
+            },
+        );
     }
 }
 

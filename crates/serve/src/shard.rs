@@ -42,6 +42,25 @@ pub(crate) enum ShardCmd {
     /// goes to the dedicated `reply` channel so it cannot interleave with
     /// round replies.
     Snapshot { reply: Sender<ShardSnapshot> },
+    /// Append bins (capacity, FIFO contents oldest-first, offline flag)
+    /// at the top of the shard's local index space — elastic growth, or
+    /// the receiving half of a shard merge.
+    PushBins {
+        parts: Vec<(Capacity, Vec<Ball>, bool)>,
+    },
+    /// Remove the top `count` bins and hand their state back in ascending
+    /// bin order (elastic shrink). The worker never gives up its last bin;
+    /// the driver clamps `count` accordingly.
+    PopBins {
+        count: usize,
+        reply: Sender<Vec<(Capacity, Vec<Ball>, bool)>>,
+    },
+    /// Split the shard at local bin `at`, handing back the upper half in
+    /// ascending bin order (the driver spawns a new worker for it).
+    SplitOff {
+        at: usize,
+        reply: Sender<Vec<(Capacity, Vec<Ball>, bool)>>,
+    },
     /// Terminate the worker loop.
     Stop,
 }
@@ -94,8 +113,10 @@ pub(crate) fn worker_loop(
     cmds: Receiver<ShardCmd>,
     replies: Sender<ShardReply>,
 ) {
-    let local_n = bins.len();
     for cmd in cmds {
+        // Membership commands resize the shard between rounds, so the
+        // local bin count is re-read per command, never cached.
+        let local_n = bins.len();
         match cmd {
             ShardCmd::Fault { local, op } => match op {
                 FaultOp::Offline(offline) => bins.set_offline(local as usize, offline),
@@ -138,6 +159,24 @@ pub(crate) fn worker_loop(
                     rng_state: rng.as_ref().map(SimRng::state),
                 };
                 if reply.send(snapshot).is_err() {
+                    return; // driver gone
+                }
+            }
+            ShardCmd::PushBins { parts } => {
+                for (capacity, contents, offline) in parts {
+                    bins.push_bin_with(capacity, &contents, offline);
+                }
+            }
+            ShardCmd::PopBins { count, reply } => {
+                debug_assert!(count < local_n, "driver keeps at least one bin");
+                let mut parts: Vec<_> = (0..count).map(|_| bins.pop_bin()).collect();
+                parts.reverse(); // popped top-down; hand back in bin order
+                if reply.send(parts).is_err() {
+                    return; // driver gone
+                }
+            }
+            ShardCmd::SplitOff { at, reply } => {
+                if reply.send(bins.split_off(at)).is_err() {
                     return; // driver gone
                 }
             }

@@ -1,0 +1,365 @@
+//! Elastic-membership validation: runtime grow/shrink, shard split/merge,
+//! autoscaling, and crash recovery mid-resize.
+//!
+//! The anchors:
+//! - a Central-mode service with membership *scheduled but never firing*
+//!   stays bit-identical to the bare `CappedProcess`;
+//! - shard splits and merges move ownership only — the trajectory is
+//!   bit-identical to an unsplit service;
+//! - a churn + fault + surge gauntlet conserves every ball, by total and
+//!   by id;
+//! - a checkpoint taken mid-resize resumes bit-identically.
+
+use std::collections::HashMap;
+
+use iba_core::{Ball, CappedConfig, CappedProcess};
+use iba_membership::{Autoscaler, AutoscalerConfig, MembershipEvent, MembershipPlan};
+use iba_serve::{CappedService, RngMode, ServiceConfig};
+use iba_sim::codec::Decoder;
+use iba_sim::faults::{FaultEvent, FaultPlan};
+use iba_sim::process::AllocationProcess;
+use iba_sim::SimRng;
+
+fn config(n: usize, c: u32, lambda: f64) -> CappedConfig {
+    CappedConfig::new(n, c, lambda).expect("valid cell")
+}
+
+fn central(config: CappedConfig, shards: usize, seed: u64) -> CappedService {
+    CappedService::spawn(
+        ServiceConfig::new(config, shards, seed)
+            .with_rng_mode(RngMode::Central)
+            .with_model_arrivals(true),
+    )
+    .expect("valid service config")
+}
+
+/// Every ball still in the system (pool + every bin ring), by label, read
+/// out of a service checkpoint. The envelope wraps the core `IBA1`
+/// payload as an opaque byte blob; unwrap it and restore the process.
+fn resident_labels(service: &mut CappedService) -> Vec<u64> {
+    let bytes = service.checkpoint_bytes();
+    let mut dec = Decoder::new(&bytes).expect("well-formed envelope");
+    dec.header("IBSV", 2).expect("envelope header");
+    let core_bytes = dec.byte_seq("core checkpoint").expect("core payload");
+    let sim = iba_core::checkpoint::restore(core_bytes).expect("valid core checkpoint");
+    let process = sim.process();
+    let mut labels: Vec<u64> = process.pool().iter().map(Ball::label).collect();
+    for i in 0..process.config().bins() {
+        labels.extend(process.bin(i).iter().map(|b| b.label()));
+    }
+    labels.sort_unstable();
+    labels
+}
+
+#[test]
+fn scheduled_but_unfired_membership_stays_bit_identical_to_capped_process() {
+    let cfg = config(64, 2, 0.75);
+    let mut reference = CappedProcess::new(cfg.clone());
+    let mut rng = SimRng::seed_from(99);
+    let mut service = central(cfg, 4, 99);
+    // Membership is live (the plan is non-empty) but every event sits far
+    // beyond the horizon: the apply path runs each round and must not
+    // perturb the trajectory.
+    service
+        .schedule_membership(
+            MembershipPlan::new().with(1_000_000, MembershipEvent::AddBins { count: 8 }),
+        )
+        .expect("uniform finite capacity");
+    for _ in 0..120 {
+        assert_eq!(service.run_round(), reference.step(&mut rng));
+    }
+    assert_eq!(service.live_bins(), 64);
+    assert_eq!(service.membership_events(), 0);
+    assert_eq!(service.balls_moved(), 0);
+}
+
+#[test]
+fn shard_splits_and_merges_do_not_perturb_the_trajectory() {
+    let cfg = config(64, 2, 0.75);
+    let mut plain = central(cfg.clone(), 2, 7);
+    let mut churned = central(cfg, 2, 7);
+    churned
+        .schedule_membership(
+            MembershipPlan::new()
+                .with(10, MembershipEvent::SplitShard { shard: 0 })
+                .with(20, MembershipEvent::SplitShard { shard: 2 })
+                .with(40, MembershipEvent::MergeShards { left: 2 })
+                .with(50, MembershipEvent::MergeShards { left: 0 }),
+        )
+        .expect("uniform finite capacity");
+    for round in 1..=80 {
+        assert_eq!(
+            churned.run_round(),
+            plain.run_round(),
+            "diverged at round {round}"
+        );
+    }
+    assert_eq!(churned.shards(), 2, "two splits, two merges");
+    assert_eq!(churned.membership_events(), 4);
+    assert_eq!(churned.live_bins(), 64, "splits and merges keep n");
+    // Ownership handoffs relocated whatever the merged shards buffered.
+    assert!(churned.conserves_balls());
+}
+
+#[test]
+fn churn_fault_surge_gauntlet_loses_no_ball() {
+    for (mode, shards) in [(RngMode::Central, 3), (RngMode::PerShard, 4)] {
+        let mut service = CappedService::spawn(
+            ServiceConfig::new(config(48, 2, 0.75), shards, 1234)
+                .with_rng_mode(mode)
+                .with_model_arrivals(true),
+        )
+        .expect("valid service config");
+        service
+            .schedule_membership(
+                MembershipPlan::new()
+                    .with(5, MembershipEvent::AddBins { count: 16 })
+                    .with(12, MembershipEvent::SplitShard { shard: shards - 1 })
+                    .with(20, MembershipEvent::RemoveBins { count: 24 })
+                    .with(30, MembershipEvent::MergeShards { left: 0 })
+                    .with(40, MembershipEvent::AddBins { count: 12 })
+                    .with(55, MembershipEvent::RemoveBins { count: 40 })
+                    .with(70, MembershipEvent::AddBins { count: 20 }),
+            )
+            .expect("uniform finite capacity");
+        service.schedule(
+            FaultPlan::new()
+                .with(
+                    8,
+                    FaultEvent::CrashBins {
+                        bins: vec![0, 1, 2],
+                    },
+                )
+                .with(15, FaultEvent::PoolSurge { extra: 200 })
+                .with(
+                    18,
+                    FaultEvent::DegradeCapacity {
+                        bins: (0..8).collect(),
+                        capacity: Some(1),
+                    },
+                )
+                .with(
+                    25,
+                    FaultEvent::RecoverBins {
+                        bins: vec![0, 1, 2],
+                    },
+                )
+                .with(
+                    35,
+                    FaultEvent::ArrivalBurst {
+                        extra_per_round: 30,
+                        rounds: 5,
+                    },
+                ),
+        );
+        // Track the exact multiset of resident balls: arrivals add labels,
+        // a served ball with waiting time w at round r removes label r - w.
+        let mut resident: HashMap<u64, i64> = HashMap::new();
+        let mut prev_generated = 0u64;
+        for round in 1..=100u64 {
+            let report = service.run_round();
+            assert!(report.conserves_balls(), "{mode:?} round {round}");
+            assert!(service.conserves_balls(), "{mode:?} round {round}");
+            // `report.generated` covers model arrivals (labeled `round`);
+            // surge and burst balls only show up in the lifetime counter
+            // and carry the pre-round label.
+            let total_generated = service.total_generated();
+            let surged = total_generated - prev_generated - report.generated;
+            prev_generated = total_generated;
+            if surged > 0 {
+                *resident.entry(round - 1).or_insert(0) += surged as i64;
+            }
+            *resident.entry(round).or_insert(0) += report.generated as i64;
+            for &wait in &report.waiting_times {
+                let label = round - wait;
+                let count = resident.get_mut(&label).expect("served a known ball");
+                *count -= 1;
+                assert!(*count >= 0, "{mode:?}: ball labeled {label} over-served");
+                if *count == 0 {
+                    resident.remove(&label);
+                }
+            }
+        }
+        assert!(service.membership_events() >= 7, "{mode:?}");
+        assert!(service.balls_moved() > 0, "{mode:?}: drains moved balls");
+        // Per-ball id conservation: what the checkpoint says is resident
+        // is exactly what the arrival/serve ledger says should be.
+        let mut expected: Vec<u64> = resident
+            .iter()
+            .flat_map(|(&label, &count)| {
+                std::iter::repeat_n(label, usize::try_from(count).expect("non-negative"))
+            })
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(resident_labels(&mut service), expected, "{mode:?}");
+    }
+}
+
+#[test]
+fn mid_resize_checkpoint_resumes_bit_identically() {
+    // Central mode: resize events straddle the checkpoint; the resumed
+    // service re-schedules the still-future ones (plans are deliberately
+    // not checkpointed, matching fault-plan semantics).
+    let cfg = ServiceConfig::new(config(32, 2, 0.75), 4, 2024)
+        .with_rng_mode(RngMode::Central)
+        .with_model_arrivals(true);
+    let past = MembershipPlan::new()
+        .with(5, MembershipEvent::AddBins { count: 10 })
+        .with(12, MembershipEvent::SplitShard { shard: 3 })
+        .with(20, MembershipEvent::RemoveBins { count: 6 });
+    let future = MembershipPlan::new()
+        .with(40, MembershipEvent::RemoveBins { count: 12 })
+        .with(50, MembershipEvent::AddBins { count: 4 });
+    let mut original = CappedService::spawn(cfg.clone()).expect("valid service config");
+    original.schedule_membership(past).expect("uniform");
+    original
+        .schedule_membership(future.clone())
+        .expect("uniform");
+    for _ in 0..30 {
+        original.run_round();
+    }
+    assert_ne!(original.live_bins(), 32, "checkpoint lands mid-resize");
+    let bytes = original.checkpoint_bytes();
+
+    let mut resumed = CappedService::resume(cfg, &bytes).expect("mid-resize resume");
+    assert_eq!(resumed.live_bins(), original.live_bins());
+    assert_eq!(resumed.shards(), original.shards());
+    assert_eq!(resumed.balls_moved(), original.balls_moved());
+    assert_eq!(resumed.membership_events(), original.membership_events());
+    assert!(resumed.conserves_balls());
+    resumed.schedule_membership(future).expect("uniform");
+    for r in 0..35 {
+        assert_eq!(
+            original.run_round(),
+            resumed.run_round(),
+            "diverged at +{r}"
+        );
+    }
+    assert_eq!(original.live_bins(), resumed.live_bins());
+}
+
+#[test]
+fn per_shard_mid_resize_checkpoint_resumes_bit_identically() {
+    // Per-shard RNG with add/remove churn (no splits, so the shard count
+    // the caller passes still matches the checkpoint).
+    let cfg = ServiceConfig::new(config(24, 2, 0.75), 3, 77)
+        .with_rng_mode(RngMode::PerShard)
+        .with_model_arrivals(true);
+    let mut original = CappedService::spawn(cfg.clone()).expect("valid service config");
+    original
+        .schedule_membership(
+            MembershipPlan::new()
+                .with(4, MembershipEvent::AddBins { count: 9 })
+                .with(10, MembershipEvent::RemoveBins { count: 5 }),
+        )
+        .expect("uniform");
+    for _ in 0..15 {
+        original.run_round();
+    }
+    assert_eq!(original.live_bins(), 28);
+    let bytes = original.checkpoint_bytes();
+    let mut resumed = CappedService::resume(cfg, &bytes).expect("per-shard mid-resize resume");
+    assert_eq!(resumed.live_bins(), 28);
+    for r in 0..20 {
+        assert_eq!(
+            original.run_round(),
+            resumed.run_round(),
+            "diverged at +{r}"
+        );
+    }
+}
+
+#[test]
+fn autoscaler_grows_under_surge_and_shrinks_when_idle() {
+    let mut service = CappedService::spawn(
+        ServiceConfig::new(config(8, 1, 0.875), 2, 5)
+            .with_rng_mode(RngMode::Central)
+            .with_model_arrivals(true),
+    )
+    .expect("valid service config");
+    service
+        .set_autoscaler(Autoscaler::new(
+            AutoscalerConfig::new(4, 64)
+                .with_ratios(0.0005, 0.5)
+                .with_patience(2)
+                .with_step(8)
+                .with_cooldown(4),
+        ))
+        .expect("uniform finite capacity");
+    // A massive standing surge pushes the pool far over the bound.
+    service.schedule(FaultPlan::new().with(1, FaultEvent::PoolSurge { extra: 5_000 }));
+    let mut peak = service.live_bins();
+    for _ in 0..200 {
+        service.run_round();
+        peak = peak.max(service.live_bins());
+        assert!(service.conserves_balls());
+    }
+    assert!(peak > 8, "surge forced a scale-up (peaked at {peak})");
+    assert!(service.membership_events() > 0);
+    // Once the backlog drains, sustained slack hands capacity back.
+    for _ in 0..400 {
+        service.run_round();
+        assert!(service.conserves_balls());
+    }
+    assert!(
+        service.live_bins() < peak,
+        "idle pool shrank the fleet from its {peak}-bin peak to {}",
+        service.live_bins()
+    );
+}
+
+#[test]
+fn membership_is_rejected_for_non_uniform_capacity_configs() {
+    let profiled = CappedConfig::new(8, 2, 0.5)
+        .unwrap()
+        .with_capacity_profile(vec![1, 2, 3, 4, 1, 2, 3, 4])
+        .unwrap();
+    let mut service =
+        CappedService::spawn(ServiceConfig::new(profiled, 2, 1)).expect("profiles serve fine");
+    assert!(service
+        .schedule_membership(MembershipPlan::new().with(1, MembershipEvent::AddBins { count: 1 }))
+        .is_err());
+    assert!(service
+        .set_autoscaler(Autoscaler::new(AutoscalerConfig::new(1, 16)))
+        .is_err());
+
+    let unbounded = CappedConfig::unbounded(8, 0.5).unwrap();
+    let mut service =
+        CappedService::spawn(ServiceConfig::new(unbounded, 2, 1)).expect("unbounded serves fine");
+    assert!(service
+        .schedule_membership(MembershipPlan::new().with(1, MembershipEvent::AddBins { count: 1 }))
+        .is_err());
+}
+
+#[test]
+fn removing_bins_drains_their_rings_back_into_the_pool() {
+    // Load the system, then shrink hard: drained balls must retry (pool
+    // grows by exactly what the removed bins buffered) and eventually get
+    // served by the survivors.
+    let mut service = central(config(32, 4, 0.875), 4, 314);
+    for _ in 0..20 {
+        service.run_round();
+    }
+    let buffered_before = service.buffered();
+    let pool_before = service.pool_size();
+    service
+        .schedule_membership(
+            MembershipPlan::new().with(21, MembershipEvent::RemoveBins { count: 28 }),
+        )
+        .expect("uniform");
+    service.run_round();
+    assert_eq!(service.live_bins(), 4);
+    assert!(service.conserves_balls());
+    assert!(
+        service.balls_moved() > 0 || buffered_before == 0,
+        "shrink drained {} buffered balls (pool was {pool_before})",
+        buffered_before
+    );
+    for _ in 0..2000 {
+        if service.pool_size() == 0 && service.buffered() == 0 {
+            break;
+        }
+        service.run_round();
+    }
+    assert!(service.conserves_balls());
+}

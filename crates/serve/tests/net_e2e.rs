@@ -245,6 +245,22 @@ fn metrics_scrape_mid_run_parses_strictly_and_is_not_stale() {
             expo.value("iba_serve_net_frames_total").is_some(),
             "net frame counter present"
         );
+        assert_eq!(
+            expo.families
+                .get("iba_serve_tickets_expired_total")
+                .map(String::as_str),
+            Some("counter"),
+            "ticket-TTL reap counter exposed"
+        );
+        assert!(
+            expo.value("iba_serve_tickets_expired_total").is_some(),
+            "ticket-TTL reap counter has a sample"
+        );
+        assert_eq!(
+            expo.families.get("iba_serve_bins").map(String::as_str),
+            Some("gauge"),
+            "live bin count gauge exposed"
+        );
     }
     let frames_first = first.value("iba_serve_net_frames_total").unwrap();
     let frames_second = second.value("iba_serve_net_frames_total").unwrap();

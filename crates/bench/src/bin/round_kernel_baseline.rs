@@ -1,20 +1,31 @@
 //! Regenerates `BENCH_round_kernel.json` — the repo's committed perf
-//! baseline for the flat-arena round kernel.
+//! baseline for the flat-arena round kernel and its vectorized variants.
 //!
-//! For each `(n, c, λ)` cell the tool runs the legacy scalar kernel and
-//! the arena kernel in **lockstep on the same seed**, interleaving the
-//! two round-by-round so machine drift cancels out of the ratio, timing
-//! each round individually, and asserting the per-round [`RoundReport`]s
-//! are bit-identical (the measurement doubles as a differential check).
-//! It reports the median ns/round, rounds/second, ball throughput, and
-//! the arena-over-scalar speedup, then writes everything as JSON.
+//! For each `(n, c, λ)` cell the tool runs every kernel variant in
+//! **lockstep on the same seed**, interleaving them round-by-round in
+//! alternating segments so machine drift cancels out of the ratios,
+//! timing each round individually, and asserting the per-round
+//! [`RoundReport`]s are bit-identical across all variants (the
+//! measurement doubles as a differential check). It reports the median
+//! ns/round, rounds/second, ball throughput, and each variant's speedup
+//! over the scalar kernel, then writes everything as JSON.
 //!
 //! ```text
 //! cargo run --release -p iba-bench --bin round_kernel_baseline -- \
-//!     [--quick] [--out BENCH_round_kernel.json]
+//!     [--quick] [--n N] [--threads LIST] [--assert-parallel-wins] \
+//!     [--out BENCH_round_kernel.json]
 //! ```
 //!
-//! The default cells are the acceptance grid of the kernel PR — n = 10⁶,
+//! The four standing variants are `scalar` (pre-kernel per-ball loop),
+//! `arena` (counting-sort kernel), `arena_simd` (SWAR register sweeps),
+//! and `arena_parallel` (intra-round partitioned workers at the resolved
+//! thread count). `--threads 1,2,4` appends an `arena_parallel_t{t}`
+//! sweep column per listed count. `--assert-parallel-wins` exits
+//! non-zero if `arena_parallel` is slower than `arena` (compared on
+//! minimum round time, the least noise-sensitive statistic) while the
+//! host has at least two cores — the CI guard for the parallel path.
+//!
+//! The default cells are the acceptance grid of the kernel PRs — n = 10⁶,
 //! c ∈ {2, 4, 8}, λ = 0.95 — and take a few minutes; `--quick` shrinks n
 //! to 20 000 for a seconds-long smoke run (do **not** commit quick
 //! output as the baseline).
@@ -32,23 +43,43 @@ use iba_sim::rng::SimRng;
 /// Rounds run before measurement starts (on top of the warm-started
 /// pool), so timed rounds sit in the stationary regime.
 const WARMUP_ROUNDS: u64 = 48;
-/// Alternating scalar/arena measurement segments per cell.
+/// Alternating per-variant measurement segments per cell.
 const SEGMENTS: usize = 8;
-/// Timed rounds per kernel per segment; each segment also runs one
-/// untimed round first to re-warm the caches after the other kernel's
-/// segment evicted them.
+/// Timed rounds per variant per segment; each segment also runs one
+/// untimed round first to re-warm the caches after the other variants'
+/// segments evicted them.
 const ROUNDS_PER_SEGMENT: usize = 4;
-/// Individually timed rounds per kernel per cell.
+/// Individually timed rounds per variant per cell.
 const MEASURED_ROUNDS: usize = SEGMENTS * ROUNDS_PER_SEGMENT;
 const SEED: u64 = 20210705; // ICDCS'21 presentation date, arbitrary but fixed
+
+/// One benched kernel configuration.
+#[derive(Clone)]
+struct VariantSpec {
+    /// JSON key (`scalar`, `arena`, `arena_simd`, `arena_parallel`,
+    /// `arena_parallel_t{t}`).
+    key: String,
+    kernel: KernelMode,
+    /// Worker count for parallel variants (`None` = mode default).
+    threads: Option<usize>,
+}
 
 struct CellMeasurement {
     n: usize,
     c: u32,
     lambda: f64,
     thrown_per_round: u64,
-    scalar: KernelStats,
-    arena: KernelStats,
+    /// Stats per variant, in `VariantSpec` order (scalar first).
+    variants: Vec<(VariantSpec, KernelStats)>,
+}
+
+impl CellMeasurement {
+    fn stats(&self, key: &str) -> Option<&KernelStats> {
+        self.variants
+            .iter()
+            .find(|(spec, _)| spec.key == key)
+            .map(|(_, stats)| stats)
+    }
 }
 
 struct KernelStats {
@@ -60,7 +91,7 @@ struct KernelStats {
     throws_per_sec: f64,
 }
 
-/// Folds one kernel's per-round samples into its summary stats.
+/// Folds one variant's per-round samples into its summary stats.
 fn summarize(mut samples: Vec<Duration>, thrown_per_round: u64) -> KernelStats {
     samples.sort_unstable();
     let median = samples[samples.len() / 2].as_nanos();
@@ -74,129 +105,223 @@ fn summarize(mut samples: Vec<Duration>, thrown_per_round: u64) -> KernelStats {
     }
 }
 
-/// Runs the scalar and arena kernels in **lockstep segments** on the
-/// same seed: each segment runs one untimed cache re-warm round plus
-/// [`ROUNDS_PER_SEGMENT`] timed rounds of the scalar kernel, then the
-/// same for the arena kernel, then asserts the two [`RoundReport`]s are
-/// bit-identical. Alternating segments means slow machine drift
-/// (frequency scaling, co-tenants) hits both sides of the ratio roughly
-/// equally instead of skewing whichever kernel ran in the noisier
-/// phase, while the re-warm round keeps each kernel's timed rounds
-/// cache-warm as in steady-state production use; the per-segment assert
-/// turns the measurement into a differential check of the whole
+/// One variant's live process plus its measurement state.
+struct Runner {
+    spec: VariantSpec,
+    process: CappedProcess,
+    rng: SimRng,
+    report: RoundReport,
+    samples: Vec<Duration>,
+}
+
+impl Runner {
+    fn new(spec: VariantSpec, config: &CappedConfig) -> Self {
+        let mut process = CappedProcess::with_kernel(config.clone(), spec.kernel);
+        if let Some(t) = spec.threads {
+            process.set_kernel_threads(t);
+        }
+        process.warm_start();
+        Runner {
+            spec,
+            process,
+            rng: SimRng::seed_from(SEED),
+            report: RoundReport::default(),
+            samples: Vec::with_capacity(MEASURED_ROUNDS),
+        }
+    }
+
+    /// One round through this variant's driver entry point. The scalar
+    /// side runs the per-round `step()` API — the only driver that
+    /// existed before the kernel landed (a fresh report, and with it the
+    /// waiting-time vector, is allocated every round, exactly as the
+    /// simulation engine used to do). Every arena-family variant runs the
+    /// kernel the way the engine drives it today: `step_into` with a
+    /// reused report.
+    fn step(&mut self) {
+        if self.spec.kernel == KernelMode::Scalar {
+            self.report = self.process.step(&mut self.rng);
+        } else {
+            self.process.step_into(&mut self.rng, &mut self.report);
+        }
+    }
+}
+
+/// Runs every variant in **lockstep segments** on the same seed: each
+/// segment runs, per variant, one untimed cache re-warm round plus
+/// [`ROUNDS_PER_SEGMENT`] timed rounds, then asserts all variants'
+/// [`RoundReport`]s are bit-identical. Alternating segments means slow
+/// machine drift (frequency scaling, co-tenants) hits every side of the
+/// ratios roughly equally instead of skewing whichever variant ran in
+/// the noisier phase, while the re-warm round keeps each variant's timed
+/// rounds cache-warm as in steady-state production use; the per-segment
+/// assert turns the measurement into a differential check of the whole
 /// trajectory.
-fn measure_cell(n: usize, c: u32, lambda: f64) -> CellMeasurement {
+fn measure_cell(n: usize, c: u32, lambda: f64, specs: &[VariantSpec]) -> CellMeasurement {
     eprintln!("measuring n={n} c={c} lambda={lambda} ...");
     let config = CappedConfig::new(n, c, lambda).expect("valid cell");
-    let mut scalar_p = CappedProcess::with_kernel(config.clone(), KernelMode::Scalar);
-    let mut arena_p = CappedProcess::with_kernel(config, KernelMode::Arena);
-    scalar_p.warm_start();
-    arena_p.warm_start();
-    let mut scalar_rng = SimRng::seed_from(SEED);
-    let mut arena_rng = SimRng::seed_from(SEED);
-    // The scalar side runs through the per-round `step()` entry point —
-    // the only driver API that existed before the kernel landed (a fresh
-    // report, and with it the waiting-time vector, is allocated every
-    // round, exactly as the simulation engine used to do). The arena side
-    // runs the kernel the way the engine drives it today: `step_into`
-    // with a reused report.
-    let mut arena_report = RoundReport::default();
-    for _ in 0..WARMUP_ROUNDS {
-        let _ = scalar_p.step(&mut scalar_rng);
-        arena_p.step_into(&mut arena_rng, &mut arena_report);
+    let mut runners: Vec<Runner> = specs
+        .iter()
+        .map(|spec| Runner::new(spec.clone(), &config))
+        .collect();
+    for runner in runners.iter_mut() {
+        for _ in 0..WARMUP_ROUNDS {
+            runner.step();
+        }
     }
-    let mut scalar_report;
-    let mut scalar_samples: Vec<Duration> = Vec::with_capacity(MEASURED_ROUNDS);
-    let mut arena_samples: Vec<Duration> = Vec::with_capacity(MEASURED_ROUNDS);
     let mut thrown_total = 0u64;
     for segment in 0..SEGMENTS {
-        scalar_report = scalar_p.step(&mut scalar_rng);
-        for _ in 0..ROUNDS_PER_SEGMENT {
-            let start = Instant::now();
-            scalar_report = scalar_p.step(&mut scalar_rng);
-            scalar_samples.push(start.elapsed());
+        for runner in runners.iter_mut() {
+            runner.step();
+            for _ in 0..ROUNDS_PER_SEGMENT {
+                let start = Instant::now();
+                runner.step();
+                runner.samples.push(start.elapsed());
+            }
         }
-        arena_p.step_into(&mut arena_rng, &mut arena_report);
-        for _ in 0..ROUNDS_PER_SEGMENT {
-            let start = Instant::now();
-            arena_p.step_into(&mut arena_rng, &mut arena_report);
-            arena_samples.push(start.elapsed());
-            thrown_total += arena_report.thrown;
+        thrown_total += ROUNDS_PER_SEGMENT as u64 * runners[0].report.thrown;
+        let (reference, rest) = runners.split_first().expect("at least one variant");
+        for runner in rest {
+            assert_eq!(
+                runner.report, reference.report,
+                "{} diverged from {} in segment {segment} at n={n} c={c} lambda={lambda}",
+                runner.spec.key, reference.spec.key
+            );
         }
-        assert_eq!(
-            arena_report, scalar_report,
-            "kernels diverged in measurement segment {segment} at n={n} c={c} lambda={lambda}"
-        );
     }
     let thrown = thrown_total / MEASURED_ROUNDS as u64;
-    let scalar = summarize(scalar_samples, thrown);
-    let arena = summarize(arena_samples, thrown);
-    let speedup = scalar.median_ns_per_round as f64 / arena.median_ns_per_round as f64;
-    eprintln!(
-        "  scalar {:>12} ns/round   arena {:>12} ns/round   speedup {speedup:.2}x",
-        scalar.median_ns_per_round, arena.median_ns_per_round
-    );
+    let variants: Vec<(VariantSpec, KernelStats)> = runners
+        .into_iter()
+        .map(|r| {
+            let stats = summarize(r.samples, thrown);
+            (r.spec, stats)
+        })
+        .collect();
+    let scalar_median = variants[0].1.median_ns_per_round;
+    for (spec, stats) in &variants {
+        let speedup = scalar_median as f64 / stats.median_ns_per_round as f64;
+        eprintln!(
+            "  {:<18} {:>12} ns/round   {:>14.0} throws/s   {speedup:.2}x vs scalar",
+            spec.key, stats.median_ns_per_round, stats.throws_per_sec
+        );
+    }
     CellMeasurement {
         n,
         c,
         lambda,
         thrown_per_round: thrown,
-        scalar,
-        arena,
+        variants,
     }
 }
 
-fn render_json(cells: &[CellMeasurement]) -> String {
+fn render_json(cells: &[CellMeasurement], parallel_threads: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"round_kernel\",\n");
     out.push_str(
-        "  \"description\": \"CAPPED(c, lambda) round throughput, before vs after the kernel \
-         PR: legacy scalar kernel through the pre-kernel per-round step() API \
-         (VecDeque-per-bin, per-ball RNG, fresh report allocation each round) vs flat-arena \
-         kernel through step_into (SoA BinArena, counting-sort acceptance, bulk RNG, reused \
-         round scratch). Same seed, bit-identical trajectories, alternating measurement \
-         segments; median over timed rounds in the stationary regime.\",\n",
+        "  \"description\": \"CAPPED(c, lambda) round throughput across kernel generations: \
+         legacy scalar kernel through the pre-kernel per-round step() API (VecDeque-per-bin, \
+         per-ball RNG, fresh report allocation each round) vs the flat-arena counting-sort \
+         kernel, the SWAR register-sweep kernel, and the intra-round partitioned parallel \
+         kernel, all through step_into with reused round scratch. Same seed, bit-identical \
+         trajectories, alternating measurement segments; median over timed rounds in the \
+         stationary regime.\",\n",
     );
     out.push_str("  \"regenerate\": \"cargo run --release -p iba-bench --bin round_kernel_baseline -- --out BENCH_round_kernel.json\",\n");
     let _ = writeln!(out, "  \"seed\": {SEED},");
     let _ = writeln!(out, "  \"warmup_rounds\": {WARMUP_ROUNDS},");
     let _ = writeln!(out, "  \"measured_rounds\": {MEASURED_ROUNDS},");
+    let _ = writeln!(
+        out,
+        "  \"available_parallelism\": {},",
+        available_parallelism()
+    );
+    let _ = writeln!(out, "  \"parallel_threads\": {parallel_threads},");
     out.push_str("  \"cells\": [\n");
     for (i, cell) in cells.iter().enumerate() {
-        let speedup =
-            cell.scalar.median_ns_per_round as f64 / cell.arena.median_ns_per_round as f64;
+        let scalar_median = cell.variants[0].1.median_ns_per_round;
         let _ = writeln!(out, "    {{");
         let _ = writeln!(
             out,
             "      \"n\": {}, \"c\": {}, \"lambda\": {}, \"thrown_per_round\": {},",
             cell.n, cell.c, cell.lambda, cell.thrown_per_round
         );
-        for (name, stats) in [("scalar", &cell.scalar), ("arena", &cell.arena)] {
+        for (spec, stats) in &cell.variants {
+            let threads = spec
+                .threads
+                .map_or(String::new(), |t| format!("\"threads\": {t}, "));
             let _ = writeln!(
                 out,
-                "      \"{name}\": {{ \"median_ns_per_round\": {}, \"min_ns_per_round\": {}, \
-                 \"rounds_per_sec\": {:.3}, \"throws_per_sec\": {:.0} }},",
+                "      \"{}\": {{ {threads}\"median_ns_per_round\": {}, \
+                 \"min_ns_per_round\": {}, \"rounds_per_sec\": {:.3}, \
+                 \"throws_per_sec\": {:.0} }},",
+                spec.key,
                 stats.median_ns_per_round,
                 stats.min_ns_per_round,
                 stats.rounds_per_sec,
                 stats.throws_per_sec
             );
         }
-        let _ = writeln!(out, "      \"arena_speedup\": {speedup:.3}");
+        for (key, label) in [
+            ("arena", "arena_speedup"),
+            ("arena_simd", "simd_speedup"),
+            ("arena_parallel", "parallel_speedup"),
+        ] {
+            if let Some(stats) = cell.stats(key) {
+                let speedup = scalar_median as f64 / stats.median_ns_per_round as f64;
+                let _ = writeln!(out, "      \"{label}\": {speedup:.3},");
+            }
+        }
+        // Strip the trailing comma of the last entry to stay valid JSON.
+        let trimmed = out.trim_end_matches('\n').trim_end_matches(',').len();
+        out.truncate(trimmed);
+        out.push('\n');
         let _ = writeln!(out, "    }}{}", if i + 1 < cells.len() { "," } else { "" });
     }
     out.push_str("  ]\n}\n");
     out
 }
 
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 fn main() -> ExitCode {
     let mut quick = false;
+    let mut assert_parallel_wins = false;
+    let mut n_override: Option<usize> = None;
+    let mut thread_sweep: Vec<usize> = Vec::new();
     let mut out_path = String::from("BENCH_round_kernel.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--assert-parallel-wins" => assert_parallel_wins = true,
+            "--n" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => n_override = Some(n),
+                _ => {
+                    eprintln!("--n requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => {
+                let parsed: Option<Vec<usize>> = args
+                    .next()
+                    .map(|list| {
+                        list.split(',')
+                            .map(|t| t.trim().parse::<usize>().ok().filter(|&t| t >= 1))
+                            .collect()
+                    })
+                    .unwrap_or(None);
+                match parsed {
+                    Some(list) if !list.is_empty() => thread_sweep = list,
+                    _ => {
+                        eprintln!("--threads requires a comma-separated list of counts >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--out" => match args.next() {
                 Some(path) => out_path = path,
                 None => {
@@ -206,35 +331,103 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: round_kernel_baseline [--quick] [--out BENCH_round_kernel.json]");
+                eprintln!(
+                    "usage: round_kernel_baseline [--quick] [--n N] [--threads LIST] \
+                     [--assert-parallel-wins] [--out BENCH_round_kernel.json]"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
 
-    let n = if quick { 20_000 } else { 1_000_000 };
+    let cores = available_parallelism();
+    let parallel_threads = CappedProcess::with_kernel(
+        CappedConfig::new(16, 2, 0.75).expect("valid probe config"),
+        KernelMode::ArenaParallel,
+    )
+    .kernel_threads();
+    let mut specs = vec![
+        VariantSpec {
+            key: "scalar".into(),
+            kernel: KernelMode::Scalar,
+            threads: None,
+        },
+        VariantSpec {
+            key: "arena".into(),
+            kernel: KernelMode::Arena,
+            threads: None,
+        },
+        VariantSpec {
+            key: "arena_simd".into(),
+            kernel: KernelMode::ArenaSimd,
+            threads: None,
+        },
+        VariantSpec {
+            key: "arena_parallel".into(),
+            kernel: KernelMode::ArenaParallel,
+            threads: Some(parallel_threads),
+        },
+    ];
+    for &t in &thread_sweep {
+        if t == parallel_threads {
+            continue; // already covered by the standing variant
+        }
+        specs.push(VariantSpec {
+            key: format!("arena_parallel_t{t}"),
+            kernel: KernelMode::ArenaParallel,
+            threads: Some(t),
+        });
+    }
+
+    let n = n_override.unwrap_or(if quick { 20_000 } else { 1_000_000 });
     let lambda = 0.95;
     let cells: Vec<CellMeasurement> = [2u32, 4, 8]
         .iter()
-        .map(|&c| measure_cell(n, c, lambda))
+        .map(|&c| measure_cell(n, c, lambda, &specs))
         .collect();
 
-    let json = render_json(&cells);
+    let json = render_json(&cells, parallel_threads);
     if let Err(err) = fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {err}");
         return ExitCode::FAILURE;
     }
     println!("{json}");
     eprintln!("wrote {out_path}");
+    let mut failed = false;
     for cell in &cells {
-        let speedup =
-            cell.scalar.median_ns_per_round as f64 / cell.arena.median_ns_per_round as f64;
+        let arena = cell.stats("arena").expect("standing variant");
+        let scalar_median = cell.variants[0].1.median_ns_per_round;
+        let speedup = scalar_median as f64 / arena.median_ns_per_round as f64;
         if speedup < 2.0 {
             eprintln!(
-                "WARNING: speedup {speedup:.2}x below the 2x acceptance bar at n={} c={}",
+                "WARNING: arena speedup {speedup:.2}x below the 2x acceptance bar at n={} c={}",
                 cell.n, cell.c
             );
         }
+        if assert_parallel_wins {
+            let parallel = cell.stats("arena_parallel").expect("standing variant");
+            if cores >= 2 && parallel_threads >= 2 {
+                // Minimum round time: the least noise-sensitive statistic
+                // for a CI gate on shared runners.
+                if parallel.min_ns_per_round > arena.min_ns_per_round {
+                    eprintln!(
+                        "FAIL: arena_parallel min {} ns/round is slower than arena min {} \
+                         ns/round at n={} c={} ({cores} cores, {parallel_threads} threads)",
+                        parallel.min_ns_per_round, arena.min_ns_per_round, cell.n, cell.c
+                    );
+                    failed = true;
+                }
+            } else {
+                eprintln!(
+                    "note: --assert-parallel-wins skipped at n={} c={} \
+                     ({cores} cores / {parallel_threads} threads resolved — need >= 2)",
+                    cell.n, cell.c
+                );
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

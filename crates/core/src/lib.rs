@@ -57,6 +57,7 @@ mod obs;
 pub mod pool;
 pub mod process;
 pub mod shard;
+mod simd;
 pub mod spec;
 
 pub use arena::{BinArena, BinView};

@@ -1,0 +1,974 @@
+//! SWAR and intra-round-parallel variants of the arena round kernel.
+//!
+//! The flat-arena kernel's per-bin state is already packed for data
+//! parallelism: the acceptance register is a `u32` of two `u16` fields
+//! (`remaining quota << 16 | ring cursor`), so a `u64` word holds **two
+//! bins = four `u16` lanes** — `(cursor₀ | quota₀ | cursor₁ | quota₁)`.
+//! This module exploits that three ways, all in safe, std-only Rust (the
+//! crate forbids `unsafe`, so there are no intrinsics and no pointer
+//! tricks — "SIMD" here is SWAR over `u64` words plus chunked loops the
+//! autovectorizer can keep in vector registers):
+//!
+//! 1. **SWAR meta sweeps** ([`commit_serve_prime_swar`],
+//!    [`prime_uniform_range`]): the fused commit + serve + re-prime pass
+//!    runs on register *words* — two bins per iteration, one subtraction
+//!    computing both post-accept lengths at once — and, on "regular"
+//!    windows (every bin online, no bin overfull), **never reads bin
+//!    meta**. The whole sweep is derivable from the registers alone:
+//!    with `rem` the remaining quota after the scatter, the post-accept
+//!    length is `c₀ − rem`, the register cursor *is* the ring tail
+//!    (serving advances `head`, not `tail`), and so `head = (cursor −
+//!    len) & mask`. Re-priming a served bin is then a per-lane add of
+//!    `1 << 16` — `rem′ = c₀ − (len − 1) = rem + 1`.
+//! 2. **Lookahead scatter** ([`fast_accept_simd`]): the scatter's
+//!    random accesses are the kernel's only cache-unfriendly pass; a
+//!    fixed-distance lookahead touch of the register and slot line a few
+//!    iterations ahead acts as a safe software prefetch (an
+//!    architectural load the out-of-order core can retire early).
+//! 3. **Intra-round parallel scatter + serve** ([`parallel_round`]):
+//!    bins are partitioned into contiguous ranges (boundaries rounded to
+//!    [`PARTITION_ALIGN`] bins so no two workers share a meta/register
+//!    cache line), `BinArena::split_slices_mut` hands each
+//!    `std::thread::scope` worker exclusive `&mut` windows, every worker
+//!    scans the *full* `(ball, choice)` stream read-only and scatters
+//!    only its own bins, and a driver-side merge replays the per-worker
+//!    reject lists in canonical stream order.
+//!
+//! # Why the parallel kernel is still bit-exact
+//!
+//! Bit-identity to the sequential kernel (and hence to the scalar
+//! reference, the Central-mode differential oracle) holds because nothing
+//! that depends on scheduling ever feeds back into the trajectory:
+//!
+//! - **Randomness** is drawn once, on the driver, by the same bulk
+//!   `fill_uniform_bins` call the sequential kernel makes — workers
+//!   consume no RNG. (Per-worker decorrelated streams, as the PerShard
+//!   serve mode uses, would change the draw order and break the oracle;
+//!   see DESIGN.md §kernel.)
+//! - **Acceptance** at a bin depends only on that bin's own request
+//!   subsequence, which each worker processes in stream order — the same
+//!   greedy oldest-first outcome as the sequential scatter, bin by bin.
+//! - **Rejects** are pushed per-worker as `(stream index, ball)` with
+//!   ascending indices; the k-way merge by stream index reproduces the
+//!   global age order exactly, so the pool refill is identical.
+//! - **Serves** happen per-bin in ascending bin order within each
+//!   worker, and worker ranges are themselves ascending, so the
+//!   concatenated waiting-time lists equal the sequential sweep's.
+//! - **Statistics** are folded with commutative/associative reductions
+//!   (sums and maxes of `u64`s), independent of completion order.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+use crate::arena::{self, ArenaSliceMut, BinArena};
+use crate::ball::Ball;
+use crate::obs;
+
+/// Worker partition boundaries are rounded up to this many bins. 16 bins
+/// cover two 64-byte lines of packed meta (8 × u64) and one line of
+/// acceptance registers (16 × u32), so adjacent workers never write the
+/// same cache line of either array — the false-sharing guard that makes
+/// the safe `split_at_mut` partitioning also be the cache-aware one.
+pub(crate) const PARTITION_ALIGN: usize = 16;
+
+/// Scatter lookahead distance (iterations). The touched register and
+/// slot-line loads act as safe software prefetches for the random
+/// accesses `LOOKAHEAD` iterations later.
+const LOOKAHEAD: usize = 16;
+
+/// Below this many thrown balls a parallel round runs its partitions
+/// inline (same partitioning, same merge — bit-identical), because
+/// spawning scoped workers costs more than the scatter saves.
+const SPAWN_MIN_THROWN: usize = 1 << 15;
+
+/// A bin index in a request stream — `u32` for the bulk-RNG path,
+/// `usize` for pre-drawn choice slices.
+pub(crate) trait BinIndex: Copy + Send + Sync {
+    /// The index as a `usize`.
+    fn bin(self) -> usize;
+}
+
+impl BinIndex for u32 {
+    #[inline]
+    fn bin(self) -> usize {
+        self as usize
+    }
+}
+
+impl BinIndex for usize {
+    #[inline]
+    fn bin(self) -> usize {
+        self
+    }
+}
+
+/// Serve-sweep outputs, per window or merged: what the process folds
+/// into its `RoundReport` and counters.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SweepStats {
+    /// Balls FIFO-served this sweep.
+    pub deleted: u64,
+    /// Online bins that had nothing to serve.
+    pub failed_deletions: u64,
+    /// Total post-serve buffered balls.
+    pub buffered: u64,
+    /// Largest post-serve bin load.
+    pub max_load: u64,
+    /// Whether the swept window is *regular* after the sweep: every bin
+    /// online with post-serve load ≤ c₀ — the precondition for the next
+    /// round's register-only SWAR sweep.
+    pub regular: bool,
+}
+
+impl Default for SweepStats {
+    fn default() -> Self {
+        SweepStats {
+            deleted: 0,
+            failed_deletions: 0,
+            buffered: 0,
+            max_load: 0,
+            regular: true,
+        }
+    }
+}
+
+impl SweepStats {
+    fn absorb(&mut self, o: SweepStats) {
+        self.deleted += o.deleted;
+        self.failed_deletions += o.failed_deletions;
+        self.buffered += o.buffered;
+        self.max_load = self.max_load.max(o.max_load);
+        self.regular &= o.regular;
+    }
+}
+
+/// Writes the acceptance registers of one bin window under a uniform
+/// capacity `c0` — `state[b] = (room << 16) | tail` — two bins per
+/// iteration (the meta reads are sequential and the two register
+/// assemblies independent, so the loop body pipelines as a 2-lane
+/// chunk). Offline bins get zero room.
+///
+/// Returns `None` on the shared fast-path bail conditions (`room >
+/// avail` — a capacity above the clamped stride — or a room that would
+/// not fit the `u16` quota field), in which case the caller must fall
+/// back to the exact-histogram pass; the registers written so far are
+/// scratch and harmless. On `Some`, the flag reports whether the window
+/// is regular (no offline bins, no bin holding more than `c0` balls) —
+/// the precondition for [`commit_serve_prime_swar`].
+///
+/// Bail-out telemetry is the caller's job (workers must not multi-count
+/// a single round's bail).
+fn prime_uniform_range(
+    part: &ArenaSliceMut<'_>,
+    offline: &[bool],
+    state: &mut [u32],
+    c0: u32,
+) -> Option<bool> {
+    let stride = part.stride;
+    let mask = stride - 1;
+    let n = state.len();
+    debug_assert_eq!(part.meta.len(), n);
+    debug_assert_eq!(offline.len(), n);
+    let c0us = c0 as usize;
+    let mut regular = true;
+    let mut bailed = false;
+    let mut b = 0usize;
+    let mut meta_pairs = part.meta.chunks_exact(2);
+    let mut state_pairs = state.chunks_exact_mut(2);
+    for (mp, sp) in (&mut meta_pairs).zip(&mut state_pairs) {
+        for lane in 0..2 {
+            let (head, len) = arena::unpack(mp[lane]);
+            let off = offline[b + lane];
+            let room = if off { 0 } else { c0us.saturating_sub(len) };
+            // Accumulated branchlessly; one test after the loop.
+            bailed |= room > stride - len || room > u16::MAX as usize;
+            regular &= !off && len <= c0us;
+            sp[lane] = ((room as u32) << 16) | (((head + len) & mask) as u32);
+        }
+        b += 2;
+    }
+    for (&m, s) in meta_pairs
+        .remainder()
+        .iter()
+        .zip(state_pairs.into_remainder())
+    {
+        let (head, len) = arena::unpack(m);
+        let off = offline[b];
+        let room = if off { 0 } else { c0us.saturating_sub(len) };
+        bailed |= room > stride - len || room > u16::MAX as usize;
+        regular &= !off && len <= c0us;
+        *s = ((room as u32) << 16) | (((head + len) & mask) as u32);
+        b += 1;
+    }
+    if bailed {
+        return None;
+    }
+    Some(regular)
+}
+
+/// The register-only fused commit + serve + re-prime sweep over a
+/// *regular* window (see [`prime_uniform_range`]): two bins per `u64`
+/// word, meta write-only. The derivations making this sound are in the
+/// module docs; the `debug_assert`s below re-check them per lane (kept
+/// hot in CI by the `-C debug-assertions` differential leg).
+///
+/// Bit-exact to the scalar sweep in `CappedProcess::run_round_into`:
+/// identical serve order, waiting times, statistics, and re-primed
+/// registers.
+pub(crate) fn commit_serve_prime_swar(
+    part: &mut ArenaSliceMut<'_>,
+    state: &mut [u32],
+    c0: u32,
+    round: u64,
+    waits: &mut Vec<u64>,
+) -> SweepStats {
+    let stride = part.stride;
+    let mask = (stride - 1) as u32;
+    let n = state.len();
+    debug_assert_eq!(part.meta.len(), n);
+    let c0u = c0 as u64;
+    // Both quota lanes of a register word.
+    const QMASK: u64 = 0xFFFF_0000_FFFF_0000;
+    let c0both = (c0u << 16) | (c0u << 48);
+    let mut stats = SweepStats::default();
+    let mut b = 0usize;
+    let mut pairs = state.chunks_exact_mut(2);
+    for sp in &mut pairs {
+        // The 4×u16 word: (cursor₀ | rem₀ | cursor₁ | rem₁).
+        let w = (sp[0] as u64) | ((sp[1] as u64) << 32);
+        // Both post-accept lengths in one subtraction: len = c₀ − rem in
+        // each quota lane. No borrow crosses into a cursor lane because
+        // rem ≤ c₀ in a regular window.
+        debug_assert!((w >> 16) & 0xFFFF <= c0u && (w >> 48) <= c0u);
+        let lens = c0both.wrapping_sub(w & QMASK) & QMASK;
+        if lens == 0 {
+            // Both bins empty: nothing to commit or serve, and the
+            // registers already hold next round's (c₀ << 16 | tail).
+            stats.failed_deletions += 2;
+            b += 2;
+            continue;
+        }
+        let mut reprime = 0u64;
+        for lane in 0..2 {
+            let shift = 32 * lane;
+            let len_post = ((lens >> (16 + shift)) & 0xFFFF) as u32;
+            if len_post == 0 {
+                stats.failed_deletions += 1;
+                continue;
+            }
+            let cur = ((w >> shift) & 0xFFFF) as u32;
+            let head = cur.wrapping_sub(len_post) & mask;
+            let bb = b + lane;
+            debug_assert_eq!(
+                arena::unpack(part.meta[bb]).0,
+                head as usize,
+                "regular-window head derivation out of sync with meta"
+            );
+            let ball = part.slots[bb * stride + head as usize];
+            waits.push(ball.age_at(round));
+            let len = len_post - 1;
+            part.meta[bb] = arena::pack(((head + 1) & mask) as usize, len as usize);
+            reprime += 1 << (16 + shift);
+            stats.deleted += 1;
+            stats.buffered += u64::from(len);
+            stats.max_load = stats.max_load.max(u64::from(len));
+        }
+        let w = w + reprime;
+        sp[0] = w as u32;
+        sp[1] = (w >> 32) as u32;
+        b += 2;
+    }
+    for s in pairs.into_remainder() {
+        let rem = *s >> 16;
+        debug_assert!(rem <= c0);
+        let len_post = c0 - rem;
+        if len_post == 0 {
+            stats.failed_deletions += 1;
+            continue;
+        }
+        let cur = *s & 0xFFFF;
+        let head = cur.wrapping_sub(len_post) & mask;
+        debug_assert_eq!(arena::unpack(part.meta[b]).0, head as usize);
+        let ball = part.slots[b * stride + head as usize];
+        waits.push(ball.age_at(round));
+        let len = len_post - 1;
+        part.meta[b] = arena::pack(((head + 1) & mask) as usize, len as usize);
+        *s += 1 << 16;
+        stats.deleted += 1;
+        stats.buffered += u64::from(len);
+        stats.max_load = stats.max_load.max(u64::from(len));
+    }
+    stats
+}
+
+/// The general fused commit + serve + re-prime sweep over a window that
+/// may hold offline or overfull bins — the windowed form of the scalar
+/// uniform sweep in `CappedProcess::run_round_into`, bit-exact to it.
+/// Recomputes the window's regularity for the next round.
+pub(crate) fn commit_serve_prime_general(
+    part: &mut ArenaSliceMut<'_>,
+    offline: &[bool],
+    state: &mut [u32],
+    c0: u32,
+    round: u64,
+    waits: &mut Vec<u64>,
+) -> SweepStats {
+    let stride = part.stride;
+    let mask = stride - 1;
+    let c0us = c0 as usize;
+    let mut stats = SweepStats::default();
+    for (b, s) in state.iter_mut().enumerate() {
+        let (head, len_pre) = arena::unpack(part.meta[b]);
+        if offline[b] {
+            // A crashed bin neither serves nor counts as a failed
+            // deletion *attempt* — it makes none. Its register had zero
+            // room; re-arm it with zero room again.
+            debug_assert_eq!(*s >> 16, 0);
+            *s = ((head + len_pre) & mask) as u32;
+            stats.buffered += len_pre as u64;
+            stats.max_load = stats.max_load.max(len_pre as u64);
+            stats.regular = false;
+            continue;
+        }
+        let taken = c0us.saturating_sub(len_pre) - (*s >> 16) as usize;
+        let len = len_pre + taken;
+        debug_assert!(len <= stride, "commit past ring bounds");
+        if len == 0 {
+            stats.failed_deletions += 1;
+            *s = (c0 << 16) | (head as u32);
+            continue;
+        }
+        let ball = part.slots[b * stride + head];
+        waits.push(ball.age_at(round));
+        stats.deleted += 1;
+        let head = (head + 1) & mask;
+        let len = len - 1;
+        part.meta[b] = arena::pack(head, len);
+        let tail = ((head + len) & mask) as u32;
+        // `saturating_sub`: an overfull bin (degraded-checkpoint restore)
+        // legally holds more than c₀ balls and must re-arm with zero
+        // room, not an underflowed quota.
+        *s = (c0.saturating_sub(len as u32) << 16) | tail;
+        stats.buffered += len as u64;
+        stats.max_load = stats.max_load.max(len as u64);
+        stats.regular &= len <= c0us;
+    }
+    stats
+}
+
+/// The scatter pass over a whole arena: one register read-modify-write
+/// per request plus the lookahead touch (see the module docs). Rejects
+/// go straight to `rejected` in stream order.
+fn scatter_all<C: BinIndex>(
+    part: &mut ArenaSliceMut<'_>,
+    state: &mut [u32],
+    balls: &[Ball],
+    choices: &[C],
+    rejected: &mut Vec<Ball>,
+) -> u64 {
+    let stride = part.stride;
+    let mask = (stride - 1) as u32;
+    let m = balls.len();
+    debug_assert_eq!(choices.len(), m);
+    let mut accepted = 0u64;
+    for i in 0..m {
+        if LOOKAHEAD != 0 && i + LOOKAHEAD < m {
+            let bf = choices[i + LOOKAHEAD].bin();
+            std::hint::black_box(state[bf]);
+            std::hint::black_box(part.slots[bf * stride]);
+        }
+        let b = choices[i].bin();
+        let s = state[b];
+        if s >= 1 << 16 {
+            let cur = (s & 0xFFFF) as usize;
+            part.slots[b * stride + cur] = balls[i];
+            state[b] = ((s >> 16) - 1) << 16 | ((cur as u32 + 1) & mask);
+            accepted += 1;
+        } else {
+            rejected.push(balls[i]);
+        }
+    }
+    accepted
+}
+
+/// A worker's scatter: scans the full stream but touches only the bins
+/// of its window (`first ..= first + window`), pushing its rejects as
+/// `(stream index, ball)` — ascending by construction, ready for the
+/// canonical k-way merge.
+fn scatter_window<C: BinIndex>(
+    part: &mut ArenaSliceMut<'_>,
+    state: &mut [u32],
+    first: usize,
+    balls: &[Ball],
+    choices: &[C],
+    rejects: &mut Vec<(u32, Ball)>,
+) -> u64 {
+    let stride = part.stride;
+    let mask = (stride - 1) as u32;
+    let lim = state.len();
+    let m = balls.len();
+    debug_assert_eq!(choices.len(), m);
+    let mut accepted = 0u64;
+    for i in 0..m {
+        if LOOKAHEAD != 0 && i + LOOKAHEAD < m {
+            let bf = choices[i + LOOKAHEAD].bin().wrapping_sub(first);
+            if bf < lim {
+                std::hint::black_box(state[bf]);
+                std::hint::black_box(part.slots[bf * stride]);
+            }
+        }
+        let b = choices[i].bin().wrapping_sub(first);
+        if b >= lim {
+            continue; // another worker's bin
+        }
+        let s = state[b];
+        if s >= 1 << 16 {
+            let cur = (s & 0xFFFF) as usize;
+            part.slots[b * stride + cur] = balls[i];
+            state[b] = ((s >> 16) - 1) << 16 | ((cur as u32 + 1) & mask);
+            accepted += 1;
+        } else {
+            rejects.push((i as u32, balls[i]));
+        }
+    }
+    accepted
+}
+
+/// SWAR/lookahead variant of [`arena::fast_accept`] for the sequential
+/// `ArenaSimd` path (and small/1-thread `ArenaParallel` rounds on
+/// non-uniform profiles). Uniform-capacity profiles get the chunked
+/// register-prime sweep and the lookahead scatter; non-uniform profiles
+/// delegate to the scalar fast path unchanged (their init must stream
+/// `caps` anyway). Same contract as `fast_accept`: `None` bails without
+/// consuming the stream, `Some` leaves ring lengths uncommitted, and
+/// `*regular` reports whether the arena qualifies for the register-only
+/// SWAR serve sweep.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fast_accept_simd<C: BinIndex>(
+    arena_: &mut BinArena,
+    offline: &[bool],
+    state: &mut Vec<u32>,
+    quotas: &mut Vec<u32>,
+    balls: &[Ball],
+    choices: &[C],
+    rejected: &mut Vec<Ball>,
+    primed: bool,
+    regular: &mut bool,
+) -> Option<u64> {
+    let n = offline.len();
+    debug_assert_eq!(n, arena_.bins());
+    debug_assert_eq!(balls.len(), choices.len());
+    let Some(c0) = arena_.uniform_cap() else {
+        *regular = false;
+        return arena::fast_accept(
+            arena_,
+            offline,
+            state,
+            quotas,
+            balls.len(),
+            choices.iter().map(|c| c.bin()).zip(balls.iter().copied()),
+            rejected,
+            primed,
+        );
+    };
+    if arena_.stride() > 1 << 15 {
+        *regular = false;
+        return arena::bail(); // register fields are u16
+    }
+    if primed {
+        debug_assert_eq!(state.len(), n);
+    } else {
+        let prime_timer = iba_obs::PhaseTimer::start();
+        state.resize(n, 0);
+        let part = arena_.as_slice_mut();
+        match prime_uniform_range(&part, offline, state, c0) {
+            Some(r) => *regular = r,
+            None => {
+                *regular = false;
+                return arena::bail();
+            }
+        }
+        if let Some(p) = obs::probes() {
+            prime_timer.observe(&p.phase_prime_nanos);
+        }
+    }
+    let scatter_timer = iba_obs::PhaseTimer::start();
+    let mut part = arena_.as_slice_mut();
+    let accepted = scatter_all(&mut part, state, balls, choices, rejected);
+    if let Some(p) = obs::probes() {
+        scatter_timer.observe(&p.phase_scatter_nanos);
+        p.fast_accept_rounds.inc();
+    }
+    Some(accepted)
+}
+
+/// Per-worker round-persistent scratch of the parallel kernel.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WorkerScratch {
+    /// This round's rejects, `(stream index, ball)`, ascending.
+    rejects: Vec<(u32, Ball)>,
+    /// Merge cursor into `rejects`.
+    cursor: usize,
+    /// This round's waiting times, ascending bin order within the window.
+    waits: Vec<u64>,
+    /// Balls this worker accepted.
+    accepted: u64,
+    /// This worker's serve-sweep outputs.
+    stats: SweepStats,
+    /// Whether this worker's window was regular at accept time.
+    regular: bool,
+}
+
+/// One worker's job: exclusive windows plus shared read-only stream.
+struct Job<'a, 'b, C: BinIndex> {
+    part: ArenaSliceMut<'a>,
+    state: &'a mut [u32],
+    offline: &'a [bool],
+    ws: &'a mut WorkerScratch,
+    first: usize,
+    balls: &'b [Ball],
+    choices: &'b [C],
+}
+
+impl<C: BinIndex> Job<'_, '_, C> {
+    /// Prime (cold rounds) + scatter. Returns `false` on a prime bail.
+    fn accept_phase(&mut self, primed: bool, regular_in: bool, c0: u32) -> bool {
+        self.ws.accepted = 0;
+        self.ws.stats = SweepStats::default();
+        if primed {
+            self.ws.regular = regular_in;
+        } else {
+            match prime_uniform_range(&self.part, self.offline, self.state, c0) {
+                Some(r) => self.ws.regular = r,
+                None => return false,
+            }
+        }
+        self.ws.accepted = scatter_window(
+            &mut self.part,
+            self.state,
+            self.first,
+            self.balls,
+            self.choices,
+            &mut self.ws.rejects,
+        );
+        true
+    }
+
+    /// Fused commit + serve + re-prime over the window. `all_regular` is
+    /// the cross-worker AND of the accept-phase regular flags — the SWAR
+    /// sweep is only entered when *every* window qualifies, so the global
+    /// regular flag the driver keeps stays one bit.
+    fn serve_phase(&mut self, all_regular: bool, c0: u32, round: u64) {
+        self.ws.stats = if all_regular {
+            commit_serve_prime_swar(&mut self.part, self.state, c0, round, &mut self.ws.waits)
+        } else {
+            commit_serve_prime_general(
+                &mut self.part,
+                self.offline,
+                self.state,
+                c0,
+                round,
+                &mut self.ws.waits,
+            )
+        };
+    }
+}
+
+/// Merged outputs of a parallel round (accept *and* serve are done; the
+/// caller only folds these into its report and counters).
+#[derive(Debug)]
+pub(crate) struct ParallelOutcome {
+    /// Balls accepted across all workers.
+    pub accepted: u64,
+    /// Merged serve statistics; `regular` is next round's flag.
+    pub stats: SweepStats,
+}
+
+/// One full accept + serve round of the partitioned parallel kernel over
+/// a uniform-capacity arena. Returns `None` (bit-exactly nothing
+/// committed or served — the caller falls back to the exact-histogram
+/// pass and its own serve sweep) if any worker hit a fast-path bail
+/// condition. See the module docs for the determinism argument.
+///
+/// `threads` is the target worker count; rounds below
+/// [`SPAWN_MIN_THROWN`] thrown balls run the same partitions inline.
+/// Waiting times are appended to `waits` in global bin order; merged
+/// rejects to `rejected` in global age (stream) order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn parallel_round<C: BinIndex>(
+    arena_: &mut BinArena,
+    offline: &[bool],
+    state: &mut Vec<u32>,
+    workers: &mut Vec<WorkerScratch>,
+    threads: usize,
+    primed: bool,
+    regular_in: bool,
+    round: u64,
+    balls: &[Ball],
+    choices: &[C],
+    rejected: &mut Vec<Ball>,
+    waits: &mut Vec<u64>,
+) -> Option<ParallelOutcome> {
+    let n = offline.len();
+    debug_assert_eq!(n, arena_.bins());
+    let Some(c0) = arena_.uniform_cap() else {
+        unreachable!("parallel_round is gated on a uniform capacity profile");
+    };
+    if arena_.stride() > 1 << 15 {
+        let _ = arena::bail();
+        return None;
+    }
+
+    // Partition into ≤ `threads` contiguous ranges on PARTITION_ALIGN
+    // boundaries (see its docs for the cache-line argument).
+    let per = n.div_ceil(threads.max(1)).next_multiple_of(PARTITION_ALIGN);
+    let mut bounds = Vec::with_capacity(threads.max(1));
+    let mut at = 0usize;
+    while at < n {
+        at = (at + per).min(n);
+        bounds.push(at);
+    }
+    let w = bounds.len();
+    if workers.len() < w {
+        workers.resize_with(w, WorkerScratch::default);
+    }
+    for ws in workers.iter_mut() {
+        ws.rejects.clear();
+        ws.cursor = 0;
+        ws.waits.clear();
+    }
+    if state.len() != n {
+        debug_assert!(!primed);
+        state.resize(n, 0);
+    }
+
+    // Safe exclusive windows: arena slots/meta, registers, offline mask.
+    let parts = arena_.split_slices_mut(&bounds);
+    let mut jobs: Vec<Job<'_, '_, C>> = Vec::with_capacity(w);
+    let mut state_rest: &mut [u32] = state;
+    let mut first = 0usize;
+    for (part, ws) in parts.into_iter().zip(workers.iter_mut()) {
+        let take = part.meta.len();
+        let (st, rest) = state_rest.split_at_mut(take);
+        state_rest = rest;
+        jobs.push(Job {
+            part,
+            state: st,
+            offline: &offline[first..first + take],
+            ws,
+            first,
+            balls,
+            choices,
+        });
+        first += take;
+    }
+
+    let scatter_timer = iba_obs::PhaseTimer::start();
+    let spawn = w > 1 && balls.len() >= SPAWN_MIN_THROWN;
+    let bailed;
+    if spawn {
+        let barrier = Barrier::new(w);
+        let bail_flag = AtomicBool::new(false);
+        let irregular = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let barrier = &barrier;
+            let bail_flag = &bail_flag;
+            let irregular = &irregular;
+            for mut job in jobs {
+                scope.spawn(move || {
+                    if !job.accept_phase(primed, regular_in, c0) {
+                        bail_flag.store(true, Ordering::Relaxed);
+                    } else if !job.ws.regular {
+                        irregular.store(true, Ordering::Relaxed);
+                    }
+                    // Every worker must finish (or abandon) its scatter
+                    // before any serve commits state, and the SWAR-vs-
+                    // general serve choice needs the cross-worker flags.
+                    barrier.wait();
+                    if bail_flag.load(Ordering::Relaxed) {
+                        return; // uncommitted scatter writes are scratch
+                    }
+                    job.serve_phase(!irregular.load(Ordering::Relaxed), c0, round);
+                });
+            }
+        });
+        bailed = bail_flag.load(Ordering::Relaxed);
+    } else {
+        let mut ok = true;
+        for job in jobs.iter_mut() {
+            ok &= job.accept_phase(primed, regular_in, c0);
+        }
+        if ok {
+            let all_regular = jobs.iter().all(|j| j.ws.regular);
+            for job in jobs.iter_mut() {
+                job.serve_phase(all_regular, c0, round);
+            }
+        }
+        bailed = !ok;
+        drop(jobs);
+    }
+    if bailed {
+        let _ = arena::bail();
+        return None;
+    }
+    if let Some(p) = obs::probes() {
+        scatter_timer.observe(&p.phase_scatter_nanos);
+        p.fast_accept_rounds.inc();
+        if spawn {
+            p.parallel_rounds.inc();
+        }
+    }
+
+    // Deterministic merge: commutative stat folds, waits concatenated in
+    // worker (= global bin) order, rejects k-way-merged back into exact
+    // stream order by their indices.
+    let merge_timer = iba_obs::PhaseTimer::start();
+    let mut accepted = 0u64;
+    let mut stats = SweepStats::default();
+    for ws in workers[..w].iter() {
+        accepted += ws.accepted;
+        stats.absorb(ws.stats);
+        waits.extend_from_slice(&ws.waits);
+    }
+    if w == 1 {
+        rejected.extend(workers[0].rejects.iter().map(|&(_, ball)| ball));
+    } else {
+        let total: usize = workers[..w].iter().map(|ws| ws.rejects.len()).sum();
+        rejected.reserve(total);
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for (i, ws) in workers[..w].iter().enumerate() {
+                if let Some(&(si, _)) = ws.rejects.get(ws.cursor) {
+                    if best.is_none_or(|(bs, _)| si < bs) {
+                        best = Some((si, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let ws = &mut workers[i];
+            rejected.push(ws.rejects[ws.cursor].1);
+            ws.cursor += 1;
+        }
+    }
+    if let Some(p) = obs::probes() {
+        merge_timer.observe(&p.phase_merge_nanos);
+    }
+    Some(ParallelOutcome { accepted, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Capacity;
+
+    fn uniform_arena(n: usize, c: u32) -> BinArena {
+        BinArena::new(vec![Capacity::finite(c).unwrap(); n])
+    }
+
+    /// Runs one full fast round (prime + scatter + SWAR sweep) on a
+    /// fresh arena and cross-checks against the plain sequential kernel
+    /// primitives.
+    #[test]
+    fn swar_round_matches_scalar_primitives() {
+        let n = 37; // odd: exercises the remainder lanes
+        let c = 3u32;
+        let round = 5u64;
+        let balls: Vec<Ball> = (0..200).map(|i| Ball::generated_in(i % 5)).collect();
+        let choices: Vec<u32> = (0..200u32).map(|i| (i * 7) % n as u32).collect();
+        let offline = vec![false; n];
+
+        // SWAR path.
+        let mut a = uniform_arena(n, c);
+        let mut state = Vec::new();
+        let mut quotas = Vec::new();
+        let mut rej_a = Vec::new();
+        let mut regular = false;
+        let acc_a = fast_accept_simd(
+            &mut a,
+            &offline,
+            &mut state,
+            &mut quotas,
+            &balls,
+            &choices,
+            &mut rej_a,
+            false,
+            &mut regular,
+        )
+        .expect("no bail on a fresh uniform arena");
+        assert!(regular);
+        let mut waits_a = Vec::new();
+        let stats =
+            commit_serve_prime_swar(&mut a.as_slice_mut(), &mut state, c, round, &mut waits_a);
+        assert!(stats.regular);
+
+        // Reference path.
+        let mut b = uniform_arena(n, c);
+        let mut state_b = Vec::new();
+        let mut quotas_b = Vec::new();
+        let mut rej_b = Vec::new();
+        let acc_b = arena::fast_accept(
+            &mut b,
+            &offline,
+            &mut state_b,
+            &mut quotas_b,
+            balls.len(),
+            choices
+                .iter()
+                .map(|&c| c as usize)
+                .zip(balls.iter().copied()),
+            &mut rej_b,
+            false,
+        )
+        .expect("no bail");
+        let mut waits_b = Vec::new();
+        let mut failed_b = 0u64;
+        for (bin, reg) in state_b.iter().enumerate().take(n) {
+            let (served, _, _) = b.commit_serve_uniform(bin, c, reg >> 16);
+            match served {
+                Some(ball) => waits_b.push(ball.age_at(round)),
+                None => failed_b += 1,
+            }
+        }
+
+        assert_eq!(acc_a, acc_b);
+        assert_eq!(rej_a, rej_b);
+        assert_eq!(waits_a, waits_b);
+        assert_eq!(stats.deleted, waits_b.len() as u64);
+        assert_eq!(stats.failed_deletions, failed_b);
+        for bin in 0..n {
+            assert_eq!(a.len(bin), b.len(bin), "bin {bin} length diverged");
+            assert_eq!(
+                a.iter_bin(bin).collect::<Vec<_>>(),
+                b.iter_bin(bin).collect::<Vec<_>>(),
+                "bin {bin} contents diverged"
+            );
+        }
+        // Re-primed registers must match what the reference priming
+        // sweep would write from the post-serve meta.
+        let mut fresh = Vec::new();
+        let reg = prime_uniform_range(
+            &a.as_slice_mut(),
+            &offline,
+            {
+                fresh.resize(n, 0);
+                &mut fresh
+            },
+            c,
+        )
+        .expect("regular arena");
+        assert!(reg);
+        assert_eq!(state, fresh);
+    }
+
+    /// The parallel round (inline partitions and any thread count) is
+    /// bit-identical to the sequential SWAR round.
+    #[test]
+    fn parallel_round_matches_sequential_for_any_worker_count() {
+        let n = 100;
+        let c = 2u32;
+        let balls: Vec<Ball> = (0..400).map(|i| Ball::generated_in(i % 7)).collect();
+        let choices: Vec<u32> = (0..400u32).map(|i| (i * 13) % n as u32).collect();
+        let offline = vec![false; n];
+        let round = 9u64;
+
+        // Sequential reference.
+        let mut a = uniform_arena(n, c);
+        let mut state_a = Vec::new();
+        let mut quotas = Vec::new();
+        let mut rej_a = Vec::new();
+        let mut regular = false;
+        let acc_a = fast_accept_simd(
+            &mut a,
+            &offline,
+            &mut state_a,
+            &mut quotas,
+            &balls,
+            &choices,
+            &mut rej_a,
+            false,
+            &mut regular,
+        )
+        .unwrap();
+        let mut waits_a = Vec::new();
+        let stats_a =
+            commit_serve_prime_swar(&mut a.as_slice_mut(), &mut state_a, c, round, &mut waits_a);
+
+        for threads in 1..=8 {
+            let mut b = uniform_arena(n, c);
+            let mut state_b = Vec::new();
+            let mut workers = Vec::new();
+            let mut rej_b = Vec::new();
+            let mut waits_b = Vec::new();
+            let out = parallel_round(
+                &mut b,
+                &offline,
+                &mut state_b,
+                &mut workers,
+                threads,
+                false,
+                false,
+                round,
+                &balls,
+                &choices,
+                &mut rej_b,
+                &mut waits_b,
+            )
+            .expect("no bail");
+            assert_eq!(out.accepted, acc_a, "threads={threads}");
+            assert_eq!(rej_b, rej_a, "threads={threads}");
+            assert_eq!(waits_b, waits_a, "threads={threads}");
+            assert_eq!(out.stats.deleted, stats_a.deleted);
+            assert_eq!(out.stats.failed_deletions, stats_a.failed_deletions);
+            assert_eq!(out.stats.buffered, stats_a.buffered);
+            assert_eq!(out.stats.max_load, stats_a.max_load);
+            assert_eq!(state_b, state_a, "threads={threads}");
+            for bin in 0..n {
+                assert_eq!(
+                    a.iter_bin(bin).collect::<Vec<_>>(),
+                    b.iter_bin(bin).collect::<Vec<_>>(),
+                    "threads={threads} bin {bin}"
+                );
+            }
+        }
+    }
+
+    /// Offline and overfull bins force the general sweep and clear the
+    /// regular flag; the sweep still re-arms every register correctly.
+    #[test]
+    fn general_sweep_handles_offline_and_overfull_windows() {
+        let n = 8;
+        let c = 2u32;
+        // Bin 3 overfull (4 > c), bin 5 offline.
+        let mut contents = vec![Vec::new(); n];
+        contents[3] = (0..4).map(Ball::generated_in).collect();
+        let mut a = BinArena::from_bins(vec![Capacity::finite(c).unwrap(); n], contents);
+        let mut offline = vec![false; n];
+        offline[5] = true;
+
+        let mut state = vec![0u32; n];
+        let reg =
+            prime_uniform_range(&a.as_slice_mut(), &offline, &mut state, c).expect("fits the ring");
+        assert!(!reg, "overfull + offline windows are not regular");
+        assert_eq!(state[3] >> 16, 0, "overfull bin gets zero room");
+        assert_eq!(state[5] >> 16, 0, "offline bin gets zero room");
+
+        let mut waits = Vec::new();
+        let stats = commit_serve_prime_general(
+            &mut a.as_slice_mut(),
+            &offline,
+            &mut state,
+            c,
+            7,
+            &mut waits,
+        );
+        assert!(!stats.regular, "still overfull after one serve");
+        assert_eq!(stats.deleted, 1, "only the overfull bin had a ball");
+        assert_eq!(a.len(3), 3);
+        assert_eq!(state[3] >> 16, 0, "3 > c₀: still zero room, no underflow");
+        assert_eq!(
+            stats.failed_deletions,
+            (n - 2) as u64,
+            "all empty online bins fail to serve; the offline bin is not counted"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests of the intra-round parallel kernel's determinism: the
+//! partitioned scatter + fused serve must produce the scalar oracle's
+//! exact trajectory for **any** worker count — the merge replays accepts,
+//! rejects, and waiting times in canonical order regardless of how the
+//! bins were partitioned (see `iba_core::simd`'s module docs for the
+//! argument these properties pin down).
+
+use iba_core::process::KernelMode;
+use iba_core::{CappedConfig, CappedProcess};
+use iba_sim::process::AllocationProcess;
+use iba_sim::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any thread count in 1..=8 yields the scalar kernel's bit-exact
+    /// trajectory (reports, RNG consumption, loads, and pool).
+    #[test]
+    fn any_thread_count_matches_the_scalar_trajectory(
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+        cell in 0usize..3,
+    ) {
+        const CELLS: [(usize, u32, f64); 3] = [(64, 2, 0.75), (96, 3, 0.875), (128, 1, 0.5)];
+        let (n, c, lambda) = CELLS[cell];
+        let config = CappedConfig::new(n, c, lambda).expect("valid cell");
+        let mut par = CappedProcess::with_kernel(config.clone(), KernelMode::ArenaParallel);
+        par.set_kernel_threads(threads);
+        prop_assert_eq!(par.kernel_threads(), threads);
+        let mut scalar = CappedProcess::with_kernel(config, KernelMode::Scalar);
+        let mut rng_p = SimRng::seed_from(seed);
+        let mut rng_s = SimRng::seed_from(seed);
+        for round in 0..120u64 {
+            let a = par.step(&mut rng_p);
+            let s = scalar.step(&mut rng_s);
+            prop_assert_eq!(a, s, "{} threads diverged at round {}", threads, round);
+            prop_assert_eq!(rng_p.state(), rng_s.state(), "RNG diverged at round {}", round);
+        }
+        prop_assert_eq!(par.loads(), scalar.loads());
+        prop_assert_eq!(par.pool_size(), scalar.pool_size());
+        prop_assert!(par.conserves_balls());
+    }
+
+    /// Two different thread counts agree with each other round-for-round
+    /// from a warm start (stationary pool sizes from the first step).
+    #[test]
+    fn thread_counts_agree_pairwise_from_warm_start(
+        t1 in 1usize..=8,
+        t2 in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let config = CappedConfig::new(128, 2, 0.875).expect("valid cell");
+        let mut a = CappedProcess::with_kernel(config.clone(), KernelMode::ArenaParallel);
+        let mut b = CappedProcess::with_kernel(config, KernelMode::ArenaParallel);
+        a.set_kernel_threads(t1);
+        b.set_kernel_threads(t2);
+        a.warm_start();
+        b.warm_start();
+        let mut rng_a = SimRng::seed_from(seed);
+        let mut rng_b = SimRng::seed_from(seed);
+        for round in 0..80u64 {
+            prop_assert_eq!(
+                a.step(&mut rng_a),
+                b.step(&mut rng_b),
+                "{} vs {} threads diverged at round {}", t1, t2, round
+            );
+        }
+        prop_assert_eq!(a.loads(), b.loads());
+    }
+}

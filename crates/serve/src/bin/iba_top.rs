@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use iba_analysis::bounds::theorem2_pool_bound;
 use iba_core::CappedConfig;
 use iba_obs::HistogramSnapshot;
-use iba_serve::{CappedService, Pacing, RngMode, RoundClock, ServiceConfig};
+use iba_serve::{CappedService, KernelMode, Pacing, RngMode, RoundClock, ServiceConfig};
 
 struct Options {
     n: usize,
@@ -37,6 +37,7 @@ struct Options {
     refresh_ms: u64,
     pace_us: u64,
     mode: RngMode,
+    kernel: KernelMode,
 }
 
 impl Options {
@@ -53,6 +54,7 @@ impl Options {
             refresh_ms: 250,
             pace_us: 1_000,
             mode: RngMode::PerShard,
+            kernel: KernelMode::default(),
         }
     }
 }
@@ -61,7 +63,7 @@ const USAGE: &str = "iba-top: live dashboard over a sharded CAPPED(c, lambda) se
 
 USAGE: iba-top [--n BINS] [--c CAP] [--lambda L] [--shards S] [--rounds N]
                [--seed SEED] [--refresh-ms MS] [--pace-us MICROS]
-               [--mode central|pershard]
+               [--mode central|pershard] [--kernel scalar|arena|simd|parallel]
 
 Runs the service under model arrivals with telemetry enabled and refreshes
 a top-style dashboard: pool vs the Theorem 1 bound, waiting-time quantiles,
@@ -73,6 +75,20 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, Strin
     value
         .parse()
         .map_err(|_| format!("invalid value for {flag}: {value}"))
+}
+
+/// Parses a `--kernel` value; every mode is bit-exact, so this is purely
+/// a performance knob (see DESIGN.md "Round kernel").
+fn parse_kernel(value: &str) -> Result<KernelMode, String> {
+    match value {
+        "scalar" => Ok(KernelMode::Scalar),
+        "arena" => Ok(KernelMode::Arena),
+        "simd" => Ok(KernelMode::ArenaSimd),
+        "parallel" => Ok(KernelMode::ArenaParallel),
+        other => Err(format!(
+            "--kernel must be scalar|arena|simd|parallel, got {other}"
+        )),
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -101,6 +117,7 @@ fn parse_args() -> Result<Options, String> {
                     _ => return Err(format!("--mode must be central or pershard, got {value}")),
                 }
             }
+            "--kernel" => opts.kernel = parse_kernel(&value)?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -225,6 +242,12 @@ fn render_frame(
         ("merge", "iba_serve_phase_merge_nanos"),
         ("shard round", "iba_serve_shard_round_nanos"),
         ("full round", "iba_serve_round_nanos"),
+        // Kernel sub-phases (sampled only on SIMD/parallel kernel modes;
+        // "prime" appears only on cold rounds — its absence at steady
+        // state means the register-priming sweep is being elided).
+        ("krn prime", "iba_core_phase_prime_nanos"),
+        ("krn scatter", "iba_core_phase_scatter_nanos"),
+        ("krn merge", "iba_core_phase_merge_nanos"),
     ] {
         let _ = writeln!(
             frame,
@@ -244,6 +267,7 @@ fn run(opts: &Options) -> Result<(), String> {
     let mut service = CappedService::spawn(
         ServiceConfig::new(capped, opts.shards, opts.seed)
             .with_rng_mode(opts.mode)
+            .with_kernel(opts.kernel)
             .with_model_arrivals(true),
     )
     .map_err(|e| format!("invalid service configuration: {e}"))?;

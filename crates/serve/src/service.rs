@@ -28,7 +28,7 @@ use std::thread::JoinHandle;
 use iba_analysis::bounds::theorem2_pool_bound;
 use iba_core::metrics::WaitQuantiles;
 use iba_core::shard::{shard_range, BinShard};
-use iba_core::{AcceptancePolicy, Ball, Capacity, CappedConfig, Pool};
+use iba_core::{AcceptancePolicy, Ball, Capacity, CappedConfig, KernelMode, Pool};
 use iba_membership::{Autoscaler, MembershipEvent, MembershipPlan};
 use iba_sim::codec::{Decoder, Encoder};
 use iba_sim::error::ConfigError;
@@ -98,6 +98,11 @@ pub struct ServiceConfig {
     /// passed; the ball itself still gets served — paper semantics are
     /// untouched). `None` keeps tickets forever.
     pub ticket_ttl_rounds: Option<u64>,
+    /// Acceptance kernel every shard runs (see [`KernelMode`]). All
+    /// variants are bit-exact; within a shard `ArenaParallel` runs the
+    /// same SWAR sweep as `ArenaSimd` because the service's parallelism
+    /// is already one thread per shard.
+    pub kernel: KernelMode,
 }
 
 impl ServiceConfig {
@@ -114,6 +119,7 @@ impl ServiceConfig {
             ingress_capacity: 1 << 16,
             max_admit_per_round: None,
             ticket_ttl_rounds: None,
+            kernel: KernelMode::default(),
         }
     }
 
@@ -157,6 +163,13 @@ impl ServiceConfig {
         self.ticket_ttl_rounds = ttl;
         self
     }
+
+    /// Selects the acceptance kernel the shard workers run.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 struct Worker {
@@ -183,6 +196,8 @@ pub struct CappedService {
     /// Next stable worker id to hand out (split shards get fresh ids).
     next_worker_id: usize,
     rng_mode: RngMode,
+    /// Acceptance kernel handed to every shard (split shards inherit it).
+    kernel: KernelMode,
     model_arrivals: bool,
     max_admit: Option<u64>,
     driver_rng: SimRng,
@@ -268,7 +283,12 @@ impl CappedService {
             .iter()
             .cloned()
             .zip(shard_rngs)
-            .map(|(range, rng)| (BinShard::new(&config.capped, range), rng))
+            .map(|(range, rng)| {
+                (
+                    BinShard::new(&config.capped, range).with_kernel(config.kernel),
+                    rng,
+                )
+            })
             .collect();
         let live_n = config.capped.bins();
         Ok(Self::assemble(
@@ -343,6 +363,7 @@ impl CappedService {
             live_n,
             next_worker_id: shards,
             rng_mode: config.rng_mode,
+            kernel: config.kernel,
             model_arrivals: config.model_arrivals,
             max_admit: config.max_admit_per_round,
             driver_rng,
@@ -543,7 +564,8 @@ impl CappedService {
                 .map(|i| process.bin(i).iter().copied().collect())
                 .collect();
             let offline: Vec<bool> = range.clone().map(|i| process.is_bin_offline(i)).collect();
-            let bins = BinShard::from_state(&expected, range, caps, contents, offline);
+            let bins = BinShard::from_state(&expected, range, caps, contents, offline)
+                .with_kernel(config.kernel);
             let rng = match saved_mode {
                 RngMode::Central => None,
                 RngMode::PerShard => Some(SimRng::from_state(shard_rng_states[s])),
@@ -1337,7 +1359,8 @@ impl CappedService {
         let parts = rx.recv().expect("shard worker alive");
         let upper_buffered: u64 = parts.iter().map(|(_, c, _)| c.len() as u64).sum();
         let first_bin = range.start + at;
-        let bins = BinShard::from_parts(first_bin, self.config.capacity(), parts);
+        let bins =
+            BinShard::from_parts(first_bin, self.config.capacity(), parts).with_kernel(self.kernel);
         let rng = match self.rng_mode {
             RngMode::Central => None,
             // A fresh deterministic stream: split off the driver's

@@ -26,8 +26,8 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::fs;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use iba_core::{Ball, CappedConfig, CappedProcess};
 use iba_membership::{
@@ -474,8 +474,8 @@ fn render_json(
     out
 }
 
-fn run(ci: bool, out: Option<&str>) -> Result<(), String> {
-    let tuning = if ci { &CI } else { &FULL };
+fn run(opts: &Options, started: Instant) -> Result<(), String> {
+    let tuning = if opts.ci { &CI } else { &FULL };
 
     eprintln!("--- router head-to-head ---");
     let events = run_routers(tuning)?;
@@ -509,39 +509,70 @@ fn run(ci: bool, out: Option<&str>) -> Result<(), String> {
     eprintln!("bit-identical to CappedProcess over {diff_rounds} rounds");
 
     let json = render_json(tuning, &events, &gauntlet, diff_rounds);
-    if let Some(path) = out {
-        fs::write(path, &json).map_err(|e| format!("failed to write {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
+    let json = match opts.out.as_deref() {
+        Some(path) => iba_bench::prov::finalize(
+            "membership",
+            &json,
+            std::path::Path::new(path),
+            opts.registry.as_deref().map(std::path::Path::new),
+            opts.force,
+            None,
+            started.elapsed().as_secs_f64() * 1e3,
+        )?,
+        None => json,
+    };
     println!("{json}");
     Ok(())
 }
 
+struct Options {
+    ci: bool,
+    out: Option<String>,
+    registry: Option<String>,
+    force: bool,
+}
+
 fn main() -> ExitCode {
-    let mut ci = false;
-    let mut out: Option<String> = None;
+    let started = Instant::now();
+    let mut opts = Options {
+        ci: false,
+        out: None,
+        registry: None,
+        force: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--ci" => ci = true,
+            "--ci" => opts.ci = true,
+            "--force" => opts.force = true,
             "--out" => match args.next() {
-                Some(path) => out = Some(path),
+                Some(path) => opts.out = Some(path),
                 None => {
                     eprintln!("--out requires a value");
                     return ExitCode::FAILURE;
                 }
             },
+            "--registry" => match args.next() {
+                Some(path) => opts.registry = Some(path),
+                None => {
+                    eprintln!("--registry requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: membership_baseline [--ci] [--out BENCH_membership.json]");
+                eprintln!(
+                    "usage: membership_baseline [--ci] [--out BENCH_membership.json] \
+                     [--registry PATH] [--force]"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
-    if out.is_none() && !ci {
-        out = Some(String::from("BENCH_membership.json"));
+    if opts.out.is_none() && !opts.ci {
+        opts.out = Some(String::from("BENCH_membership.json"));
     }
-    match run(ci, out.as_deref()) {
+    match run(&opts, started) {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("membership_baseline: {err}");

@@ -26,7 +26,6 @@
 //! strictly) without writing a file unless `--out` is given.
 
 use std::fmt::Write as _;
-use std::fs;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
@@ -340,12 +339,15 @@ fn run_calm(tuning: &Tuning) -> Result<PhaseStats, String> {
 
 /// Chaos phase: faults armed, shedding on, surge mid-run, and a live
 /// crash-restart while the fleet is in flight.
-fn run_chaos(tuning: &Tuning) -> Result<(PhaseStats, RecoveryStats, u64, u64), String> {
+type ChaosOutcome = (PhaseStats, RecoveryStats, u64, u64, (&'static str, usize));
+
+fn run_chaos(tuning: &Tuning) -> Result<ChaosOutcome, String> {
     let config = CappedConfig::new(N, C, 0.0).map_err(|e| e.to_string())?;
     let service_config = ServiceConfig::new(config, SHARDS, SEED)
         .with_rng_mode(RngMode::PerShard)
         .with_ingress_capacity(CHAOS_INGRESS);
     let mut service = CappedService::spawn(service_config.clone()).map_err(|e| e.to_string())?;
+    let kernel = (service.kernel_mode().name(), service.kernel_threads());
     let completions = service.take_completions().expect("fresh service");
     let mut frontend = NetFrontend::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
     frontend.set_admission_control(AdmissionControl::default().with_shedding(SHED_START, SEED));
@@ -449,7 +451,7 @@ fn run_chaos(tuning: &Tuning) -> Result<(PhaseStats, RecoveryStats, u64, u64), S
     if !recovery.conserved {
         return Err("resumed service lost balls".into());
     }
-    Ok((stats, recovery, surge_accepted, surge_saturated))
+    Ok((stats, recovery, surge_accepted, surge_saturated, kernel))
 }
 
 /// Scrapes `GET /metrics` and returns the strictly parsed exposition.
@@ -604,9 +606,9 @@ fn render_json(
     out
 }
 
-fn run(ci: bool, out: Option<&str>) -> Result<(), String> {
+fn run(opts: &Options, started: Instant) -> Result<(), String> {
     iba_obs::set_enabled(true);
-    let tuning = if ci { &CI } else { &FULL };
+    let tuning = if opts.ci { &CI } else { &FULL };
 
     eprintln!("--- calm phase ---");
     let calm = run_calm(tuning)?;
@@ -619,7 +621,7 @@ fn run(ci: bool, out: Option<&str>) -> Result<(), String> {
     );
 
     eprintln!("--- chaos phase ---");
-    let (chaos, recovery, surge_accepted, surge_saturated) = run_chaos(tuning)?;
+    let (chaos, recovery, surge_accepted, surge_saturated, kernel) = run_chaos(tuning)?;
     eprintln!(
         "chaos: {} accepted in {:?} ({:.0}/s), p999 {}us, {:.3}x retry amplification",
         chaos.accepted,
@@ -662,39 +664,70 @@ fn run(ci: bool, out: Option<&str>) -> Result<(), String> {
     }
 
     let json = render_json(&calm, &chaos, &recovery, surge_accepted, surge_saturated);
-    if let Some(path) = out {
-        fs::write(path, &json).map_err(|e| format!("failed to write {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
+    let json = match opts.out.as_deref() {
+        Some(path) => iba_bench::prov::finalize(
+            "net_chaos",
+            &json,
+            std::path::Path::new(path),
+            opts.registry.as_deref().map(std::path::Path::new),
+            opts.force,
+            Some(kernel),
+            started.elapsed().as_secs_f64() * 1e3,
+        )?,
+        None => json,
+    };
     println!("{json}");
     Ok(())
 }
 
+struct Options {
+    ci: bool,
+    out: Option<String>,
+    registry: Option<String>,
+    force: bool,
+}
+
 fn main() -> ExitCode {
-    let mut ci = false;
-    let mut out: Option<String> = None;
+    let started = Instant::now();
+    let mut opts = Options {
+        ci: false,
+        out: None,
+        registry: None,
+        force: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--ci" => ci = true,
+            "--ci" => opts.ci = true,
+            "--force" => opts.force = true,
             "--out" => match args.next() {
-                Some(path) => out = Some(path),
+                Some(path) => opts.out = Some(path),
                 None => {
                     eprintln!("--out requires a value");
                     return ExitCode::FAILURE;
                 }
             },
+            "--registry" => match args.next() {
+                Some(path) => opts.registry = Some(path),
+                None => {
+                    eprintln!("--registry requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: net_chaos_baseline [--ci] [--out BENCH_net_chaos.json]");
+                eprintln!(
+                    "usage: net_chaos_baseline [--ci] [--out BENCH_net_chaos.json] \
+                     [--registry PATH] [--force]"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
-    if out.is_none() && !ci {
-        out = Some(String::from("BENCH_net_chaos.json"));
+    if opts.out.is_none() && !opts.ci {
+        opts.out = Some(String::from("BENCH_net_chaos.json"));
     }
-    match run(ci, out.as_deref()) {
+    match run(&opts, started) {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("net_chaos_baseline: {err}");

@@ -21,7 +21,6 @@
 //! smoke run (do **not** commit quick output as the baseline).
 
 use std::fmt::Write as _;
-use std::fs;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -187,12 +186,23 @@ fn render_json(cells: &[Measurement]) -> String {
 }
 
 fn main() -> ExitCode {
+    let started = Instant::now();
     let mut quick = false;
     let mut out_path = String::from("BENCH_obs_overhead.json");
+    let mut registry: Option<String> = None;
+    let mut force = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--force" => force = true,
+            "--registry" => match args.next() {
+                Some(path) => registry = Some(path),
+                None => {
+                    eprintln!("--registry requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(path) => out_path = path,
                 None => {
@@ -202,7 +212,10 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: obs_overhead_baseline [--quick] [--out BENCH_obs_overhead.json]");
+                eprintln!(
+                    "usage: obs_overhead_baseline [--quick] [--out BENCH_obs_overhead.json] \
+                     [--registry PATH] [--force]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -212,12 +225,22 @@ fn main() -> ExitCode {
     let cells = vec![measure_cell(n, 4, 0.95)];
 
     let json = render_json(&cells);
-    if let Err(err) = fs::write(&out_path, &json) {
-        eprintln!("failed to write {out_path}: {err}");
-        return ExitCode::FAILURE;
-    }
+    let json = match iba_bench::prov::finalize(
+        "obs_overhead",
+        &json,
+        std::path::Path::new(&out_path),
+        registry.as_deref().map(std::path::Path::new),
+        force,
+        Some(("arena", 1)),
+        started.elapsed().as_secs_f64() * 1e3,
+    ) {
+        Ok(stamped) => stamped,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("{json}");
-    eprintln!("wrote {out_path}");
     for cell in &cells {
         let overhead = cell.overhead_percent();
         if overhead > 5.0 {

@@ -31,7 +31,6 @@
 //! output as the baseline).
 
 use std::fmt::Write as _;
-use std::fs;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -288,16 +287,27 @@ fn available_parallelism() -> usize {
 }
 
 fn main() -> ExitCode {
+    let started = Instant::now();
     let mut quick = false;
     let mut assert_parallel_wins = false;
     let mut n_override: Option<usize> = None;
     let mut thread_sweep: Vec<usize> = Vec::new();
     let mut out_path = String::from("BENCH_round_kernel.json");
+    let mut registry: Option<String> = None;
+    let mut force = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--assert-parallel-wins" => assert_parallel_wins = true,
+            "--force" => force = true,
+            "--registry" => match args.next() {
+                Some(path) => registry = Some(path),
+                None => {
+                    eprintln!("--registry requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--n" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => n_override = Some(n),
                 _ => {
@@ -333,7 +343,8 @@ fn main() -> ExitCode {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: round_kernel_baseline [--quick] [--n N] [--threads LIST] \
-                     [--assert-parallel-wins] [--out BENCH_round_kernel.json]"
+                     [--assert-parallel-wins] [--out BENCH_round_kernel.json] \
+                     [--registry PATH] [--force]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -387,12 +398,22 @@ fn main() -> ExitCode {
         .collect();
 
     let json = render_json(&cells, parallel_threads);
-    if let Err(err) = fs::write(&out_path, &json) {
-        eprintln!("failed to write {out_path}: {err}");
-        return ExitCode::FAILURE;
-    }
+    let json = match iba_bench::prov::finalize(
+        "round_kernel",
+        &json,
+        std::path::Path::new(&out_path),
+        registry.as_deref().map(std::path::Path::new),
+        force,
+        Some(("arena_parallel", parallel_threads)),
+        started.elapsed().as_secs_f64() * 1e3,
+    ) {
+        Ok(stamped) => stamped,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("{json}");
-    eprintln!("wrote {out_path}");
     let mut failed = false;
     for cell in &cells {
         let arena = cell.stats("arena").expect("standing variant");

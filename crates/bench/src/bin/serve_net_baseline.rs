@@ -26,7 +26,6 @@
 //! run, not an approximation.
 
 use std::fmt::Write as _;
-use std::fs;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
@@ -62,6 +61,8 @@ struct Options {
     requests: u64,
     connect: Option<String>,
     out: Option<String>,
+    registry: Option<String>,
+    force: bool,
 }
 
 /// One driver run's results.
@@ -311,9 +312,32 @@ fn report(stats: &RunStats) {
     );
 }
 
+/// Stamps the rendered JSON with provenance, writes it to `--out` (when
+/// given) through the config-hash overwrite guard, and appends the run
+/// to `--registry` (when given).
+fn emit(
+    opts: &Options,
+    json: &str,
+    kernel: Option<(&str, usize)>,
+    started: Instant,
+) -> Result<String, String> {
+    match opts.out.as_deref() {
+        Some(path) => iba_bench::prov::finalize(
+            "serve_net",
+            json,
+            std::path::Path::new(path),
+            opts.registry.as_deref().map(std::path::Path::new),
+            opts.force,
+            kernel,
+            started.elapsed().as_secs_f64() * 1e3,
+        ),
+        None => Ok(json.to_string()),
+    }
+}
+
 /// In-process mode: spawn the server thread, drive it, stop it, write
 /// the baseline file.
-fn run_in_process(opts: &Options) -> Result<(), String> {
+fn run_in_process(opts: &Options, started: Instant) -> Result<(), String> {
     iba_obs::set_enabled(true);
     let config = CappedConfig::new(N, C, 0.75).map_err(|e| e.to_string())?;
     let mut service = CappedService::spawn(
@@ -322,6 +346,7 @@ fn run_in_process(opts: &Options) -> Result<(), String> {
             .with_ingress_capacity(1 << 16),
     )
     .map_err(|e| e.to_string())?;
+    let kernel = (service.kernel_mode().name(), service.kernel_threads());
     let completions = service.take_completions().expect("fresh service");
     let frontend = NetFrontend::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
     let addr = frontend.local_addr();
@@ -368,16 +393,15 @@ fn run_in_process(opts: &Options) -> Result<(), String> {
     report(&stats);
 
     let json = render_json(&stats);
-    if let Some(path) = opts.out.as_deref() {
-        fs::write(path, &json).map_err(|e| format!("failed to write {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
+    let json = emit(opts, &json, Some(kernel), started)?;
     println!("{json}");
     Ok(())
 }
 
-/// `--connect` mode: drive an already-running server (CI net-smoke).
-fn run_connect(opts: &Options, addr_str: &str) -> Result<(), String> {
+/// `--connect` mode: drive an already-running server (CI net-smoke). The
+/// external server's kernel configuration is not observable from here,
+/// so the provenance block carries no kernel field.
+fn run_connect(opts: &Options, addr_str: &str, started: Instant) -> Result<(), String> {
     let addr: SocketAddr = addr_str
         .parse()
         .map_err(|e| format!("bad --connect address {addr_str}: {e}"))?;
@@ -391,19 +415,19 @@ fn run_connect(opts: &Options, addr_str: &str) -> Result<(), String> {
     eprintln!("scrape plane live across 2 scrapes; strict parse ok");
     report(&stats);
     let json = render_json(&stats);
-    if let Some(path) = opts.out.as_deref() {
-        fs::write(path, &json).map_err(|e| format!("failed to write {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
+    emit(opts, &json, None, started)?;
     Ok(())
 }
 
 fn main() -> ExitCode {
+    let started = Instant::now();
     let mut opts = Options {
         quick: false,
         requests: 0,
         connect: None,
         out: None,
+        registry: None,
+        force: false,
     };
     let mut requests_set = false;
     let mut args = std::env::args().skip(1);
@@ -425,13 +449,18 @@ fn main() -> ExitCode {
             }),
             "--connect" => value_for("--connect").map(|v| opts.connect = Some(v)),
             "--out" => value_for("--out").map(|v| opts.out = Some(v)),
+            "--registry" => value_for("--registry").map(|v| opts.registry = Some(v)),
+            "--force" => {
+                opts.force = true;
+                Ok(())
+            }
             other => Err(format!("unknown argument: {other}")),
         };
         if let Err(err) = result {
             eprintln!("{err}");
             eprintln!(
                 "usage: serve_net_baseline [--quick] [--requests N] [--connect ADDR] \
-                 [--out BENCH_serve_net.json]"
+                 [--out BENCH_serve_net.json] [--registry PATH] [--force]"
             );
             return ExitCode::FAILURE;
         }
@@ -448,8 +477,8 @@ fn main() -> ExitCode {
     }
 
     let outcome = match opts.connect.clone() {
-        Some(addr) => run_connect(&opts, &addr),
-        None => run_in_process(&opts),
+        Some(addr) => run_connect(&opts, &addr, started),
+        None => run_in_process(&opts, started),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

@@ -39,6 +39,7 @@ struct Args {
     checkpoint: Option<PathBuf>,
     resume: bool,
     jsonl: Option<PathBuf>,
+    registry: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -52,6 +53,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         checkpoint: None,
         resume: false,
         jsonl: None,
+        registry: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -96,11 +98,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--checkpoint" => out.checkpoint = Some(PathBuf::from(value(&mut iter)?)),
             "--resume" => out.resume = true,
             "--jsonl" => out.jsonl = Some(PathBuf::from(value(&mut iter)?)),
+            "--registry" => out.registry = Some(PathBuf::from(value(&mut iter)?)),
             other => {
                 return Err(format!(
                     "unknown flag {other}\nusage: sweep [--n N] [--c 1,2,3] [--lambda 0.75,0.9] \
                      [--window W] [--seeds S] [--seed SEED] [--checkpoint PATH] [--resume] \
-                     [--jsonl PATH]"
+                     [--jsonl PATH] [--registry PATH]"
                 ))
             }
         }
@@ -256,6 +259,7 @@ fn save_progress(path: &Path, progress: &SweepProgress) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    let started = std::time::Instant::now();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&raw) {
         Ok(a) => a,
@@ -364,6 +368,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {} JSONL row(s) to {}", table.len(), path.display());
+    }
+    if let Some(path) = &args.registry {
+        let pairs = iba_exp::bench_data::sweep_config_pairs(
+            args.n as u64,
+            &args.capacities,
+            &args.lambdas,
+            args.window,
+            args.seeds as u64,
+            args.master_seed,
+        );
+        if let Err(e) = iba_bench::prov::append_sweep_registry(
+            path,
+            &pairs,
+            args.master_seed,
+            &table.to_jsonl(),
+            started.elapsed().as_secs_f64() * 1e3,
+        ) {
+            eprintln!("registry {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

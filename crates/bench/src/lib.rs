@@ -32,6 +32,7 @@ pub mod cli;
 pub mod compare;
 pub mod figures;
 pub mod measure;
+pub mod prov;
 pub mod scale;
 
 pub use measure::{measure_capped, measure_greedy, MeasureConfig, StationaryEstimate};

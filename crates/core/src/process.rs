@@ -57,6 +57,17 @@ impl KernelMode {
     pub(crate) fn uses_simd(self) -> bool {
         matches!(self, KernelMode::ArenaSimd | KernelMode::ArenaParallel)
     }
+
+    /// Stable lowercase identifier, used in provenance records and CLI
+    /// flags (`scalar`, `arena`, `arena_simd`, `arena_parallel`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelMode::Scalar => "scalar",
+            KernelMode::Arena => "arena",
+            KernelMode::ArenaSimd => "arena_simd",
+            KernelMode::ArenaParallel => "arena_parallel",
+        }
+    }
 }
 
 /// Round-persistent scratch buffers of the arena kernel, so steady-state

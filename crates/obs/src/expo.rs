@@ -13,6 +13,7 @@ use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 
+use crate::json::Provenance;
 use crate::registry::{bucket_bound, Registry, RegistrySnapshot, HISTOGRAM_BUCKETS};
 
 /// Renders the snapshot in the Prometheus text exposition format.
@@ -58,6 +59,62 @@ pub fn render_registry(registry: &Registry) -> String {
     render(&registry.snapshot())
 }
 
+/// Name of the run-info metric carrying provenance labels.
+pub const RUN_INFO_METRIC: &str = "iba_run_info";
+
+/// Renders the snapshot plus an `iba_run_info` sample carrying the run's
+/// provenance as labels (`git_rev`, `dirty`, `host`, `cores`, and — when
+/// present — `kernel` and `threads`), in the conventional `*_info`
+/// always-1 gauge style. With `None` provenance this is exactly
+/// [`render`].
+pub fn render_with_provenance(snapshot: &RegistrySnapshot, prov: Option<&Provenance>) -> String {
+    let mut out = render(snapshot);
+    if let Some(prov) = prov {
+        let mut labels: Vec<(String, String)> = vec![
+            ("git_rev".into(), prov.git_rev.clone()),
+            ("dirty".into(), prov.git_dirty.to_string()),
+            ("host".into(), prov.host.clone()),
+            ("cores".into(), prov.cores.to_string()),
+        ];
+        if let Some(kernel) = &prov.kernel {
+            labels.push(("kernel".into(), kernel.clone()));
+        }
+        if let Some(threads) = prov.threads {
+            labels.push(("threads".into(), threads.to_string()));
+        }
+        let _ = writeln!(out, "# TYPE {RUN_INFO_METRIC} gauge");
+        let _ = writeln!(out, "{RUN_INFO_METRIC}{} 1", render_labels(&labels));
+    }
+    out
+}
+
+/// Renders a `{k="v",...}` label set (empty string for no labels), with
+/// Prometheus-style escaping of backslashes, quotes and newlines in the
+/// values.
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{key}=\"");
+        for ch in value.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// The exposition content type, as scrapers expect it.
 pub const HTTP_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
@@ -74,9 +131,11 @@ pub fn http_response(status: u16, reason: &str, content_type: &str, body: &str) 
 }
 
 /// Renders `registry`'s current state as a complete `200 OK` scrape
-/// response.
+/// response, including the `iba_run_info` provenance sample when a run
+/// context is installed (see [`crate::flight::set_run_context`]).
 pub fn http_metrics_response(registry: &Registry) -> Vec<u8> {
-    http_response(200, "OK", HTTP_CONTENT_TYPE, &render_registry(registry))
+    let body = render_with_provenance(&registry.snapshot(), crate::flight::run_context().as_ref());
+    http_response(200, "OK", HTTP_CONTENT_TYPE, &body)
 }
 
 /// A `404 Not Found` response for non-`/metrics` paths.
@@ -96,15 +155,24 @@ pub fn http_body(response: &str) -> Option<&str> {
     response.split_once("\r\n\r\n").map(|(_, body)| body)
 }
 
-/// One parsed sample line: metric name, optional `le` label, value.
+/// One parsed sample line: metric name, labels, value.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// The sample name (including `_bucket`/`_sum`/`_count` suffixes).
     pub name: String,
-    /// The `le` label for histogram bucket samples.
+    /// The `le` label for histogram bucket samples (convenience view of
+    /// `labels`).
     pub le: Option<String>,
+    /// The full label set, in source order (histogram buckets carry `le`;
+    /// the run-info sample carries the provenance labels).
+    pub labels: Vec<(String, String)>,
     /// The sample value.
     pub value: f64,
+    /// The value exactly as it appeared in the source text. Kept because
+    /// `u64` counters and histogram sums above 2⁵³ do not round-trip
+    /// through `f64`; [`render_exposition`] echoes this token so
+    /// re-rendering is byte-identical.
+    pub raw: String,
 }
 
 /// A parsed exposition: declared metric families and their samples.
@@ -202,19 +270,19 @@ pub fn parse(input: &str) -> Result<Exposition, ExpoError> {
             "+Inf" => f64::INFINITY,
             v => v.parse().map_err(|_| err("non-numeric sample value"))?,
         };
-        let (name, le) = match name_part.split_once('{') {
-            None => (name_part.to_string(), None),
+        let (name, labels) = match name_part.split_once('{') {
+            None => (name_part.to_string(), Vec::new()),
             Some((name, labels)) => {
                 let labels = labels
                     .strip_suffix('}')
                     .ok_or_else(|| err("unterminated label set"))?;
-                let le = labels
-                    .strip_prefix("le=\"")
-                    .and_then(|v| v.strip_suffix('"'))
-                    .ok_or_else(|| err("only the le=\"...\" label is emitted"))?;
-                (name.to_string(), Some(le.to_string()))
+                (name.to_string(), parse_labels(labels).map_err(&err)?)
             }
         };
+        let le = labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| v.clone());
         if !valid_name(&name) {
             return Err(err("invalid sample name"));
         }
@@ -227,9 +295,97 @@ pub fn parse(input: &str) -> Result<Exposition, ExpoError> {
         if !out.families.contains_key(family) {
             return Err(err("sample without a preceding # TYPE declaration"));
         }
-        out.samples.push(Sample { name, le, value });
+        out.samples.push(Sample {
+            name,
+            le,
+            labels,
+            value,
+            raw: value_part.to_string(),
+        });
     }
     Ok(out)
+}
+
+/// Parses the inside of a `{...}` label set: `key="value"` pairs separated
+/// by commas, with `\\`, `\"` and `\n` escapes in values. Strict: anything
+/// else is an error.
+fn parse_labels(input: &str) -> Result<Vec<(String, String)>, &'static str> {
+    let mut labels = Vec::new();
+    let mut chars = input.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if !valid_name(&key) {
+            return Err("invalid label name");
+        }
+        if chars.next() != Some('"') {
+            return Err("label value must be quoted");
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err("invalid escape in label value"),
+                },
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err("unterminated label value");
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(_) => return Err("expected ',' between labels"),
+        }
+    }
+}
+
+/// Re-renders a parsed exposition to text. On anything [`parse`] accepted
+/// this reproduces the input byte-for-byte (the round-trip the golden
+/// tests assert): samples replay in source order, each family's `# TYPE`
+/// line is emitted before its first sample, and integral values print
+/// without a decimal point exactly as the original renderer wrote them.
+pub fn render_exposition(expo: &Exposition) -> String {
+    let mut out = String::new();
+    let mut declared: Vec<&str> = Vec::new();
+    for sample in &expo.samples {
+        let family = sample
+            .name
+            .strip_suffix("_bucket")
+            .or_else(|| sample.name.strip_suffix("_sum"))
+            .or_else(|| sample.name.strip_suffix("_count"))
+            .filter(|f| expo.families.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or(&sample.name);
+        if !declared.contains(&family) {
+            declared.push(family);
+            if let Some(kind) = expo.families.get(family) {
+                let _ = writeln!(out, "# TYPE {family} {kind}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            sample.name,
+            render_labels(&sample.labels),
+            sample.raw
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -324,7 +480,10 @@ iba_round_nanos_count 4
             "# TYPE x counter\nx",                       // no value
             "# TYPE x counter\nx one",                   // non-numeric
             "# TYPE x histogram\nx_bucket{le=\"1\" 2",   // unterminated labels
-            "# TYPE x histogram\nx_bucket{foo=\"1\"} 2", // non-le label
+            "# TYPE x histogram\nx_bucket{le=1} 2",      // unquoted label value
+            "# TYPE x histogram\nx_bucket{9le=\"1\"} 2", // invalid label name
+            "# TYPE x gauge\nx{a=\"1\"b=\"2\"} 2",       // missing comma
+            "# TYPE x gauge\nx{a=\"\\q\"} 2",            // invalid escape
         ] {
             assert!(parse(bad).is_err(), "accepted: {bad:?}");
         }

@@ -14,9 +14,24 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 
-use crate::json::{self, JsonObjWriter, JsonValue};
+use crate::json::{self, JsonObjWriter, JsonValue, Provenance};
 use crate::registry::{enabled, global};
 use crate::sink::snapshot_to_json_line;
+
+static RUN_CONTEXT: Mutex<Option<Provenance>> = Mutex::new(None);
+
+/// Installs the run's provenance (git revision, host, kernel mode, thread
+/// count) so post-mortem dumps — and the `/metrics` run-info sample — are
+/// attributable. Binaries call this once at startup; `None` values in the
+/// provenance simply stay absent from the dumps.
+pub fn set_run_context(provenance: Provenance) {
+    *RUN_CONTEXT.lock().unwrap() = Some(provenance);
+}
+
+/// The provenance installed by [`set_run_context`], if any.
+pub fn run_context() -> Option<Provenance> {
+    RUN_CONTEXT.lock().unwrap().clone()
+}
 
 /// Default number of events the ring retains.
 pub const DEFAULT_CAPACITY: usize = 256;
@@ -230,6 +245,10 @@ pub struct PostMortem {
     pub reason: String,
     /// Events evicted from the ring before capture.
     pub dropped: u64,
+    /// The run's provenance (git rev, kernel mode, thread count), when a
+    /// binary installed one via [`set_run_context`] — so panics in chaos
+    /// runs are attributable to a revision and configuration.
+    pub provenance: Option<Provenance>,
     /// The retained events, oldest first.
     pub events: Vec<FlightEvent>,
     /// The registry snapshot rendered as a JSON object (raw).
@@ -242,6 +261,7 @@ impl PostMortem {
         PostMortem {
             reason: reason.to_string(),
             dropped: recorder().dropped(),
+            provenance: run_context(),
             events: recorder().events(),
             telemetry: snapshot_to_json_line(&global().snapshot()),
         }
@@ -254,6 +274,9 @@ impl PostMortem {
         w.field_str("kind", "postmortem");
         w.field_str("reason", &self.reason);
         w.field_u64("dropped", self.dropped);
+        if let Some(prov) = &self.provenance {
+            w.field_raw("provenance", &prov.to_json_object());
+        }
         let events: Vec<String> = self.events.iter().map(FlightEvent::to_json).collect();
         w.field_raw_array("events", &events);
         w.field_raw("telemetry", &self.telemetry);
@@ -288,6 +311,12 @@ impl PostMortem {
             .get("dropped")
             .and_then(JsonValue::as_u64)
             .ok_or_else(|| shape("missing dropped"))?;
+        let provenance = match v.get("provenance") {
+            None => None,
+            Some(p) => {
+                Some(Provenance::from_value(p).ok_or_else(|| shape("malformed provenance"))?)
+            }
+        };
         let events = v
             .get("events")
             .and_then(JsonValue::as_array)
@@ -303,6 +332,7 @@ impl PostMortem {
         Ok(PostMortem {
             reason,
             dropped,
+            provenance,
             events,
             telemetry: render_value(telemetry),
         })
@@ -440,6 +470,40 @@ mod tests {
                 PostMortem::from_json(&back.to_json()).unwrap().events,
                 pm.events
             );
+            recorder().clear();
+        });
+    }
+
+    /// Satellite guarantee: a chaos-run panic dump carries the run's
+    /// provenance — git revision, kernel mode, thread count — and every
+    /// field survives the JSON round-trip.
+    #[test]
+    fn post_mortem_carries_run_provenance_through_json() {
+        with_telemetry(|| {
+            let prov = Provenance {
+                schema_version: json::SCHEMA_VERSION,
+                git_rev: "deadbeefcafe".into(),
+                git_dirty: true,
+                host: "chaos-runner".into(),
+                cores: 16,
+                kernel: Some("arena_parallel".into()),
+                threads: Some(8),
+            };
+            set_run_context(prov.clone());
+            recorder().clear();
+            recorder().record_marker(3, "fault:crash_bins:2");
+            let pm = PostMortem::capture("panic");
+            let back = PostMortem::from_json(&pm.to_json()).unwrap();
+            let got = back.provenance.expect("provenance attached to the dump");
+            assert_eq!(got, prov);
+            assert_eq!(got.git_rev, "deadbeefcafe");
+            assert_eq!(got.kernel.as_deref(), Some("arena_parallel"));
+            assert_eq!(got.threads, Some(8));
+            assert!(got.git_dirty);
+            // A malformed provenance object is rejected, not ignored.
+            let bad = pm.to_json().replace("\"git_rev\":\"deadbeefcafe\",", "");
+            assert!(PostMortem::from_json(&bad).is_err());
+            *RUN_CONTEXT.lock().unwrap() = None;
             recorder().clear();
         });
     }

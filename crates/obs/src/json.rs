@@ -11,10 +11,196 @@
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Version stamped into every JSON line the workspace emits (the `schema`
 /// field). Bump when a line format changes incompatibly.
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit hash. Used for content-hashing experiment configurations:
+/// unlike `DefaultHasher` it is specified, stable across Rust releases and
+/// platforms, and trivially re-implementable by external tooling reading
+/// the registry.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content hash of an ordered `key=value` configuration list, rendered as
+/// `fnv1a:<16 hex digits>`. The canonical form is `k=v;` pairs in the
+/// given order — callers must list parameters in a fixed order so the
+/// same configuration always hashes identically.
+pub fn content_hash(pairs: &[(String, String)]) -> String {
+    let mut canon = String::new();
+    for (k, v) in pairs {
+        canon.push_str(k);
+        canon.push('=');
+        canon.push_str(v);
+        canon.push(';');
+    }
+    format!("fnv1a:{:016x}", fnv1a64(canon.as_bytes()))
+}
+
+/// Run provenance: where, when-ish (git), and on what hardware a
+/// measurement was taken. Every registry record, stamped `BENCH_*.json`
+/// baseline and flight-recorder post-mortem carries one of these so a
+/// number can always be traced back to the code revision and host that
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// JSON schema version ([`SCHEMA_VERSION`] at emission time).
+    pub schema_version: u64,
+    /// Git revision of the working tree (`unknown` when no repository or
+    /// git binary is reachable).
+    pub git_rev: String,
+    /// Whether the working tree had uncommitted changes (best effort;
+    /// `false` when it could not be determined).
+    pub git_dirty: bool,
+    /// Hostname of the machine that ran the measurement.
+    pub host: String,
+    /// `std::thread::available_parallelism()` on that machine.
+    pub cores: u64,
+    /// Acceptance-kernel mode, when the run had one (`scalar`, `arena`,
+    /// `arena_simd`, `arena_parallel`).
+    pub kernel: Option<String>,
+    /// Resolved kernel worker-thread count, when the run had one.
+    pub threads: Option<u64>,
+}
+
+impl Provenance {
+    /// Collects provenance for the current process: git revision + dirty
+    /// flag (via the `git` binary, falling back to reading `.git/HEAD`
+    /// directly, falling back to `unknown`), hostname, and core count.
+    /// Never fails — absent information degrades to placeholders.
+    pub fn collect() -> Provenance {
+        let (git_rev, git_dirty) = git_describe();
+        Provenance {
+            schema_version: SCHEMA_VERSION,
+            git_rev,
+            git_dirty,
+            host: hostname(),
+            cores: std::thread::available_parallelism().map_or(1, |c| c.get() as u64),
+            kernel: None,
+            threads: None,
+        }
+    }
+
+    /// Returns `self` with the kernel mode and thread count attached.
+    pub fn with_kernel(mut self, kernel: &str, threads: usize) -> Provenance {
+        self.kernel = Some(kernel.to_string());
+        self.threads = Some(threads as u64);
+        self
+    }
+
+    /// Renders the provenance as a single-line JSON object.
+    pub fn to_json_object(&self) -> String {
+        let mut w = JsonObjWriter::new();
+        w.field_u64("schema_version", self.schema_version);
+        w.field_str("git_rev", &self.git_rev);
+        w.field_bool("git_dirty", self.git_dirty);
+        w.field_str("host", &self.host);
+        w.field_u64("cores", self.cores);
+        if let Some(kernel) = &self.kernel {
+            w.field_str("kernel", kernel);
+        }
+        if let Some(threads) = self.threads {
+            w.field_u64("threads", threads);
+        }
+        w.finish()
+    }
+
+    /// Parses a provenance object written by [`Provenance::to_json_object`].
+    /// `None` if any required field is missing or mistyped.
+    pub fn from_value(v: &JsonValue) -> Option<Provenance> {
+        Some(Provenance {
+            schema_version: v.get("schema_version")?.as_u64()?,
+            git_rev: v.get("git_rev")?.as_str()?.to_string(),
+            git_dirty: match v.get("git_dirty")? {
+                JsonValue::Bool(b) => *b,
+                _ => return None,
+            },
+            host: v.get("host")?.as_str()?.to_string(),
+            cores: v.get("cores")?.as_u64()?,
+            kernel: v.get("kernel").and_then(|k| k.as_str()).map(str::to_string),
+            threads: v.get("threads").and_then(JsonValue::as_u64),
+        })
+    }
+}
+
+/// Best-effort hostname: `/proc/sys/kernel/hostname`, then `$HOSTNAME`,
+/// then a placeholder.
+fn hostname() -> String {
+    if let Ok(name) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let name = name.trim();
+        if !name.is_empty() {
+            return name.to_string();
+        }
+    }
+    match std::env::var("HOSTNAME") {
+        Ok(name) if !name.trim().is_empty() => name.trim().to_string(),
+        _ => "unknown-host".to_string(),
+    }
+}
+
+/// Best-effort `(git_rev, dirty)`: asks the `git` binary first, then reads
+/// the `.git/HEAD` reference chain directly (covers hosts without git in
+/// `PATH`), then gives up with `("unknown", false)`.
+fn git_describe() -> (String, bool) {
+    if let Some(rev) = git_command(&["rev-parse", "HEAD"]) {
+        let dirty = git_command(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+        return (rev, dirty);
+    }
+    (
+        read_git_head().unwrap_or_else(|| "unknown".to_string()),
+        false,
+    )
+}
+
+/// Runs `git <args>` and returns trimmed stdout on success.
+fn git_command(args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+/// Resolves HEAD by walking up from the current directory to the nearest
+/// `.git` and following one level of `ref:` indirection (loose ref file or
+/// `packed-refs`).
+fn read_git_head() -> Option<String> {
+    let mut dir: PathBuf = std::env::current_dir().ok()?;
+    let git_dir = loop {
+        let candidate = dir.join(".git");
+        if candidate.is_dir() {
+            break candidate;
+        }
+        if !dir.pop() {
+            return None;
+        }
+    };
+    let head = std::fs::read_to_string(git_dir.join("HEAD")).ok()?;
+    let head = head.trim();
+    match head.strip_prefix("ref: ") {
+        None => Some(head.to_string()), // detached HEAD: the hash itself
+        Some(reference) => resolve_git_ref(&git_dir, reference),
+    }
+}
+
+fn resolve_git_ref(git_dir: &Path, reference: &str) -> Option<String> {
+    if let Ok(hash) = std::fs::read_to_string(git_dir.join(reference)) {
+        return Some(hash.trim().to_string());
+    }
+    let packed = std::fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+    packed.lines().find_map(|line| {
+        let (hash, name) = line.split_once(' ')?;
+        (name == reference).then(|| hash.to_string())
+    })
+}
 
 /// Appends `s` to `out` as the *contents* of a JSON string (no surrounding
 /// quotes), escaping quotes, backslashes and control characters per
@@ -668,6 +854,66 @@ mod tests {
     fn deep_nesting_is_rejected_not_overflowed() {
         let deep = "[".repeat(500) + &"]".repeat(500);
         assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn content_hash_is_order_sensitive_and_stable() {
+        let pairs = |v: &[(&str, &str)]| -> Vec<(String, String)> {
+            v.iter()
+                .map(|(k, val)| (k.to_string(), val.to_string()))
+                .collect()
+        };
+        let a = content_hash(&pairs(&[("n", "1024"), ("c", "2")]));
+        let b = content_hash(&pairs(&[("n", "1024"), ("c", "2")]));
+        let c = content_hash(&pairs(&[("c", "2"), ("n", "1024")]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(
+            a.starts_with("fnv1a:") && a.len() == "fnv1a:".len() + 16,
+            "{a}"
+        );
+    }
+
+    #[test]
+    fn provenance_round_trips_through_json() {
+        let prov = Provenance {
+            schema_version: SCHEMA_VERSION,
+            git_rev: "0123abcd".into(),
+            git_dirty: true,
+            host: "bench-box".into(),
+            cores: 8,
+            kernel: Some("arena_parallel".into()),
+            threads: Some(4),
+        };
+        let line = prov.to_json_object();
+        let back = Provenance::from_value(&parse(&line).unwrap()).unwrap();
+        assert_eq!(back, prov);
+        // The optional kernel fields really are optional.
+        let bare = Provenance {
+            kernel: None,
+            threads: None,
+            ..prov
+        };
+        let back = Provenance::from_value(&parse(&bare.to_json_object()).unwrap()).unwrap();
+        assert_eq!(back, bare);
+        assert!(Provenance::from_value(&parse("{}").unwrap()).is_none());
+    }
+
+    #[test]
+    fn provenance_collect_never_fails() {
+        let prov = Provenance::collect();
+        assert!(!prov.git_rev.is_empty());
+        assert!(!prov.host.is_empty());
+        assert!(prov.cores >= 1);
+        assert_eq!(prov.schema_version, SCHEMA_VERSION);
     }
 
     #[test]

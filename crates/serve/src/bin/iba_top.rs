@@ -24,6 +24,8 @@ use std::time::{Duration, Instant};
 
 use iba_analysis::bounds::theorem2_pool_bound;
 use iba_core::CappedConfig;
+use iba_exp::registry::{unix_time_now, RunRecord, RunRegistry};
+use iba_obs::json::{content_hash, Provenance};
 use iba_obs::HistogramSnapshot;
 use iba_serve::{CappedService, KernelMode, Pacing, RngMode, RoundClock, ServiceConfig};
 
@@ -38,6 +40,10 @@ struct Options {
     pace_us: u64,
     mode: RngMode,
     kernel: KernelMode,
+    /// Write one final plain-text dashboard frame here and exit.
+    snapshot: Option<String>,
+    /// Append the final state as a registry `RunRecord` JSON line here.
+    snapshot_json: Option<String>,
 }
 
 impl Options {
@@ -55,6 +61,8 @@ impl Options {
             pace_us: 1_000,
             mode: RngMode::PerShard,
             kernel: KernelMode::default(),
+            snapshot: None,
+            snapshot_json: None,
         }
     }
 }
@@ -64,12 +72,17 @@ const USAGE: &str = "iba-top: live dashboard over a sharded CAPPED(c, lambda) se
 USAGE: iba-top [--n BINS] [--c CAP] [--lambda L] [--shards S] [--rounds N]
                [--seed SEED] [--refresh-ms MS] [--pace-us MICROS]
                [--mode central|pershard] [--kernel scalar|arena|simd|parallel]
+               [--snapshot PATH] [--snapshot-json PATH]
 
 Runs the service under model arrivals with telemetry enabled and refreshes
 a top-style dashboard: pool vs the Theorem 1 bound, waiting-time quantiles,
 per-shard max loads, and the registry's phase-timing breakdown.
 --rounds 0 runs until interrupted; otherwise the final frame is printed and
-the process exits 0.";
+the process exits 0.
+--snapshot runs quietly and writes the final frame to PATH as plain text
+(one-shot mode, for scripts and dashboards). --snapshot-json appends the
+final state to PATH as an experiment-registry run record (provenance,
+config hash, metrics) — the same JSONL store the bench harnesses feed.";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value
@@ -118,6 +131,8 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--kernel" => opts.kernel = parse_kernel(&value)?,
+            "--snapshot" => opts.snapshot = Some(value),
+            "--snapshot-json" => opts.snapshot_json = Some(value),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -258,9 +273,61 @@ fn render_frame(
     frame
 }
 
+/// The canonical config pairs identifying one iba-top run, hashed into
+/// the registry record's `config_hash`.
+fn config_pairs(opts: &Options) -> Vec<(String, String)> {
+    vec![
+        ("benchmark".to_string(), "iba_top".to_string()),
+        ("n".to_string(), opts.n.to_string()),
+        ("c".to_string(), opts.c.to_string()),
+        ("lambda".to_string(), format!("{}", opts.lambda)),
+        ("shards".to_string(), opts.shards.to_string()),
+        ("rounds".to_string(), opts.rounds.to_string()),
+        ("seed".to_string(), opts.seed.to_string()),
+        ("kernel".to_string(), opts.kernel.name().to_string()),
+    ]
+}
+
+/// Builds the registry run record for `--snapshot-json`: the final
+/// service state flattened to metrics, under the run's provenance.
+fn snapshot_record(opts: &Options, service: &CappedService, wall_ms: f64) -> RunRecord {
+    let snap = service.snapshot();
+    let bound = theorem2_pool_bound(snap.bins as usize, opts.c, opts.lambda);
+    let mut metrics = vec![
+        ("round".to_string(), snap.round as f64),
+        ("bins".to_string(), snap.bins as f64),
+        ("pool_size".to_string(), snap.pool_size as f64),
+        ("pool_bound".to_string(), bound),
+        ("pool_over_bound".to_string(), snap.pool_size as f64 / bound),
+        ("buffered".to_string(), snap.buffered as f64),
+        ("total_generated".to_string(), snap.total_generated as f64),
+        ("total_served".to_string(), snap.total_served as f64),
+        ("balls_moved".to_string(), service.balls_moved() as f64),
+    ];
+    if let Some(wait) = &snap.wait {
+        metrics.push(("wait.mean".to_string(), wait.mean));
+        metrics.push(("wait.p50".to_string(), wait.p50 as f64));
+        metrics.push(("wait.p99".to_string(), wait.p99 as f64));
+        metrics.push(("wait.p999".to_string(), wait.p999 as f64));
+        metrics.push(("wait.max".to_string(), wait.max as f64));
+    }
+    RunRecord {
+        benchmark: "iba_top".to_string(),
+        config_hash: content_hash(&config_pairs(opts)),
+        seed: opts.seed,
+        provenance: Provenance::collect().with_kernel(opts.kernel.name(), opts.shards),
+        wall_ms,
+        unix_time: unix_time_now(),
+        metrics,
+    }
+}
+
 fn run(opts: &Options) -> Result<(), String> {
     iba_obs::set_enabled(true);
     iba_obs::flight::install_panic_hook();
+    iba_obs::flight::set_run_context(
+        Provenance::collect().with_kernel(opts.kernel.name(), opts.shards),
+    );
 
     let capped = CappedConfig::new(opts.n, opts.c, opts.lambda)
         .map_err(|e| format!("invalid CAPPED parameters: {e}"))?;
@@ -272,7 +339,10 @@ fn run(opts: &Options) -> Result<(), String> {
     )
     .map_err(|e| format!("invalid service configuration: {e}"))?;
 
-    let interactive = std::io::stdout().is_terminal();
+    // One-shot modes run quietly: no periodic frames, just the final
+    // snapshot artifact(s).
+    let quiet = opts.snapshot.is_some() || opts.snapshot_json.is_some();
+    let interactive = !quiet && std::io::stdout().is_terminal();
     let refresh = Duration::from_millis(opts.refresh_ms.max(1));
     let pacing = if opts.pace_us == 0 {
         Pacing::Immediate
@@ -297,7 +367,7 @@ fn run(opts: &Options) -> Result<(), String> {
             return Err(format!("round {} violates conservation", report.round));
         }
         let done = opts.rounds != 0 && report.round >= opts.rounds;
-        if Instant::now() >= next_refresh || done {
+        if !quiet && (Instant::now() >= next_refresh || done) {
             let now = Instant::now();
             let dt = now.duration_since(last_frame_at).as_secs_f64().max(1e-9);
             let served_per_s = (service.total_served() - last_served) as f64 / dt;
@@ -320,6 +390,23 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     if interactive {
         println!();
+    }
+    if let Some(path) = opts.snapshot.as_deref() {
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let served_per_s = service.total_served() as f64 / elapsed;
+        let frame = render_frame(opts, &service, served_per_s, started);
+        std::fs::write(path, &frame).map_err(|e| format!("writing snapshot {path}: {e}"))?;
+        eprintln!("wrote snapshot frame to {path}");
+    }
+    if let Some(path) = opts.snapshot_json.as_deref() {
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let record = snapshot_record(opts, &service, wall_ms);
+        let mut registry = RunRegistry::open(std::path::Path::new(path))
+            .map_err(|e| format!("registry {path}: {e}"))?;
+        registry
+            .append(record)
+            .map_err(|e| format!("registry {path}: {e}"))?;
+        eprintln!("appended run record to {path}");
     }
     service.shutdown();
     Ok(())

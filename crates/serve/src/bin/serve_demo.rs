@@ -338,6 +338,9 @@ fn violation(round: u64, message: String) -> String {
 fn run_listen(opts: &Options, addr: &str) -> Result<(), String> {
     iba_obs::set_enabled(true);
     iba_obs::flight::install_panic_hook();
+    iba_obs::flight::set_run_context(
+        iba_obs::json::Provenance::collect().with_kernel(opts.kernel.name(), opts.shards),
+    );
     let capped = CappedConfig::new(opts.n, opts.c, opts.lambda)
         .map_err(|e| format!("invalid CAPPED parameters: {e}"))?;
     let service_config = ServiceConfig::new(capped, opts.shards, opts.seed)
@@ -488,6 +491,9 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     if iba_obs::enabled() {
         iba_obs::flight::install_panic_hook();
+        iba_obs::flight::set_run_context(
+            iba_obs::json::Provenance::collect().with_kernel(opts.kernel.name(), opts.shards),
+        );
     }
     let capped = CappedConfig::new(opts.n, opts.c, opts.lambda)
         .map_err(|e| format!("invalid CAPPED parameters: {e}"))?;

@@ -810,6 +810,16 @@ impl CappedService {
         self.balls_moved
     }
 
+    /// Acceptance kernel every shard runs.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// Worker threads serving rounds (one per shard).
+    pub fn kernel_threads(&self) -> usize {
+        self.shards
+    }
+
     /// Last completed round.
     pub fn round(&self) -> u64 {
         self.round
